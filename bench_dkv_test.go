@@ -1,0 +1,57 @@
+package repro
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/dkv"
+	"repro/internal/transport"
+)
+
+// dkvReadBench measures batched reads against a 4-rank in-process DKV store
+// holding K=256 rows (1032-byte values, the paper's π + Σφ layout).
+func dkvReadBench(b *testing.B, rows int) {
+	const ranks = 4
+	const n = 4096
+	const valBytes = 256*4 + 8
+
+	fabric, err := transport.NewFabric(ranks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer fabric.Close()
+	stores := make([]*dkv.Store, ranks)
+	for r := 0; r < ranks; r++ {
+		st, err := dkv.New(fabric.Endpoint(r), n, valBytes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stores[r] = st
+	}
+	var closeOnce sync.Once
+	defer closeOnce.Do(func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	})
+	val := make([]byte, valBytes)
+	for r := 0; r < ranks; r++ {
+		lo, hi := stores[r].OwnedRange()
+		for k := lo; k < hi; k++ {
+			stores[r].WriteLocal(k, val)
+		}
+	}
+
+	keys := make([]int32, rows)
+	for i := range keys {
+		keys[i] = int32((i * 769) % n) // spread across all owners
+	}
+	dst := make([]byte, rows*valBytes)
+	b.SetBytes(int64(rows * valBytes))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := stores[0].ReadBatch(keys, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mmsb"
+	"repro/internal/svi"
+)
+
+// BenchmarkSVIStep measures the variational baseline's per-iteration cost,
+// comparable with BenchmarkFig4HorizVert's vertical-threaded MCMC numbers.
+func BenchmarkSVIStep(b *testing.B) {
+	train, held := benchFixture(b, "svi", 3000, 16, 30000, 83)
+	s, err := svi.NewSampler(svi.DefaultConfig(32, 89), train, held, svi.Options{
+		Threads: 0, NodeBatch: 128,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	s.Run(b.N)
+}
+
+// BenchmarkGeneralVsAssortativeStep quantifies the O(K²) vs O(K) cost of the
+// general MMSB extension against the assortative model on identical data.
+func BenchmarkGeneralVsAssortativeStep(b *testing.B) {
+	train, held := benchFixture(b, "mmsb", 3000, 16, 30000, 97)
+	b.Run("assortative-K32", func(b *testing.B) {
+		s, err := core.NewSampler(core.DefaultConfig(32, 101), train, held, core.SamplerOptions{
+			Threads: 0, MinibatchPairs: 256, NeighborCount: 32,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		s.Run(b.N)
+	})
+	b.Run("general-K32", func(b *testing.B) {
+		s, err := mmsb.NewSampler(mmsb.DefaultConfig(32, 101), train, held, mmsb.Options{
+			Threads: 0, MinibatchPairs: 256, NeighborCount: 32,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		s.Run(b.N)
+	})
+}

@@ -1,0 +1,82 @@
+// ocd-analyze inspects a graph and, optionally, scores a detected community
+// cover against a ground-truth cover — the final step of the
+// gen → train → analyze workflow:
+//
+//	ocd-gen -preset com-dblp-sim -out g.txt -groundtruth
+//	ocd-train -graph g.txt -k 64 -iters 2000 -communities detected.txt
+//	ocd-analyze -graph g.txt -detected detected.txt -truth g.txt.gt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/graph"
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		path     = flag.String("graph", "", "input SNAP edge-list (required)")
+		detected = flag.String("detected", "", "detected communities file (one community per line)")
+		truth    = flag.String("truth", "", "ground-truth communities file")
+		ccSample = flag.Int("clustering-samples", 2000, "vertices sampled for the clustering coefficient")
+	)
+	flag.Parse()
+	if *path == "" {
+		fatal(fmt.Errorf("-graph is required"))
+	}
+	g, _, err := graph.ReadSNAPFile(*path)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("mean degree %.2f, max degree %d, density %.6f\n",
+		g.MeanDegree(), g.MaxDegree(), g.Density())
+	_, components := graph.ConnectedComponents(g)
+	fmt.Printf("connected components: %d (largest %d vertices)\n",
+		components, graph.LargestComponentSize(g))
+	cc := graph.ClusteringCoefficient(g, *ccSample, mathx.NewRNG(1))
+	fmt.Printf("clustering coefficient (sampled): %.4f\n", cc)
+
+	var det, gt *metrics.Cover
+	if *detected != "" {
+		det, err = metrics.ReadCoverFile(*detected, g.NumVertices())
+		if err != nil {
+			fatal(err)
+		}
+		summarizeCover("detected", det, g.NumVertices())
+	}
+	if *truth != "" {
+		gt, err = metrics.ReadCoverFile(*truth, g.NumVertices())
+		if err != nil {
+			fatal(err)
+		}
+		summarizeCover("ground truth", gt, g.NumVertices())
+	}
+	if det != nil && gt != nil {
+		fmt.Printf("\nrecovery: F1 = %.4f, NMI = %.4f\n",
+			metrics.F1Score(det, gt), metrics.NMI(det, gt))
+	}
+}
+
+func summarizeCover(name string, c *metrics.Cover, n int) {
+	total := 0
+	largest := 0
+	for _, m := range c.Members {
+		total += len(m)
+		if len(m) > largest {
+			largest = len(m)
+		}
+	}
+	fmt.Printf("\n%s: %d communities, %d memberships (%.2f per vertex), largest %d\n",
+		name, len(c.Members), total, float64(total)/float64(n), largest)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ocd-analyze:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,142 @@
+// ocd-bench-dkv measures the real DKV store's read bandwidth across payload
+// sizes — the measurable analogue of the paper's Figure 5 (which compared
+// the RDMA DKV store against raw qperf on FDR InfiniBand). Two transports
+// are exercised: the in-process fabric (upper bound, "qperf role") and a TCP
+// loopback mesh (the store's deployable transport).
+//
+// Usage:
+//
+//	ocd-bench-dkv -ranks 4 -rounds 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/dkv"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		ranks  = flag.Int("ranks", 4, "number of store ranks")
+		rounds = flag.Int("rounds", 200, "read batches per measurement")
+		n      = flag.Int("keys", 8192, "total keys in the store")
+	)
+	flag.Parse()
+
+	fmt.Printf("DKV read bandwidth, %d ranks, %d keys\n", *ranks, *n)
+	fmt.Printf("%8s %10s %16s %16s\n", "rows", "bytes", "inproc (MB/s)", "tcp (MB/s)")
+	for _, rows := range []int{1, 4, 16, 64, 256, 1024} {
+		for _, valBytes := range []int{264, 1032, 4104} {
+			inproc := measure(*ranks, *n, valBytes, rows, *rounds, dialInproc)
+			tcp := measure(*ranks, *n, valBytes, rows, *rounds, dialTCP)
+			fmt.Printf("%8d %10d %16.1f %16.1f\n", rows, rows*valBytes, inproc, tcp)
+		}
+	}
+}
+
+type dialFn func(ranks int) ([]transport.Conn, func(), error)
+
+func dialInproc(ranks int) ([]transport.Conn, func(), error) {
+	f, err := transport.NewFabric(ranks)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f.Endpoints(), f.Close, nil
+}
+
+func dialTCP(ranks int) ([]transport.Conn, func(), error) {
+	addrs := make([]string, ranks)
+	listeners := make([]net.Listener, ranks)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+	conns := make([]transport.Conn, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := transport.DialMesh(r, addrs)
+			conns[r], errs[r] = c, err
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	cleanup := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	return conns, cleanup, nil
+}
+
+func measure(ranks, n, valBytes, rows, rounds int, dial dialFn) float64 {
+	conns, cleanup, err := dial(ranks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ocd-bench-dkv:", err)
+		os.Exit(1)
+	}
+	defer cleanup()
+	stores := make([]*dkv.Store, ranks)
+	for r := 0; r < ranks; r++ {
+		st, err := dkv.New(conns[r], n, valBytes)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ocd-bench-dkv:", err)
+			os.Exit(1)
+		}
+		stores[r] = st
+	}
+	defer func() {
+		for _, st := range stores {
+			st.Close()
+		}
+	}()
+	val := make([]byte, valBytes)
+	for r := 0; r < ranks; r++ {
+		lo, hi := stores[r].OwnedRange()
+		for k := lo; k < hi; k++ {
+			stores[r].WriteLocal(k, val)
+		}
+	}
+
+	keys := make([]int32, rows)
+	for i := range keys {
+		keys[i] = int32((i*769 + 13) % n)
+	}
+	dst := make([]byte, rows*valBytes)
+	// Warm up.
+	for i := 0; i < 3; i++ {
+		if err := stores[0].ReadBatch(keys, dst); err != nil {
+			fmt.Fprintln(os.Stderr, "ocd-bench-dkv:", err)
+			os.Exit(1)
+		}
+	}
+	start := time.Now()
+	for i := 0; i < rounds; i++ {
+		if err := stores[0].ReadBatch(keys, dst); err != nil {
+			fmt.Fprintln(os.Stderr, "ocd-bench-dkv:", err)
+			os.Exit(1)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	return float64(rows*valBytes*rounds) / elapsed / 1e6
+}

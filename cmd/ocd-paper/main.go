@@ -1,0 +1,102 @@
+// ocd-paper regenerates the paper's tables and figures. Model-driven
+// experiments (fig1..fig5, tableIII) print instantly from the DAS5-calibrated
+// performance model; validation and convergence experiments (fig1v, fig3v,
+// fig4v, fig6) execute the real engine on this machine.
+//
+// Usage:
+//
+//	ocd-paper -exp all
+//	ocd-paper -exp fig6 -preset com-youtube-sim -iters 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/gen"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: tableII, fig1, fig1v, fig2, fig3, fig3v, tableIII, fig4, fig4v, fig5, fig6, compare, all, all+validate")
+		preset   = flag.String("preset", "com-dblp-sim", "dataset preset for fig6")
+		allSets  = flag.Bool("all-datasets", false, "fig6: run every Table II preset (slow)")
+		iters    = flag.Int("iters", 0, "iterations for real-run experiments (0 = auto-size)")
+		ranks    = flag.Int("ranks", 4, "simulated cluster size for real-run experiments")
+		generate = flag.Bool("generate", false, "tableII: actually generate every preset")
+	)
+	flag.Parse()
+
+	run := func(name string, f func() (string, error)) {
+		out, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ocd-paper: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+	pure := func(s string) func() (string, error) {
+		return func() (string, error) { return s, nil }
+	}
+
+	want := func(name string) bool {
+		switch *exp {
+		case "all":
+			return !strings.HasSuffix(name, "v") && name != "fig6" && name != "compare"
+		case "all+validate":
+			return true
+		default:
+			return *exp == name
+		}
+	}
+
+	if want("tableII") {
+		run("tableII", func() (string, error) { return experiments.TableII(*generate) })
+	}
+	if want("fig1") {
+		run("fig1", pure(experiments.Fig1()))
+	}
+	if want("fig1v") {
+		run("fig1v", func() (string, error) { return experiments.Fig1Validation(*iters / 5) })
+	}
+	if want("fig2") {
+		run("fig2", pure(experiments.Fig2()))
+	}
+	if want("fig3") {
+		run("fig3", pure(experiments.Fig3()))
+	}
+	if want("fig3v") {
+		run("fig3v", func() (string, error) { return experiments.Fig3Validation(*iters / 5) })
+	}
+	if want("tableIII") {
+		run("tableIII", pure(experiments.TableIII()))
+	}
+	if want("fig4") {
+		run("fig4", pure(experiments.Fig4()))
+	}
+	if want("fig4v") {
+		run("fig4v", func() (string, error) { return experiments.Fig4Validation(*iters / 5) })
+	}
+	if want("fig5") {
+		run("fig5", pure(experiments.Fig5()))
+	}
+	if want("compare") {
+		run("compare", func() (string, error) { return experiments.CompareInference(*iters) })
+	}
+	if want("fig6") {
+		names := []string{*preset}
+		if *allSets {
+			names = names[:0]
+			for _, p := range gen.Presets() {
+				names = append(names, p.Name)
+			}
+		}
+		for _, name := range names {
+			cfg := experiments.Fig6Config{Preset: name, Ranks: *ranks, Iterations: *iters}
+			run("fig6/"+name, func() (string, error) { return experiments.Fig6(cfg) })
+		}
+	}
+}

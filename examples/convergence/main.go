@@ -1,0 +1,39 @@
+// Convergence: the Figure 6 experiment in miniature — train on scaled
+// stand-ins of the paper's SNAP datasets and watch the held-out perplexity
+// converge, using the distributed engine with pipelining enabled.
+//
+//	go run ./examples/convergence            # two quick presets
+//	go run ./examples/convergence -all       # every Table II preset (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/experiments"
+	"repro/internal/gen"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every Table II preset")
+	iters := flag.Int("iters", 0, "iterations per dataset (0 = auto-size)")
+	flag.Parse()
+
+	names := []string{"com-youtube-sim", "com-amazon-sim"}
+	if *all {
+		names = names[:0]
+		for _, p := range gen.Presets() {
+			names = append(names, p.Name)
+		}
+	}
+	for _, name := range names {
+		out, err := experiments.Fig6(experiments.Fig6Config{
+			Preset: name, Ranks: 2, Iterations: *iters,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(out)
+	}
+}

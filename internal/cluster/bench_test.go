@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+// benchComms wires an in-process communicator set for collective benchmarks.
+func benchComms(b *testing.B, size int) []*Comm {
+	b.Helper()
+	f, err := transport.NewFabric(size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(f.Close)
+	comms := make([]*Comm, size)
+	for r := 0; r < size; r++ {
+		comms[r] = New(f.Endpoint(r))
+	}
+	return comms
+}
+
+// runCollective drives all ranks through b.N rounds of op concurrently.
+func runCollective(b *testing.B, comms []*Comm, op func(c *Comm) error) {
+	b.Helper()
+	var wg sync.WaitGroup
+	for _, c := range comms {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			for i := 0; i < b.N; i++ {
+				if err := op(c); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// BenchmarkBarrier measures the phase-separation primitive; the engine
+// issues two per iteration.
+func BenchmarkBarrier(b *testing.B) {
+	for _, size := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("ranks=%d", size), func(b *testing.B) {
+			comms := benchComms(b, size)
+			b.ResetTimer()
+			runCollective(b, comms, func(c *Comm) error { return c.Barrier() })
+		})
+	}
+}
+
+// BenchmarkAllReduce measures the θ-broadcast-sized reduction.
+func BenchmarkAllReduce(b *testing.B) {
+	for _, dim := range []int{128, 2048} {
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			comms := benchComms(b, 4)
+			vec := make([]float64, dim)
+			b.SetBytes(int64(8 * dim))
+			b.ResetTimer()
+			runCollective(b, comms, func(c *Comm) error {
+				_, err := c.AllReduceSum(vec)
+				return err
+			})
+		})
+	}
+}
+
+// BenchmarkScatter measures minibatch-deployment-sized scatters.
+func BenchmarkScatter(b *testing.B) {
+	comms := benchComms(b, 4)
+	parts := make([][]byte, 4)
+	for i := range parts {
+		parts[i] = make([]byte, 64<<10)
+	}
+	b.SetBytes(4 * 64 << 10)
+	b.ResetTimer()
+	runCollective(b, comms, func(c *Comm) error {
+		var err error
+		if c.Rank() == 0 {
+			_, err = c.Scatter(0, parts)
+		} else {
+			_, err = c.Scatter(0, nil)
+		}
+		return err
+	})
+}

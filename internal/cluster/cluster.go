@@ -1,0 +1,209 @@
+// Package cluster provides the MPI-style collectives the distributed engine
+// is written against: Barrier, Bcast, Scatter, Gather, Reduce and AllReduce
+// over any transport.Conn. The algorithms are flat (root-centric), which is
+// the right trade for the ≤ 65-rank clusters of the paper and keeps the
+// reduction order deterministic — partial results are always folded in rank
+// order, so a distributed sum equals the sequential sum of the same parts.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Tag layout: collectives consume the low tag space with a per-communicator
+// sequence number; the DKV store and application messages live above
+// TagUserBase. Because every rank issues collectives in the same program
+// order, sequence numbers alone disambiguate concurrent operations.
+const (
+	tagCollectiveMask = 0x3fffffff
+	// TagUserBase is the first tag value available to application protocols.
+	TagUserBase uint32 = 0x40000000
+)
+
+// Comm is a communicator: a Conn plus collective sequencing.
+type Comm struct {
+	conn transport.Conn
+	seq  uint32
+}
+
+// New wraps a transport endpoint in a communicator.
+func New(conn transport.Conn) *Comm {
+	return &Comm{conn: conn}
+}
+
+// Rank returns this process's rank.
+func (c *Comm) Rank() int { return c.conn.Rank() }
+
+// Size returns the communicator size.
+func (c *Comm) Size() int { return c.conn.Size() }
+
+// Conn exposes the underlying transport for application protocols (DKV).
+func (c *Comm) Conn() transport.Conn { return c.conn }
+
+func (c *Comm) nextTag() uint32 {
+	c.seq++
+	return c.seq & tagCollectiveMask
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() error {
+	tag := c.nextTag()
+	if c.Rank() == 0 {
+		for r := 1; r < c.Size(); r++ {
+			if _, err := c.conn.Recv(r, tag); err != nil {
+				return fmt.Errorf("cluster: barrier gather: %w", err)
+			}
+		}
+		for r := 1; r < c.Size(); r++ {
+			if err := c.conn.Send(r, tag, nil); err != nil {
+				return fmt.Errorf("cluster: barrier release: %w", err)
+			}
+		}
+		return nil
+	}
+	if err := c.conn.Send(0, tag, nil); err != nil {
+		return fmt.Errorf("cluster: barrier enter: %w", err)
+	}
+	if _, err := c.conn.Recv(0, tag); err != nil {
+		return fmt.Errorf("cluster: barrier wait: %w", err)
+	}
+	return nil
+}
+
+// Bcast distributes root's data to every rank and returns it. Non-root
+// callers pass nil.
+func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
+	tag := c.nextTag()
+	if c.Rank() == root {
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.conn.Send(r, tag, data); err != nil {
+				return nil, fmt.Errorf("cluster: bcast to %d: %w", r, err)
+			}
+		}
+		return data, nil
+	}
+	got, err := c.conn.Recv(root, tag)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: bcast recv: %w", err)
+	}
+	return got, nil
+}
+
+// Gather collects each rank's data at root. At root the result has Size
+// entries indexed by rank (root's own entry is its argument, unsent); other
+// ranks get nil.
+func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
+	tag := c.nextTag()
+	if c.Rank() == root {
+		out := make([][]byte, c.Size())
+		out[root] = data
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			got, err := c.conn.Recv(r, tag)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: gather from %d: %w", r, err)
+			}
+			out[r] = got
+		}
+		return out, nil
+	}
+	if err := c.conn.Send(root, tag, data); err != nil {
+		return nil, fmt.Errorf("cluster: gather send: %w", err)
+	}
+	return nil, nil
+}
+
+// Scatter distributes parts[r] to rank r from root and returns this rank's
+// part. Non-root callers pass nil. len(parts) must equal Size at root.
+func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
+	tag := c.nextTag()
+	if c.Rank() == root {
+		if len(parts) != c.Size() {
+			return nil, fmt.Errorf("cluster: scatter with %d parts for %d ranks", len(parts), c.Size())
+		}
+		for r := 0; r < c.Size(); r++ {
+			if r == root {
+				continue
+			}
+			if err := c.conn.Send(r, tag, parts[r]); err != nil {
+				return nil, fmt.Errorf("cluster: scatter to %d: %w", r, err)
+			}
+		}
+		return parts[root], nil
+	}
+	got, err := c.conn.Recv(root, tag)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: scatter recv: %w", err)
+	}
+	return got, nil
+}
+
+// ReduceSum element-wise sums each rank's vec at root (folding in rank
+// order) and returns the total there; other ranks get nil. All ranks must
+// pass vectors of identical length.
+func (c *Comm) ReduceSum(root int, vec []float64) ([]float64, error) {
+	payload := wire.AppendFloat64s(make([]byte, 0, 8*len(vec)), vec)
+	parts, err := c.Gather(root, payload)
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank() != root {
+		return nil, nil
+	}
+	total := make([]float64, len(vec))
+	tmp := make([]float64, len(vec))
+	for r, p := range parts {
+		if len(p) != 8*len(vec) {
+			return nil, fmt.Errorf("cluster: reduce part from rank %d has %d bytes, want %d", r, len(p), 8*len(vec))
+		}
+		wire.Float64s(p, 0, len(vec), tmp)
+		for i, v := range tmp {
+			total[i] += v
+		}
+	}
+	return total, nil
+}
+
+// AllReduceSum is ReduceSum at rank 0 followed by a broadcast; every rank
+// receives the identical total (bit-identical, since the fold happens once).
+func (c *Comm) AllReduceSum(vec []float64) ([]float64, error) {
+	total, err := c.ReduceSum(0, vec)
+	if err != nil {
+		return nil, err
+	}
+	var payload []byte
+	if c.Rank() == 0 {
+		payload = wire.AppendFloat64s(make([]byte, 0, 8*len(vec)), total)
+	}
+	payload, err = c.Bcast(0, payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(vec))
+	wire.Float64s(payload, 0, len(vec), out)
+	return out, nil
+}
+
+// SendTo sends an application-level message (tag must be >= TagUserBase).
+func (c *Comm) SendTo(to int, tag uint32, payload []byte) error {
+	if tag < TagUserBase {
+		return fmt.Errorf("cluster: application tag %#x below TagUserBase", tag)
+	}
+	return c.conn.Send(to, tag, payload)
+}
+
+// RecvFrom receives an application-level message.
+func (c *Comm) RecvFrom(from int, tag uint32) ([]byte, error) {
+	if tag < TagUserBase {
+		return nil, fmt.Errorf("cluster: application tag %#x below TagUserBase", tag)
+	}
+	return c.conn.Recv(from, tag)
+}

@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestCollectivesFailAfterClose: a dead fabric must surface as errors from
+// every collective, never as a hang — the engine's per-rank error paths
+// depend on it.
+func TestCollectivesFailAfterClose(t *testing.T) {
+	f, err := transport.NewFabric(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms := make([]*Comm, 3)
+	for r := 0; r < 3; r++ {
+		comms[r] = New(f.Endpoint(r))
+	}
+	f.Close()
+
+	type op struct {
+		name string
+		fn   func(c *Comm) error
+	}
+	ops := []op{
+		{"barrier", func(c *Comm) error { return c.Barrier() }},
+		{"bcast", func(c *Comm) error { _, err := c.Bcast(0, []byte("x")); return err }},
+		{"gather", func(c *Comm) error { _, err := c.Gather(0, []byte("x")); return err }},
+		{"reduce", func(c *Comm) error { _, err := c.ReduceSum(0, []float64{1}); return err }},
+	}
+	for _, o := range ops {
+		done := make(chan error, 1)
+		go func() { done <- o.fn(comms[0]) }()
+		select {
+		case err := <-done:
+			if err == nil {
+				t.Errorf("%s on closed fabric returned nil", o.name)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("%s hung on closed fabric", o.name)
+		}
+	}
+}
+
+// TestNonRootScatterOnClosedFabric covers the receive side.
+func TestNonRootScatterOnClosedFabric(t *testing.T) {
+	f, err := transport.NewFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := New(f.Endpoint(1))
+	f.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c1.Scatter(0, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("scatter recv on closed fabric returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("scatter recv hung")
+	}
+}

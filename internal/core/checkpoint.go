@@ -1,0 +1,150 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Checkpointing: the paper's convergence runs take hours (Figure 6 reports
+// 40-hour trainings); production use needs to persist and resume the chain.
+// The format is a small header plus the raw state arrays, little-endian.
+
+const (
+	checkpointMagic   = 0x616d6d5362303031 // "ammSb001"
+	checkpointVersion = 1
+)
+
+// Save writes the state to w. The iteration counter is stored so a resumed
+// sampler continues the step-size schedule where it stopped.
+func (s *State) Save(w io.Writer, iteration int) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := make([]byte, 0, 40)
+	hdr = binary.LittleEndian.AppendUint64(hdr, checkpointMagic)
+	hdr = binary.LittleEndian.AppendUint32(hdr, checkpointVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(s.N))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(s.K))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(iteration))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 8)
+	for _, v := range s.Pi {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+		if _, err := bw.Write(buf[:4]); err != nil {
+			return err
+		}
+	}
+	for _, v := range s.PhiSum {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	for _, v := range s.Theta {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a state written by Save and returns it with the stored
+// iteration counter. β is re-derived from θ.
+func Load(r io.Reader) (*State, int, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr := make([]byte, 28)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, 0, fmt.Errorf("core: checkpoint header: %w", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != checkpointMagic {
+		return nil, 0, fmt.Errorf("core: not a checkpoint file")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != checkpointVersion {
+		return nil, 0, fmt.Errorf("core: checkpoint version %d unsupported", v)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[12:]))
+	k := int(binary.LittleEndian.Uint32(hdr[16:]))
+	iteration := int(binary.LittleEndian.Uint64(hdr[20:]))
+	if n < 1 || k < 1 || n > 1<<31 || k > 1<<24 {
+		return nil, 0, fmt.Errorf("core: checkpoint claims N=%d K=%d", n, k)
+	}
+	s := &State{
+		N:      n,
+		K:      k,
+		Pi:     make([]float32, n*k),
+		PhiSum: make([]float64, n),
+		Theta:  make([]float64, 2*k),
+		Beta:   make([]float64, k),
+	}
+	buf := make([]byte, 8)
+	for i := range s.Pi {
+		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+			return nil, 0, fmt.Errorf("core: checkpoint π: %w", err)
+		}
+		s.Pi[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+	}
+	for i := range s.PhiSum {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, 0, fmt.Errorf("core: checkpoint Σφ: %w", err)
+		}
+		s.PhiSum[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	for i := range s.Theta {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, 0, fmt.Errorf("core: checkpoint θ: %w", err)
+		}
+		s.Theta[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	s.RefreshBeta()
+	return s, iteration, nil
+}
+
+// SaveFile writes a checkpoint to path atomically (write + rename).
+func (s *State) SaveFile(path string, iteration int) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.Save(f, iteration); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadFile reads a checkpoint from path.
+func LoadFile(path string) (*State, int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+// Resume rebuilds a sampler from a saved state, continuing the step-size
+// schedule at the stored iteration. The graph, held-out set and options must
+// match the original run for the chain to be meaningful (the function cannot
+// verify that; it checks only the state dimensions).
+func Resume(cfg Config, g interface{ NumVertices() int }, state *State, iteration int, s *Sampler) error {
+	if state.N != g.NumVertices() {
+		return fmt.Errorf("core: checkpoint has N=%d, graph has %d", state.N, g.NumVertices())
+	}
+	if state.K != cfg.K {
+		return fmt.Errorf("core: checkpoint has K=%d, config has %d", state.K, cfg.K)
+	}
+	s.State = state
+	s.t = iteration
+	return nil
+}

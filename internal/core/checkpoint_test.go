@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(6, 77)
+	s, err := NewState(cfg, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf, 123); err != nil {
+		t.Fatal(err)
+	}
+	got, iter, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter != 123 {
+		t.Fatalf("iteration = %d, want 123", iter)
+	}
+	if mathx.MaxAbsDiff32(s.Pi, got.Pi) != 0 {
+		t.Fatal("π not bit-identical after round trip")
+	}
+	if mathx.MaxAbsDiff(s.PhiSum, got.PhiSum) != 0 {
+		t.Fatal("Σφ not bit-identical after round trip")
+	}
+	if mathx.MaxAbsDiff(s.Theta, got.Theta) != 0 {
+		t.Fatal("θ not bit-identical after round trip")
+	}
+	if mathx.MaxAbsDiff(s.Beta, got.Beta) != 0 {
+		t.Fatal("β not re-derived correctly")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	if _, _, err := Load(strings.NewReader("not a checkpoint at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, _, err := Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated payload.
+	cfg := DefaultConfig(4, 1)
+	s, _ := NewState(cfg, 10)
+	var buf bytes.Buffer
+	s.Save(&buf, 0)
+	truncated := buf.Bytes()[:buf.Len()/2]
+	if _, _, err := Load(bytes.NewReader(truncated)); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestCheckpointFile(t *testing.T) {
+	cfg := DefaultConfig(4, 5)
+	s, _ := NewState(cfg, 20)
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := s.SaveFile(path, 55); err != nil {
+		t.Fatal(err)
+	}
+	got, iter, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iter != 55 || got.N != 20 || got.K != 4 {
+		t.Fatalf("loaded iter=%d N=%d K=%d", iter, got.N, got.K)
+	}
+}
+
+// TestResumeContinuesChain trains, checkpoints, resumes, and verifies the
+// resumed run is bit-identical to an uninterrupted one.
+func TestResumeContinuesChain(t *testing.T) {
+	train, held := plantedFixture(t, 150, 4, 700, 88)
+	cfg := DefaultConfig(4, 21)
+
+	full, err := NewSampler(cfg, train, held, SamplerOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Run(20)
+
+	first, err := NewSampler(cfg, train, held, SamplerOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Run(12)
+	var buf bytes.Buffer
+	if err := first.State.Save(&buf, first.Iteration()); err != nil {
+		t.Fatal(err)
+	}
+
+	state, iter, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := NewSampler(cfg, train, held, SamplerOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Resume(cfg, train, state, iter, resumed); err != nil {
+		t.Fatal(err)
+	}
+	resumed.Run(8)
+
+	if mathx.MaxAbsDiff32(full.State.Pi, resumed.State.Pi) != 0 {
+		t.Fatal("resumed chain diverged from uninterrupted run")
+	}
+	if mathx.MaxAbsDiff(full.State.Theta, resumed.State.Theta) != 0 {
+		t.Fatal("resumed θ diverged from uninterrupted run")
+	}
+}
+
+func TestResumeValidatesShapes(t *testing.T) {
+	train, held := plantedFixture(t, 100, 4, 500, 89)
+	cfg := DefaultConfig(4, 2)
+	s, err := NewSampler(cfg, train, held, SamplerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongN, _ := NewState(cfg, 50)
+	if err := Resume(cfg, train, wrongN, 0, s); err == nil {
+		t.Fatal("wrong N accepted")
+	}
+	cfg8 := DefaultConfig(8, 2)
+	wrongK, _ := NewState(cfg8, 100)
+	if err := Resume(cfg, train, wrongK, 0, s); err == nil {
+		t.Fatal("wrong K accepted")
+	}
+}

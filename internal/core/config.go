@@ -1,0 +1,82 @@
+// Package core implements the SG-MCMC sampler for the assortative
+// mixed-membership stochastic blockmodel (a-MMSB) — the algorithm of Section
+// II of the paper. It provides the model state (π, Σφ, θ, β), the stochastic
+// gradient Riemannian Langevin updates for the local (Eqn 5/6) and global
+// (Eqn 3/4) parameters, and a single-node sampler that runs them either
+// sequentially or with shared-memory thread parallelism.
+//
+// The distributed engine in internal/dist reuses exactly these update
+// kernels; the equivalence tests rely on that sharing.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Config carries the model hyperparameters and step-size schedule.
+type Config struct {
+	K     int     // number of latent communities
+	Alpha float64 // Dirichlet concentration of memberships π_a
+	Eta0  float64 // Beta prior pseudo-count for "no link" (θ_k0)
+	Eta1  float64 // Beta prior pseudo-count for "link" (θ_k1)
+	Delta float64 // cross-community link probability δ
+
+	// Step size schedule ε_t = StepA · (1 + t/StepB)^(-StepC). The paper
+	// inherits the SGLD requirement Σε = ∞, Σε² < ∞, satisfied for
+	// StepC ∈ (0.5, 1].
+	StepA float64
+	StepB float64
+	StepC float64
+
+	// PhiFloor is the numeric floor applied to φ after each update; the
+	// reflection |·| keeps φ non-negative but arbitrarily close to zero,
+	// and a hard floor keeps 1/Σφ finite in float32 storage.
+	PhiFloor float64
+
+	Seed uint64
+}
+
+// DefaultConfig returns the hyperparameters used throughout the evaluation:
+// the conventional a-MMSB settings of Li et al. with a mildly decaying step
+// size.
+func DefaultConfig(k int, seed uint64) Config {
+	return Config{
+		K:        k,
+		Alpha:    0.05,
+		Eta0:     1,
+		Eta1:     1,
+		Delta:    1e-7,
+		StepA:    0.01,
+		StepB:    1024,
+		StepC:    0.55,
+		PhiFloor: 1e-12,
+		Seed:     seed,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.K < 1:
+		return fmt.Errorf("core: K = %d, need at least 1", c.K)
+	case c.Alpha <= 0:
+		return fmt.Errorf("core: Alpha = %v, need positive", c.Alpha)
+	case c.Eta0 <= 0 || c.Eta1 <= 0:
+		return fmt.Errorf("core: Eta = (%v, %v), need positive", c.Eta0, c.Eta1)
+	case c.Delta <= 0 || c.Delta >= 1:
+		return fmt.Errorf("core: Delta = %v, need in (0,1)", c.Delta)
+	case c.StepA <= 0 || c.StepB <= 0:
+		return fmt.Errorf("core: step schedule (A=%v, B=%v) must be positive", c.StepA, c.StepB)
+	case c.StepC <= 0.5 || c.StepC > 1:
+		return fmt.Errorf("core: StepC = %v, need in (0.5, 1] for SGLD convergence", c.StepC)
+	case c.PhiFloor <= 0:
+		return fmt.Errorf("core: PhiFloor = %v, need positive", c.PhiFloor)
+	}
+	return nil
+}
+
+// StepSize returns ε_t for iteration t.
+func (c Config) StepSize(t int) float64 {
+	return c.StepA * math.Pow(1+float64(t)/c.StepB, -c.StepC)
+}

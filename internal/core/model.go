@@ -1,0 +1,112 @@
+package core
+
+import "math"
+
+// This file holds the model mathematics shared by every engine: the edge
+// likelihood, the φ gradient of Eqn (6) and the θ gradient of Eqn (4). The
+// functions are written against raw rows so the distributed engine can apply
+// them to values fetched from the DKV store without converting layouts.
+
+// linkWeights fills w[k] = β_k^y · (1-β_k)^(1-y) and returns the
+// corresponding δ weight. Computing the K weights once per pair (not once
+// per k per pair) is the difference between O(K) and O(K²) inner loops.
+func linkWeights(beta []float64, delta float64, linked bool, w []float64) (wDelta float64) {
+	if linked {
+		copy(w, beta)
+		return delta
+	}
+	for k, b := range beta {
+		w[k] = 1 - b
+	}
+	return 1 - delta
+}
+
+// EdgeProbability returns p(y_ab | π_a, π_b, β) = Σ_k π_ak·π_bk·w_k +
+// (1 - Σ_k π_ak·π_bk)·w_δ — the per-pair likelihood used by both the
+// perplexity metric (Eqn 7) and, as the normaliser Z_ab, by the gradients.
+func EdgeProbability(piA, piB []float32, beta []float64, delta float64, linked bool) float64 {
+	var sameComm, overlap float64
+	if linked {
+		for k := range beta {
+			p := float64(piA[k]) * float64(piB[k])
+			overlap += p
+			sameComm += p * beta[k]
+		}
+		return sameComm + (1-overlap)*delta
+	}
+	for k := range beta {
+		p := float64(piA[k]) * float64(piB[k])
+		overlap += p
+		sameComm += p * (1 - beta[k])
+	}
+	return sameComm + (1-overlap)*(1-delta)
+}
+
+// phiGradient accumulates the neighbor b's contribution to the φ_a gradient
+// into grad (length K), scaled by weight:
+//
+//	grad_k += weight · (q_k / Z_ab − 1)
+//
+// where q_k = π_bk·w_k + (1-π_bk)·w_δ and Z_ab = Σ_k π_ak·q_k. This equals
+// φsum_a · g_ab(φ_ak) of Eqn (6); the caller divides by Σφ_a once per vertex
+// instead of once per term. q is a caller-provided scratch buffer (length K).
+func phiGradient(piA, piB []float32, beta []float64, delta float64, linked bool, weight float64, grad, q, w []float64) {
+	wDelta := linkWeights(beta, delta, linked, w)
+	var z float64
+	for k := range q {
+		pb := float64(piB[k])
+		qk := pb*w[k] + (1-pb)*wDelta
+		q[k] = qk
+		z += float64(piA[k]) * qk
+	}
+	if z <= 0 {
+		return // numerically dead pair; contributes nothing
+	}
+	invZ := 1 / z
+	for k := range grad {
+		grad[k] += weight * (q[k]*invZ - 1)
+	}
+}
+
+// thetaGradient accumulates the pair (a, b)'s contribution to the θ gradient
+// into grad (length 2K, layout matching State.Theta):
+//
+//	grad_ki += (f_ab(k,k) / Z_ab) · (|1-i-y| / θ_ki − 1 / (θ_k0+θ_k1))
+//
+// with f_ab(k,k) = π_ak·π_bk·w_k (Eqn 4). w is scratch of length K.
+func thetaGradient(piA, piB []float32, theta, beta []float64, delta float64, linked bool, grad, w []float64) {
+	wDelta := linkWeights(beta, delta, linked, w)
+	var z float64
+	for k := range beta {
+		pa, pb := float64(piA[k]), float64(piB[k])
+		prod := pa * pb
+		z += prod*w[k] + (pa-prod)*wDelta
+	}
+	// z here equals Z_ab: Σ_k π_ak(π_bk w_k + (1-π_bk) w_δ), expanded to
+	// avoid a second pass. (Σ_k π_ak = 1.)
+	if z <= 0 {
+		return
+	}
+	invZ := 1 / z
+	y0, y1 := 1.0, 0.0 // |1-i-y| for i=0,1 when y=0
+	if linked {
+		y0, y1 = 0.0, 1.0
+	}
+	for k := range beta {
+		resp := float64(piA[k]) * float64(piB[k]) * w[k] * invZ
+		s := theta[k*2] + theta[k*2+1]
+		invS := 1 / s
+		grad[k*2] += resp * (y0/theta[k*2] - invS)
+		grad[k*2+1] += resp * (y1/theta[k*2+1] - invS)
+	}
+}
+
+// LogLikelihoodPair returns log p(y_ab); exposed for the gradient-check tests
+// and the perplexity metric.
+func LogLikelihoodPair(piA, piB []float32, beta []float64, delta float64, linked bool) float64 {
+	p := EdgeProbability(piA, piB, beta, delta, linked)
+	if p < 1e-300 {
+		p = 1e-300
+	}
+	return math.Log(p)
+}

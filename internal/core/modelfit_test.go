@@ -1,0 +1,71 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+)
+
+// TestFitsAMMSBGeneratedData trains on a graph truly drawn from the a-MMSB
+// generative process and checks the fitted model approaches the held-out
+// likelihood of the TRUE generating parameters — the strongest model-fit
+// check available, since the ground truth here is the model itself.
+func TestFitsAMMSBGeneratedData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training too slow for -short")
+	}
+	cfg := gen.AMMSBConfig{N: 250, K: 4, Alpha: 0.1, Eta0: 1, Eta1: 8, Delta: 5e-3, Seed: 90}
+	sample, err := gen.AMMSB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sample.Graph
+	if g.NumEdges() < 200 {
+		t.Fatalf("generated graph too sparse: %d edges", g.NumEdges())
+	}
+	train, held, err := graph.Split(g, g.NumEdges()/10, mathx.NewRNG(91))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Perplexity of the true parameters on the held-out set (the target).
+	truth := &State{
+		N:      g.NumVertices(),
+		K:      cfg.K,
+		Pi:     make([]float32, g.NumVertices()*cfg.K),
+		PhiSum: make([]float64, g.NumVertices()),
+		Theta:  make([]float64, 2*cfg.K),
+		Beta:   append([]float64(nil), sample.Beta...),
+	}
+	for a := 0; a < g.NumVertices(); a++ {
+		row := truth.PiRow(a)
+		for k, v := range sample.Pi[a] {
+			row[k] = float32(v)
+		}
+		truth.PhiSum[a] = 1
+	}
+	truthPerp := Perplexity(truth, held, cfg.Delta, 0)
+
+	// Random init baseline and trained model.
+	mcfg := DefaultConfig(cfg.K, 92)
+	mcfg.Alpha = cfg.Alpha
+	mcfg.Delta = cfg.Delta
+	mcfg.StepA = 0.05
+	mcfg.StepB = 4096
+	s, err := NewSampler(mcfg, train, held, SamplerOptions{Threads: 0, MinibatchPairs: 128, NeighborCount: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	initPerp := Perplexity(s.State, held, mcfg.Delta, 0)
+	s.Run(2500)
+	fitPerp := Perplexity(s.State, held, mcfg.Delta, 0)
+
+	t.Logf("perplexity: truth %.3f, random init %.3f, fitted %.3f", truthPerp, initPerp, fitPerp)
+	// The fitted model must close most of the gap between random and truth.
+	if fitPerp > truthPerp+0.6*(initPerp-truthPerp) {
+		t.Fatalf("fit did not approach truth: truth %.3f, init %.3f, fitted %.3f",
+			truthPerp, initPerp, fitPerp)
+	}
+}

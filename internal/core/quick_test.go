@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+// TestUpdatePhiInvariantsQuick: for arbitrary (seeded) model states and
+// neighbor sets, the φ update must produce strictly positive, finite values
+// — the |·| reflection plus floor of Eqn (5).
+func TestUpdatePhiInvariantsQuick(t *testing.T) {
+	f := func(seed uint64, kRaw, nRaw uint8, epsRaw uint16) bool {
+		k := int(kRaw%12) + 1
+		n := int(nRaw%8) + 1
+		eps := float64(epsRaw%1000)/1000*0.5 + 1e-6
+		rng := mathx.NewRNG(seed)
+		cfg := DefaultConfig(k, seed)
+
+		simplex := func() []float32 {
+			tmp := make([]float64, k)
+			rng.Dirichlet(0.5, tmp)
+			out := make([]float32, k)
+			for i, v := range tmp {
+				out[i] = float32(v)
+			}
+			return out
+		}
+		piA := simplex()
+		phiSum := rng.Gamma(2) + 0.01
+		rows := make([][]float32, n)
+		linked := make([]bool, n)
+		weight := make([]float64, n)
+		for i := range rows {
+			rows[i] = simplex()
+			linked[i] = rng.Float64() < 0.3
+			weight[i] = rng.Float64() * 100
+		}
+		beta := make([]float64, k)
+		for i := range beta {
+			beta[i] = rng.Float64Open()
+		}
+		newPhi := make([]float64, k)
+		sc := NewPhiScratch(k)
+		UpdatePhi(&cfg, eps, piA, phiSum, rows, linked, weight, beta, rng, newPhi, sc)
+		for _, v := range newPhi {
+			if v < cfg.PhiFloor || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestThetaUpdateInvariantsQuick: θ stays strictly positive for arbitrary
+// gradients and step sizes.
+func TestThetaUpdateInvariantsQuick(t *testing.T) {
+	f := func(seed uint64, kRaw uint8, scaleRaw uint16) bool {
+		k := int(kRaw%12) + 1
+		rng := mathx.NewRNG(seed)
+		cfg := DefaultConfig(k, seed)
+		theta := make([]float64, 2*k)
+		grad := make([]float64, 2*k)
+		for i := range theta {
+			theta[i] = rng.Gamma(1) + 1e-6
+			grad[i] = (rng.Float64() - 0.5) * 20
+		}
+		ApplyThetaUpdate(&cfg, 0.01, float64(scaleRaw), grad, theta, rng)
+		for _, v := range theta {
+			if v < cfg.PhiFloor || math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEdgeProbabilityBoundsQuick: the likelihood is a true probability for
+// any simplex inputs.
+func TestEdgeProbabilityBoundsQuick(t *testing.T) {
+	f := func(seed uint64, kRaw uint8, linked bool) bool {
+		k := int(kRaw%16) + 1
+		rng := mathx.NewRNG(seed)
+		tmp := make([]float64, k)
+		mk := func() []float32 {
+			rng.Dirichlet(0.7, tmp)
+			out := make([]float32, k)
+			for i, v := range tmp {
+				out[i] = float32(v)
+			}
+			return out
+		}
+		piA, piB := mk(), mk()
+		beta := make([]float64, k)
+		for i := range beta {
+			beta[i] = rng.Float64Open()
+		}
+		delta := rng.Float64Open() * 0.2
+		p := EdgeProbability(piA, piB, beta, delta, linked)
+		return p >= 0 && p <= 1+1e-9 && !math.IsNaN(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepSizeSummability: the schedule satisfies the SGLD conditions in the
+// testable direction — ε decreasing, Σε over any window positive, and ε²
+// summing to a finite value numerically.
+func TestStepSizeSummability(t *testing.T) {
+	cfg := DefaultConfig(2, 1)
+	var sumSq float64
+	prev := math.Inf(1)
+	for tt := 0; tt < 1_000_000; tt++ {
+		e := cfg.StepSize(tt)
+		if e >= prev {
+			t.Fatalf("ε not strictly decreasing at t=%d", tt)
+		}
+		prev = e
+		sumSq += e * e
+	}
+	if math.IsInf(sumSq, 0) || sumSq > 1e3 {
+		t.Fatalf("Σε² looks divergent: %v", sumSq)
+	}
+}

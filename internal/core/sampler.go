@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mathx"
+	"repro/internal/par"
+	"repro/internal/sampling"
+)
+
+// ThetaChunk is the fixed chunk size for the θ-gradient reduction and
+// PerplexityChunk the one for held-out evaluation. Keeping them constant
+// (rather than derived from the worker count) makes the floating-point
+// summation order — and therefore the trained model — identical across
+// thread counts and across the sequential and distributed engines; the
+// distributed engine additionally aligns its rank partitions to these chunk
+// sizes so its fold order matches exactly.
+const (
+	ThetaChunk      = 64
+	PerplexityChunk = 256
+)
+
+// Sampler runs Algorithm 1 on a single node, sequentially (Threads = 1) or
+// with OpenMP-style thread parallelism over the minibatch vertices.
+type Sampler struct {
+	Cfg       Config
+	Graph     *graph.Graph
+	Held      *graph.HeldOut
+	State     *State
+	Edges     sampling.EdgeStrategy
+	Neighbors sampling.NeighborStrategy
+	Threads   int
+
+	t     int
+	batch sampling.Batch
+	ppx   *PerplexityAverager
+
+	// staging area for the φ phase: newPhi[i] is the pending row for
+	// batch.Nodes[i]; committed only after every row is computed.
+	newPhi []float64
+}
+
+// SamplerOptions configures NewSampler beyond the model Config.
+type SamplerOptions struct {
+	// MinibatchPairs is the edge minibatch size for the random-pair
+	// strategy; ignored when Stratified is true.
+	MinibatchPairs int
+	// Stratified selects stratified random node sampling (the strategy of
+	// Li et al.) instead of random pairs.
+	Stratified bool
+	// LinkProb is the probability of picking the link stratum (stratified
+	// only); 0 defaults to 0.5.
+	LinkProb float64
+	// NonLinkCount is the non-link stratum sample size (stratified only);
+	// 0 defaults to 32.
+	NonLinkCount int
+	// NeighborCount is |V_n|, the neighbor subsample size per minibatch
+	// vertex; 0 defaults to 32.
+	NeighborCount int
+	// UniformNeighbors selects the paper's Eqn (5) uniform neighbor
+	// sampling; the default is the lower-variance link+uniform strategy.
+	UniformNeighbors bool
+	// Threads is the shared-memory worker count; 0 uses GOMAXPROCS.
+	Threads int
+}
+
+// NewSampler wires a sampler for a training graph and held-out set. held may
+// be nil (no perplexity tracking; useful in micro-benchmarks).
+func NewSampler(cfg Config, g *graph.Graph, held *graph.HeldOut, opt SamplerOptions) (*Sampler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	state, err := NewState(cfg, g.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+	var excluded *graph.EdgeSet
+	if held != nil {
+		set := graph.NewEdgeSet(held.Len())
+		for _, e := range held.Pairs {
+			set.Add(e)
+		}
+		excluded = &set
+	}
+
+	if opt.NeighborCount == 0 {
+		opt.NeighborCount = 32
+	}
+	if opt.MinibatchPairs == 0 {
+		opt.MinibatchPairs = 128
+	}
+	if opt.LinkProb == 0 {
+		opt.LinkProb = 0.5
+	}
+	if opt.NonLinkCount == 0 {
+		opt.NonLinkCount = 32
+	}
+
+	var edges sampling.EdgeStrategy
+	if opt.Stratified {
+		edges, err = sampling.NewStratifiedNode(g, excluded, opt.LinkProb, opt.NonLinkCount)
+	} else {
+		edges, err = sampling.NewRandomPair(g, excluded, opt.MinibatchPairs)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: edge strategy: %w", err)
+	}
+	view := sampling.NewGraphView(g, excluded)
+	var neigh sampling.NeighborStrategy
+	if opt.UniformNeighbors {
+		neigh, err = sampling.NewUniformNeighbors(view, opt.NeighborCount)
+	} else {
+		neigh, err = sampling.NewLinkPlusUniform(view, opt.NeighborCount)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: neighbor strategy: %w", err)
+	}
+
+	s := &Sampler{
+		Cfg:       cfg,
+		Graph:     g,
+		Held:      held,
+		State:     state,
+		Edges:     edges,
+		Neighbors: neigh,
+		Threads:   opt.Threads,
+	}
+	if held != nil {
+		s.ppx = NewPerplexityAverager(held, cfg.Delta)
+	}
+	return s, nil
+}
+
+// Iteration returns the number of completed iterations.
+func (s *Sampler) Iteration() int { return s.t }
+
+// Step executes one iteration of Algorithm 1: sample E_n; update φ and π for
+// every vertex in the minibatch; update θ and β from the minibatch pairs.
+func (s *Sampler) Step() {
+	t := s.t
+	eps := s.Cfg.StepSize(t)
+
+	// Stage 1: minibatch selection (master work in the distributed engine).
+	mbRNG := mathx.NewStream(s.Cfg.Seed, StreamMinibatch(t))
+	s.Edges.Sample(mbRNG, &s.batch)
+
+	// Stage 2: update_phi — data parallel over minibatch vertices, reading
+	// the pre-update π/Σφ state only.
+	nodes := s.batch.Nodes
+	k := s.Cfg.K
+	if cap(s.newPhi) < len(nodes)*k {
+		s.newPhi = make([]float64, len(nodes)*k)
+	}
+	s.newPhi = s.newPhi[:len(nodes)*k]
+	par.For(len(nodes), s.Threads, func(lo, hi int) {
+		sc := NewPhiScratch(k)
+		var ns sampling.NeighborSample
+		var rows [][]float32
+		for i := lo; i < hi; i++ {
+			a := nodes[i]
+			rng := mathx.NewStream(s.Cfg.Seed, StreamVertex(t, int(a)))
+			s.Neighbors.Sample(a, rng, &ns)
+			rows = rows[:0]
+			for _, b := range ns.Nodes {
+				rows = append(rows, s.State.PiRow(int(b)))
+			}
+			UpdatePhi(&s.Cfg, eps, s.State.PiRow(int(a)), s.State.PhiSum[int(a)],
+				rows, ns.Linked, ns.Scale, s.State.Beta, rng,
+				s.newPhi[i*k:(i+1)*k], sc)
+		}
+	})
+
+	// Stage 3: update_pi — commit the staged φ rows (the barrier between
+	// stages 2 and 3 is implicit in par.For's completion).
+	par.For(len(nodes), s.Threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s.State.SetPhiRow(int(nodes[i]), s.newPhi[i*k:(i+1)*k])
+		}
+	})
+
+	// Stage 4: update_beta/theta — chunked gradient accumulation over the
+	// minibatch pairs, then one global SGRLD step at the "master".
+	grad := par.ChunkedReduceVec(len(s.batch.Pairs), ThetaChunk, s.Threads, 2*k,
+		func(lo, hi int, acc []float64) {
+			sc := NewThetaScratch(k)
+			for i := lo; i < hi; i++ {
+				e := s.batch.Pairs[i]
+				AccumulateThetaGrad(s.State.PiRow(int(e.A)), s.State.PiRow(int(e.B)),
+					s.State.Theta, s.State.Beta, s.Cfg.Delta, s.batch.Linked[i], acc, sc)
+			}
+		})
+	thetaRNG := mathx.NewStream(s.Cfg.Seed, StreamTheta(t))
+	ApplyThetaUpdate(&s.Cfg, eps, s.batch.Scale, grad, s.State.Theta, thetaRNG)
+	s.State.RefreshBeta()
+
+	s.t++
+}
+
+// Run executes n iterations.
+func (s *Sampler) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// EvalPerplexity folds the current state into the running posterior average
+// and returns the averaged perplexity (Eqn 7). It panics if the sampler was
+// built without a held-out set.
+func (s *Sampler) EvalPerplexity() float64 {
+	if s.ppx == nil {
+		panic("core: sampler has no held-out set")
+	}
+	return s.ppx.Update(s.State, s.Threads)
+}
+
+// LastBatch exposes the most recent minibatch; used by diagnostics and the
+// distributed engine's equivalence tests.
+func (s *Sampler) LastBatch() *sampling.Batch { return &s.batch }

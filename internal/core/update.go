@@ -1,0 +1,106 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// PhiScratch holds the per-worker buffers for UpdatePhi so the inner loops
+// allocate nothing. One instance per goroutine.
+type PhiScratch struct {
+	grad []float64
+	q    []float64
+	w    []float64
+	phi  []float64
+}
+
+// NewPhiScratch allocates scratch for dimension k.
+func NewPhiScratch(k int) *PhiScratch {
+	return &PhiScratch{
+		grad: make([]float64, k),
+		q:    make([]float64, k),
+		w:    make([]float64, k),
+		phi:  make([]float64, k),
+	}
+}
+
+// UpdatePhi computes the SGRLD update of Eqn (5) for one vertex a and writes
+// the new φ_a into newPhi (length K). The neighbor set is given as parallel
+// slices: piB[j] is neighbor j's π row, linked[j] the observation y_ab, and
+// weight[j] the estimator weight (Σ weights replaces the paper's N/|V_n|
+// factor). rng must be the vertex's deterministic stream for this iteration.
+//
+// The caller applies the result with State.SetPhiRow after all vertices of
+// the minibatch have been computed — the same read/write phase separation
+// the paper enforces with an MPI barrier.
+func UpdatePhi(cfg *Config, eps float64, piA []float32, phiSumA float64,
+	piB [][]float32, linked []bool, weight []float64,
+	beta []float64, rng *mathx.RNG, newPhi []float64, sc *PhiScratch) {
+
+	k := cfg.K
+	for i := 0; i < k; i++ {
+		sc.grad[i] = 0
+	}
+	for j, rowB := range piB {
+		phiGradient(piA, rowB, beta, cfg.Delta, linked[j], weight[j], sc.grad, sc.q, sc.w)
+	}
+	invPhiSum := 1 / phiSumA
+	halfEps := eps / 2
+	noiseStd := math.Sqrt(eps)
+	for i := 0; i < k; i++ {
+		phi := float64(piA[i]) * phiSumA
+		grad := sc.grad[i] * invPhiSum
+		v := phi + halfEps*(cfg.Alpha-phi+grad) + math.Sqrt(phi)*noiseStd*rng.Norm()
+		if v < 0 {
+			v = -v // the reflection |·| of Eqn (5)
+		}
+		if v < cfg.PhiFloor {
+			v = cfg.PhiFloor
+		}
+		newPhi[i] = v
+	}
+}
+
+// ThetaScratch holds per-worker buffers for the global update.
+type ThetaScratch struct {
+	w []float64
+}
+
+// NewThetaScratch allocates scratch for dimension k.
+func NewThetaScratch(k int) *ThetaScratch {
+	return &ThetaScratch{w: make([]float64, k)}
+}
+
+// AccumulateThetaGrad adds the pair (a, b)'s contribution (Eqn 4) to grad,
+// which has the 2K layout of State.Theta.
+func AccumulateThetaGrad(piA, piB []float32, theta, beta []float64, delta float64, linked bool, grad []float64, sc *ThetaScratch) {
+	thetaGradient(piA, piB, theta, beta, delta, linked, grad, sc.w)
+}
+
+// ApplyThetaUpdate performs the SGRLD step of Eqn (3) on theta in place:
+// grad is the minibatch gradient sum, scale the h(E_n) factor, rng the
+// iteration's deterministic θ stream. Beta is NOT refreshed; callers do that
+// once the new θ is final.
+func ApplyThetaUpdate(cfg *Config, eps, scale float64, grad, theta []float64, rng *mathx.RNG) {
+	halfEps := eps / 2
+	noiseStd := math.Sqrt(eps)
+	for k := 0; k < cfg.K; k++ {
+		for i := 0; i < 2; i++ {
+			idx := k*2 + i
+			eta := cfg.Eta0
+			if i == 1 {
+				eta = cfg.Eta1
+			}
+			t := theta[idx]
+			v := t + halfEps*(eta-t+scale*grad[idx]) + math.Sqrt(t)*noiseStd*rng.Norm()
+			if v < 0 {
+				v = -v
+			}
+			if v < cfg.PhiFloor {
+				v = cfg.PhiFloor
+			}
+			theta[idx] = v
+		}
+	}
+}

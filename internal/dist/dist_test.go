@@ -1,0 +1,407 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+)
+
+func fixture(t *testing.T, n, k, edges int, seed uint64) (*graph.Graph, *graph.HeldOut) {
+	t.Helper()
+	g, _, err := gen.Planted(gen.DefaultPlanted(n, k, edges, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, held, err := graph.Split(g, g.NumEdges()/10, mathx.NewRNG(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, held
+}
+
+// TestDistributedMatchesSequential is the central correctness property of
+// the engine (DESIGN.md invariant 4): with the same seeds, the distributed
+// run must reproduce the single-node sampler bit for bit — same π, same θ —
+// because every random draw comes from the same (iteration, vertex) stream
+// and every floating-point fold uses the same chunk-aligned order.
+func TestDistributedMatchesSequential(t *testing.T) {
+	train, held := fixture(t, 240, 5, 1200, 51)
+	const iters = 12
+	cfg := core.DefaultConfig(5, 1234)
+
+	seq, err := core.NewSampler(cfg, train, held, core.SamplerOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Run(iters)
+
+	for _, ranks := range []int{1, 2, 3, 5} {
+		res, err := Run(cfg, train, held, Options{
+			Ranks: ranks, Threads: 2, Iterations: iters,
+		})
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if d := mathx.MaxAbsDiff32(seq.State.Pi, res.State.Pi); d != 0 {
+			t.Fatalf("ranks=%d: π differs from sequential by %v; want bit-exact", ranks, d)
+		}
+		if d := mathx.MaxAbsDiff(seq.State.Theta, res.State.Theta); d != 0 {
+			t.Fatalf("ranks=%d: θ differs from sequential by %v; want bit-exact", ranks, d)
+		}
+		if d := mathx.MaxAbsDiff(seq.State.PhiSum, res.State.PhiSum); d != 0 {
+			t.Fatalf("ranks=%d: Σφ differs from sequential by %v", ranks, d)
+		}
+	}
+}
+
+// TestPipelinedMatchesSerial verifies that double buffering is a pure
+// performance optimisation: pipelined and non-pipelined runs produce
+// identical chains.
+func TestPipelinedMatchesSerial(t *testing.T) {
+	train, held := fixture(t, 200, 4, 1000, 52)
+	cfg := core.DefaultConfig(4, 77)
+	const iters = 10
+	plain, err := Run(cfg, train, held, Options{Ranks: 3, Iterations: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := Run(cfg, train, held, Options{Ranks: 3, Iterations: iters, Pipeline: true, PhiChunkNodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mathx.MaxAbsDiff32(plain.State.Pi, piped.State.Pi); d != 0 {
+		t.Fatalf("pipelining changed π by %v; must be identical", d)
+	}
+	if d := mathx.MaxAbsDiff(plain.State.Theta, piped.State.Theta); d != 0 {
+		t.Fatalf("pipelining changed θ by %v; must be identical", d)
+	}
+}
+
+// TestDistributedPerplexityMatchesSequential checks the distributed Eqn (7)
+// evaluation against the single-node averager, including the running
+// average across multiple evaluations.
+func TestDistributedPerplexityMatchesSequential(t *testing.T) {
+	train, held := fixture(t, 220, 4, 1100, 53)
+	cfg := core.DefaultConfig(4, 99)
+	const iters, every = 9, 3
+
+	seq, err := core.NewSampler(cfg, train, held, core.SamplerOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqVals []float64
+	for i := 0; i < iters; i++ {
+		seq.Step()
+		if (i+1)%every == 0 {
+			seqVals = append(seqVals, seq.EvalPerplexity())
+		}
+	}
+
+	res, err := Run(cfg, train, held, Options{Ranks: 4, Iterations: iters, EvalEvery: every})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Perplexity) != len(seqVals) {
+		t.Fatalf("got %d eval points, want %d", len(res.Perplexity), len(seqVals))
+	}
+	for i, p := range res.Perplexity {
+		if p.Value != seqVals[i] {
+			t.Fatalf("eval %d: distributed %v != sequential %v", i, p.Value, seqVals[i])
+		}
+		if p.Iter != (i+1)*every {
+			t.Fatalf("eval %d at iteration %d, want %d", i, p.Iter, (i+1)*every)
+		}
+	}
+}
+
+func TestStratifiedDistributedMatchesSequential(t *testing.T) {
+	train, held := fixture(t, 200, 4, 1000, 54)
+	cfg := core.DefaultConfig(4, 31)
+	const iters = 8
+	seq, err := core.NewSampler(cfg, train, held, core.SamplerOptions{
+		Stratified: true, LinkProb: 0.4, NonLinkCount: 12, Threads: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Run(iters)
+	res, err := Run(cfg, train, held, Options{
+		Ranks: 3, Iterations: iters, Stratified: true, LinkProb: 0.4, NonLinkCount: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mathx.MaxAbsDiff32(seq.State.Pi, res.State.Pi); d != 0 {
+		t.Fatalf("stratified: π differs by %v", d)
+	}
+}
+
+func TestUniformNeighborsDistributedMatchesSequential(t *testing.T) {
+	train, held := fixture(t, 200, 4, 1000, 55)
+	cfg := core.DefaultConfig(4, 41)
+	const iters = 8
+	seq, err := core.NewSampler(cfg, train, held, core.SamplerOptions{
+		UniformNeighbors: true, NeighborCount: 16, Threads: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Run(iters)
+	res, err := Run(cfg, train, held, Options{
+		Ranks: 4, Iterations: iters, UniformNeighbors: true, NeighborCount: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mathx.MaxAbsDiff32(seq.State.Pi, res.State.Pi); d != 0 {
+		t.Fatalf("uniform neighbors: π differs by %v", d)
+	}
+}
+
+func TestRemoteFractionScalesWithRanks(t *testing.T) {
+	train, held := fixture(t, 400, 4, 2000, 56)
+	cfg := core.DefaultConfig(4, 5)
+	for _, ranks := range []int{2, 4} {
+		res, err := Run(cfg, train, held, Options{Ranks: ranks, Iterations: 10})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(ranks-1) / float64(ranks)
+		if math.Abs(res.RemoteFrac-want) > 0.12 {
+			t.Fatalf("ranks=%d: remote fraction %.3f, want ≈%.3f", ranks, res.RemoteFrac, want)
+		}
+	}
+}
+
+func TestResultCarriesPhases(t *testing.T) {
+	train, held := fixture(t, 150, 4, 700, 57)
+	cfg := core.DefaultConfig(4, 6)
+	res, err := Run(cfg, train, held, Options{Ranks: 2, Iterations: 5, EvalEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []string{PhaseDeployMinibatch, PhaseUpdatePhi, PhaseUpdatePi, PhaseUpdateBetaTheta, PhasePerplexity, PhaseTotal} {
+		if res.Phases.Total(phase) == 0 {
+			t.Errorf("phase %q has no recorded time", phase)
+		}
+	}
+	if len(res.RankPhases) != 2 {
+		t.Fatalf("rank phases = %d, want 2", len(res.RankPhases))
+	}
+	if res.DKV.RemoteKeys == 0 {
+		t.Error("no remote DKV traffic recorded with 2 ranks")
+	}
+	if err := res.State.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	train, held := fixture(t, 100, 4, 500, 58)
+	cfg := core.DefaultConfig(4, 7)
+	if _, err := Run(cfg, train, held, Options{Ranks: 2}); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	if _, err := Run(cfg, train, nil, Options{Ranks: 2, Iterations: 1, EvalEvery: 1}); err == nil {
+		t.Fatal("EvalEvery without held-out accepted")
+	}
+	bad := cfg
+	bad.K = 0
+	if _, err := Run(bad, train, held, Options{Ranks: 2, Iterations: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestSplitHelpers(t *testing.T) {
+	// splitEven covers [0, n) exactly once across parts.
+	for _, n := range []int{0, 1, 7, 100} {
+		for _, parts := range []int{1, 3, 8} {
+			covered := 0
+			prevHi := 0
+			for r := 0; r < parts; r++ {
+				lo, hi := splitEven(n, parts, r)
+				if lo != prevHi {
+					t.Fatalf("splitEven(%d,%d) rank %d: lo %d != prev hi %d", n, parts, r, lo, prevHi)
+				}
+				covered += hi - lo
+				prevHi = hi
+			}
+			if covered != n || prevHi != n {
+				t.Fatalf("splitEven(%d,%d) covered %d", n, parts, covered)
+			}
+		}
+	}
+	// splitChunkAligned boundaries are multiples of chunk and cover [0, n).
+	for _, n := range []int{0, 63, 64, 65, 1000} {
+		prevHi := 0
+		for r := 0; r < 4; r++ {
+			lo, hi := splitChunkAligned(n, 64, 4, r)
+			if lo != prevHi {
+				t.Fatalf("chunk split gap at rank %d", r)
+			}
+			if lo%64 != 0 && lo != n {
+				t.Fatalf("lo %d not chunk aligned", lo)
+			}
+			prevHi = hi
+		}
+		if prevHi != n {
+			t.Fatalf("chunk split covered %d of %d", prevHi, n)
+		}
+	}
+}
+
+func TestDeploymentRoundTrip(t *testing.T) {
+	d := &deployment{
+		iter:    42,
+		nodes:   []int32{5, 9},
+		adj:     [][]int32{{1, 2, 3}, {}},
+		pairs:   []graph.Edge{{A: 1, B: 2}, {A: 3, B: 9}},
+		link:    []bool{true, false},
+		scale:   123.456,
+		chunkLo: 7,
+	}
+	got, err := decodeDeployment(encodeDeployment(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.iter != 42 || got.scale != 123.456 || got.chunkLo != 7 {
+		t.Fatalf("header fields wrong: %+v", got)
+	}
+	if len(got.nodes) != 2 || got.nodes[1] != 9 {
+		t.Fatalf("nodes wrong: %v", got.nodes)
+	}
+	if len(got.adj[0]) != 3 || got.adj[0][2] != 3 || len(got.adj[1]) != 0 {
+		t.Fatalf("adjacency wrong: %v", got.adj)
+	}
+	if got.pairs[1] != (graph.Edge{A: 3, B: 9}) || got.link[0] != true || got.link[1] != false {
+		t.Fatalf("pairs wrong: %v %v", got.pairs, got.link)
+	}
+}
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	const k = 7
+	phi := []float64{0.5, 1.25, 3, 0.125, 2, 0.75, 1}
+	buf := make([]byte, rowBytes(k))
+	encodeRow(buf, phi)
+	pi := make([]float32, k)
+	sum := decodeRow(buf, pi)
+	var wantSum float64
+	for _, v := range phi {
+		wantSum += v
+	}
+	if sum != wantSum {
+		t.Fatalf("Σφ = %v, want %v", sum, wantSum)
+	}
+	for i, v := range phi {
+		want := float32(v / wantSum)
+		if pi[i] != want {
+			t.Fatalf("π[%d] = %v, want %v", i, pi[i], want)
+		}
+	}
+}
+
+func TestWorkerViewMatchesGraphView(t *testing.T) {
+	g, _, err := gen.Planted(gen.DefaultPlanted(100, 4, 400, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gv := newTestGraphViewPair(t, g)
+	// Deploy all vertices.
+	d := &deployment{nodes: make([]int32, 100), adj: make([][]int32, 100)}
+	for a := 0; a < 100; a++ {
+		d.nodes[a] = int32(a)
+		d.adj[a] = g.Neighbors(a)
+	}
+	wv := newWorkerView(100, nil, nil)
+	wv.load(d)
+	for a := int32(0); a < 100; a++ {
+		if wv.Degree(a) != gv.Degree(a) {
+			t.Fatalf("degree(%d) mismatch", a)
+		}
+		for b := int32(0); b < 100; b++ {
+			if wv.HasEdge(a, b) != gv.HasEdge(a, b) {
+				t.Fatalf("HasEdge(%d,%d) mismatch", a, b)
+			}
+		}
+	}
+}
+
+func newTestGraphViewPair(t *testing.T, g *graph.Graph) interface {
+	Degree(int32) int
+	HasEdge(a, b int32) bool
+} {
+	t.Helper()
+	return struct {
+		*graphViewShim
+	}{&graphViewShim{g}}
+}
+
+type graphViewShim struct{ g *graph.Graph }
+
+func (s *graphViewShim) Degree(a int32) int      { return s.g.Degree(int(a)) }
+func (s *graphViewShim) HasEdge(a, b int32) bool { return s.g.HasEdge(int(a), int(b)) }
+
+func TestDeploymentRoundTripQuick(t *testing.T) {
+	rng := mathx.NewRNG(123)
+	for trial := 0; trial < 200; trial++ {
+		nNodes := rng.Intn(20)
+		d := &deployment{
+			iter:    rng.Intn(1 << 20),
+			nodes:   make([]int32, nNodes),
+			adj:     make([][]int32, nNodes),
+			scale:   rng.Float64() * 1e6,
+			chunkLo: rng.Intn(1000),
+		}
+		for i := 0; i < nNodes; i++ {
+			d.nodes[i] = int32(rng.Intn(1 << 20))
+			adj := make([]int32, rng.Intn(8))
+			for j := range adj {
+				adj[j] = int32(rng.Intn(1 << 20))
+			}
+			d.adj[i] = adj
+		}
+		nPairs := rng.Intn(30)
+		d.pairs = make([]graph.Edge, nPairs)
+		d.link = make([]bool, nPairs)
+		for i := 0; i < nPairs; i++ {
+			d.pairs[i] = graph.Edge{A: int32(rng.Intn(1 << 20)), B: int32(rng.Intn(1 << 20))}
+			d.link[i] = rng.Float64() < 0.5
+		}
+
+		got, err := decodeDeployment(encodeDeployment(d))
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.iter != d.iter || got.scale != d.scale || got.chunkLo != d.chunkLo {
+			t.Fatalf("trial %d: header mismatch", trial)
+		}
+		if len(got.nodes) != nNodes || len(got.pairs) != nPairs {
+			t.Fatalf("trial %d: length mismatch", trial)
+		}
+		for i := range d.nodes {
+			if got.nodes[i] != d.nodes[i] || len(got.adj[i]) != len(d.adj[i]) {
+				t.Fatalf("trial %d: node %d mismatch", trial, i)
+			}
+			for j := range d.adj[i] {
+				if got.adj[i][j] != d.adj[i][j] {
+					t.Fatalf("trial %d: adjacency corrupted", trial)
+				}
+			}
+		}
+		for i := range d.pairs {
+			if got.pairs[i] != d.pairs[i] || got.link[i] != d.link[i] {
+				t.Fatalf("trial %d: pair %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestDecodeDeploymentRejectsShortBuffer(t *testing.T) {
+	if _, err := decodeDeployment([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}

@@ -1,0 +1,804 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dkv"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+	"repro/internal/par"
+	"repro/internal/sampling"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Phase names used in traces; the Table III harness keys off these.
+const (
+	PhaseDrawMinibatch   = "draw_minibatch"
+	PhaseDeployMinibatch = "deploy_minibatch"
+	PhaseUpdatePhi       = "update_phi"
+	PhaseLoadPi          = "update_phi.load_pi"
+	PhaseComputePhi      = "update_phi.compute"
+	PhaseUpdatePi        = "update_pi"
+	PhaseUpdateBetaTheta = "update_beta_theta"
+	PhasePerplexity      = "perplexity"
+	PhaseTotal           = "total"
+)
+
+// Options configures a distributed run.
+type Options struct {
+	Ranks   int // simulated cluster size (master is rank 0 and also computes)
+	Threads int // OpenMP-style threads per rank; 0 = GOMAXPROCS
+
+	// Pipeline enables both pipelining schemes of Section III-D: the master
+	// samples iteration t+1's minibatch while computing t, and each rank
+	// double-buffers π loading against the update_phi compute.
+	Pipeline bool
+	// PhiChunkNodes is the pipeline chunk size in minibatch vertices;
+	// 0 defaults to 16.
+	PhiChunkNodes int
+
+	// Minibatch and neighbor strategy parameters, mirroring
+	// core.SamplerOptions.
+	MinibatchPairs   int
+	Stratified       bool
+	LinkProb         float64
+	NonLinkCount     int
+	NeighborCount    int
+	UniformNeighbors bool
+
+	// EvalEvery > 0 evaluates the averaged perplexity every that many
+	// iterations (requires a held-out set).
+	EvalEvery  int
+	Iterations int
+}
+
+func (o *Options) setDefaults() {
+	if o.Ranks == 0 {
+		o.Ranks = 2
+	}
+	if o.PhiChunkNodes == 0 {
+		o.PhiChunkNodes = 16
+	}
+	if o.MinibatchPairs == 0 {
+		o.MinibatchPairs = 128
+	}
+	if o.LinkProb == 0 {
+		o.LinkProb = 0.5
+	}
+	if o.NonLinkCount == 0 {
+		o.NonLinkCount = 32
+	}
+	if o.NeighborCount == 0 {
+		o.NeighborCount = 32
+	}
+}
+
+// PerpPoint is one perplexity evaluation during a run.
+type PerpPoint struct {
+	Iter    int
+	Value   float64
+	Elapsed time.Duration
+}
+
+// DKVTotals aggregates the DKV traffic of all ranks.
+type DKVTotals struct {
+	LocalKeys    int64
+	RemoteKeys   int64
+	Requests     int64
+	BytesRead    int64
+	BytesWritten int64
+}
+
+// Result is what a distributed run returns.
+type Result struct {
+	State      *core.State // fully assembled π/Σφ/θ/β
+	Perplexity []PerpPoint
+	Phases     *trace.Phases // per-phase totals, max across ranks
+	RankPhases []map[string]time.Duration
+	DKV        DKVTotals
+	Iterations int
+	Elapsed    time.Duration
+	RemoteFrac float64 // fraction of DKV keys served remotely
+}
+
+// node is one rank's engine instance.
+type node struct {
+	cfg  core.Config
+	opt  Options
+	comm *cluster.Comm
+	rank int
+	size int
+
+	store *dkv.Store
+	n, k  int
+
+	// master-only
+	g     *graph.Graph
+	edges sampling.EdgeStrategy
+	// prefetch channel for pipelined minibatch sampling
+	prefetch chan *sampling.Batch
+
+	// all ranks
+	held      *graph.HeldOut
+	heldSet   *graph.EdgeSet
+	heldTouch []int32
+	view      *workerView
+	neigh     sampling.NeighborStrategy
+	theta     []float64
+	beta      []float64
+	phases    *trace.Phases
+
+	// held-out shard (pair indices, PerplexityChunk-aligned)
+	hLo, hHi int
+	avg      []float64
+	ppxT     int
+
+	perp       []PerpPoint
+	start      time.Time
+	finalState *core.State // master only, set at the end
+}
+
+// tag for the θ broadcast payload is unnecessary — collectives sequence
+// themselves; this file only defines helpers beyond protocol.go.
+
+// splitEven returns the [lo, hi) slice bounds of part r when splitting n
+// items into `parts` contiguous groups as evenly as possible.
+func splitEven(n, parts, r int) (int, int) {
+	base := n / parts
+	rem := n % parts
+	lo := r*base + min(r, rem)
+	hi := lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// splitChunkAligned partitions n items into `parts` contiguous ranges whose
+// boundaries are multiples of chunk, so the distributed fold order matches
+// the sequential ChunkedReduce order.
+func splitChunkAligned(n, chunk, parts, r int) (int, int) {
+	nChunks := (n + chunk - 1) / chunk
+	cLo, cHi := splitEven(nChunks, parts, r)
+	lo := cLo * chunk
+	hi := cHi * chunk
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// Run executes a distributed training run over an in-process fabric with
+// opt.Ranks simulated cluster nodes. The graph lives only at the master
+// (rank 0), matching the paper's data distribution; the held-out set is
+// replicated (it is small and every rank needs it for exclusion checks).
+func Run(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opt.setDefaults()
+	if opt.Iterations < 1 {
+		return nil, fmt.Errorf("dist: Iterations = %d, need at least 1", opt.Iterations)
+	}
+	if opt.EvalEvery > 0 && held == nil {
+		return nil, fmt.Errorf("dist: EvalEvery set but no held-out set given")
+	}
+	fabric, err := transport.NewFabric(opt.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	defer fabric.Close()
+	return RunOnTransport(cfg, g, held, opt, fabric.Endpoints())
+}
+
+// RunOnTransport is Run over caller-provided endpoints — one per rank, all
+// in this process. It exists so the engine can be exercised over the TCP
+// mesh (or any other transport.Conn implementation) with the exact same
+// protocol; cmd/ocd-cluster and the TCP fidelity tests use it.
+func RunOnTransport(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Options, conns []transport.Conn) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opt.setDefaults()
+	opt.Ranks = len(conns)
+	if opt.Iterations < 1 {
+		return nil, fmt.Errorf("dist: Iterations = %d, need at least 1", opt.Iterations)
+	}
+	if opt.EvalEvery > 0 && held == nil {
+		return nil, fmt.Errorf("dist: EvalEvery set but no held-out set given")
+	}
+
+	nodes := make([]*node, opt.Ranks)
+	for r := 0; r < opt.Ranks; r++ {
+		nd, err := newNode(cfg, opt, cluster.New(conns[r]), g, held)
+		if err != nil {
+			return nil, err
+		}
+		nodes[r] = nd
+	}
+
+	errs := make([]error, opt.Ranks)
+	done := make(chan int, opt.Ranks)
+	for r := 0; r < opt.Ranks; r++ {
+		go func(r int) {
+			errs[r] = nodes[r].run()
+			done <- r
+		}(r)
+	}
+	for i := 0; i < opt.Ranks; i++ {
+		<-done
+	}
+	for r, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("dist: rank %d: %w", r, err)
+		}
+	}
+	return assembleResult(nodes), nil
+}
+
+func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, held *graph.HeldOut) (*node, error) {
+	nd := &node{
+		cfg:    cfg,
+		opt:    opt,
+		comm:   comm,
+		rank:   comm.Rank(),
+		size:   comm.Size(),
+		n:      g.NumVertices(),
+		k:      cfg.K,
+		held:   held,
+		phases: trace.NewPhases(),
+		theta:  core.InitTheta(cfg),
+		beta:   make([]float64, cfg.K),
+	}
+	for k := 0; k < cfg.K; k++ {
+		nd.beta[k] = nd.theta[k*2+1] / (nd.theta[k*2] + nd.theta[k*2+1])
+	}
+
+	if held != nil {
+		set := graph.NewEdgeSet(held.Len())
+		touch := make([]int32, nd.n)
+		for _, e := range held.Pairs {
+			set.Add(e)
+			touch[e.A]++
+			touch[e.B]++
+		}
+		nd.heldSet = &set
+		nd.heldTouch = touch
+		nd.hLo, nd.hHi = splitChunkAligned(held.Len(), core.PerplexityChunk, nd.size, nd.rank)
+		nd.avg = make([]float64, nd.hHi-nd.hLo)
+	}
+
+	nd.view = newWorkerView(nd.n, nd.heldSet, nd.heldTouch)
+	var err error
+	if opt.UniformNeighbors {
+		nd.neigh, err = sampling.NewUniformNeighbors(nd.view, opt.NeighborCount)
+	} else {
+		nd.neigh, err = sampling.NewLinkPlusUniform(nd.view, opt.NeighborCount)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if nd.rank == 0 {
+		nd.g = g
+		if opt.Stratified {
+			nd.edges, err = sampling.NewStratifiedNode(g, nd.heldSet, opt.LinkProb, opt.NonLinkCount)
+		} else {
+			nd.edges, err = sampling.NewRandomPair(g, nd.heldSet, opt.MinibatchPairs)
+		}
+		if err != nil {
+			return nil, err
+		}
+		nd.prefetch = make(chan *sampling.Batch, 1)
+	}
+
+	nd.store, err = dkv.New(comm.Conn(), nd.n, rowBytes(cfg.K))
+	if err != nil {
+		return nil, err
+	}
+	return nd, nil
+}
+
+// run is one rank's SPMD main.
+func (nd *node) run() error {
+	defer nd.store.Close()
+	nd.start = time.Now()
+
+	// Populate the owned π shard from the shared deterministic init.
+	lo, hi := nd.store.OwnedRange()
+	row := make([]byte, rowBytes(nd.k))
+	pi := make([]float32, nd.k)
+	for a := lo; a < hi; a++ {
+		phiSum := core.InitPiRow(nd.cfg, a, pi)
+		encodeRowPi(row, pi, phiSum)
+		nd.store.WriteLocal(a, row)
+	}
+	if err := nd.comm.Barrier(); err != nil {
+		return err
+	}
+
+	totalTimer := nd.phases.Timer(PhaseTotal)
+	for t := 0; t < nd.opt.Iterations; t++ {
+		if err := nd.iterate(t); err != nil {
+			return fmt.Errorf("iteration %d: %w", t, err)
+		}
+		if nd.opt.EvalEvery > 0 && (t+1)%nd.opt.EvalEvery == 0 {
+			v, err := nd.evalPerplexity()
+			if err != nil {
+				return fmt.Errorf("perplexity at %d: %w", t, err)
+			}
+			nd.perp = append(nd.perp, PerpPoint{Iter: t + 1, Value: v, Elapsed: time.Since(nd.start)})
+		}
+	}
+	totalTimer()
+
+	// Assemble the full state at the master while all stores still serve.
+	if nd.rank == 0 {
+		st, err := nd.collectState()
+		if err != nil {
+			return err
+		}
+		nd.finalState = st
+	}
+	return nd.comm.Barrier()
+}
+
+// nextBatch returns iteration t's minibatch at the master, via the prefetch
+// pipeline when enabled.
+func (nd *node) nextBatch(t int) *sampling.Batch {
+	if nd.opt.Pipeline && t > 0 {
+		return <-nd.prefetch // sampled during the previous iteration
+	}
+	stop := nd.phases.Timer(PhaseDrawMinibatch)
+	batch := &sampling.Batch{}
+	nd.edges.Sample(mathx.NewStream(nd.cfg.Seed, core.StreamMinibatch(t)), batch)
+	stop()
+	return batch
+}
+
+// startPrefetch samples iteration t's minibatch concurrently with the
+// current iteration's compute (the master-side pipeline of Section III-D).
+func (nd *node) startPrefetch(t int) {
+	go func() {
+		stop := nd.phases.Timer(PhaseDrawMinibatch)
+		batch := &sampling.Batch{}
+		nd.edges.Sample(mathx.NewStream(nd.cfg.Seed, core.StreamMinibatch(t)), batch)
+		stop()
+		nd.prefetch <- batch
+	}()
+}
+
+func (nd *node) iterate(t int) error {
+	eps := nd.cfg.StepSize(t)
+
+	// Stage 1: minibatch deployment.
+	stopDeploy := nd.phases.Timer(PhaseDeployMinibatch)
+	var mine []byte
+	var err error
+	if nd.rank == 0 {
+		batch := nd.nextBatch(t)
+		parts := nd.buildDeployments(t, batch)
+		if nd.opt.Pipeline && t+1 < nd.opt.Iterations {
+			nd.startPrefetch(t + 1)
+		}
+		mine, err = nd.comm.Scatter(0, parts)
+	} else {
+		mine, err = nd.comm.Scatter(0, nil)
+	}
+	if err != nil {
+		return err
+	}
+	dep, err := decodeDeployment(mine)
+	if err != nil {
+		return err
+	}
+	nd.view.load(dep)
+	stopDeploy()
+
+	// Stage 2: update_phi (reads old π only).
+	stopPhi := nd.phases.Timer(PhaseUpdatePhi)
+	newPhi, err := nd.updatePhi(t, eps, dep)
+	if err != nil {
+		return err
+	}
+	stopPhi()
+	if err := nd.comm.Barrier(); err != nil {
+		return err
+	}
+
+	// Stage 3: update_pi — write the new rows through the DKV store.
+	stopPi := nd.phases.Timer(PhaseUpdatePi)
+	if err := nd.writeRows(dep.nodes, newPhi); err != nil {
+		return err
+	}
+	stopPi()
+	if err := nd.comm.Barrier(); err != nil {
+		return err
+	}
+
+	// Stage 4: update_beta_theta.
+	stopTheta := nd.phases.Timer(PhaseUpdateBetaTheta)
+	err = nd.updateBetaTheta(t, eps, dep)
+	stopTheta()
+	return err
+}
+
+// buildDeployments partitions the batch across ranks: vertices split evenly
+// (each with its adjacency from the master's graph), pairs split on
+// ThetaChunk boundaries so the gradient fold order matches the sequential
+// engine.
+func (nd *node) buildDeployments(t int, batch *sampling.Batch) [][]byte {
+	parts := make([][]byte, nd.size)
+	for r := 0; r < nd.size; r++ {
+		nLo, nHi := splitEven(len(batch.Nodes), nd.size, r)
+		pLo, pHi := splitChunkAligned(len(batch.Pairs), core.ThetaChunk, nd.size, r)
+		d := &deployment{
+			iter:    t,
+			nodes:   batch.Nodes[nLo:nHi],
+			adj:     make([][]int32, nHi-nLo),
+			pairs:   batch.Pairs[pLo:pHi],
+			link:    batch.Linked[pLo:pHi],
+			scale:   batch.Scale,
+			chunkLo: pLo / core.ThetaChunk,
+		}
+		for i, a := range d.nodes {
+			d.adj[i] = nd.g.Neighbors(int(a))
+		}
+		parts[r] = encodeDeployment(d)
+	}
+	return parts
+}
+
+// updatePhi runs the dominant stage: for each owned minibatch vertex, sample
+// its neighbor set, load the π rows from the DKV store, and compute the new
+// φ row. Chunks of vertices are either processed serially (load, compute,
+// load, compute...) or with the paper's double buffering, where chunk c+1's
+// π rows stream in while chunk c computes.
+func (nd *node) updatePhi(t int, eps float64, dep *deployment) ([]float64, error) {
+	nodes := dep.nodes
+	k := nd.k
+	newPhi := make([]float64, len(nodes)*k)
+	if len(nodes) == 0 {
+		return newPhi, nil
+	}
+	chunkN := nd.opt.PhiChunkNodes
+	nChunks := (len(nodes) + chunkN - 1) / chunkN
+
+	type chunkBuf struct {
+		lo, hi  int
+		rngs    []*mathx.RNG
+		samples []sampling.NeighborSample
+		keys    []int32
+		nodeOff []int // row index where node i's rows begin
+		data    []byte
+	}
+	var bufs [2]chunkBuf
+	// errVal is shared between the pipeline's load goroutine and the compute
+	// caller; guard it with a mutex rather than relying on ordering.
+	var errMu sync.Mutex
+	var errVal error
+	setErr := func(err error) {
+		errMu.Lock()
+		if errVal == nil {
+			errVal = err
+		}
+		errMu.Unlock()
+	}
+	hasErr := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return errVal != nil
+	}
+
+	load := func(c, slot int) {
+		if hasErr() {
+			return
+		}
+		stop := nd.phases.Timer(PhaseLoadPi)
+		defer stop()
+		b := &bufs[slot]
+		b.lo = c * chunkN
+		b.hi = min(b.lo+chunkN, len(nodes))
+		cnt := b.hi - b.lo
+		b.rngs = b.rngs[:0]
+		b.keys = b.keys[:0]
+		b.nodeOff = b.nodeOff[:0]
+		if cap(b.samples) < cnt {
+			b.samples = make([]sampling.NeighborSample, cnt)
+		}
+		b.samples = b.samples[:cnt]
+		for i := 0; i < cnt; i++ {
+			a := nodes[b.lo+i]
+			rng := mathx.NewStream(nd.cfg.Seed, core.StreamVertex(t, int(a)))
+			nd.neigh.Sample(a, rng, &b.samples[i])
+			b.rngs = append(b.rngs, rng)
+			b.nodeOff = append(b.nodeOff, len(b.keys))
+			b.keys = append(b.keys, a)
+			b.keys = append(b.keys, b.samples[i].Nodes...)
+		}
+		need := len(b.keys) * rowBytes(k)
+		if cap(b.data) < need {
+			b.data = make([]byte, need)
+		}
+		b.data = b.data[:need]
+		fut, err := nd.store.ReadBatchAsync(b.keys, b.data)
+		if err != nil {
+			setErr(err)
+			return
+		}
+		if err := fut.Wait(); err != nil {
+			setErr(err)
+		}
+	}
+
+	compute := func(c, slot int) {
+		if hasErr() {
+			return
+		}
+		stop := nd.phases.Timer(PhaseComputePhi)
+		defer stop()
+		b := &bufs[slot]
+		rb := rowBytes(k)
+		par.For(b.hi-b.lo, nd.opt.Threads, func(wLo, wHi int) {
+			sc := core.NewPhiScratch(k)
+			piA := make([]float32, k)
+			var rowStore []float32
+			var rows [][]float32
+			for i := wLo; i < wHi; i++ {
+				ns := &b.samples[i]
+				base := b.nodeOff[i]
+				phiSumA := decodeRow(b.data[base*rb:(base+1)*rb], piA)
+				if cap(rowStore) < len(ns.Nodes)*k {
+					rowStore = make([]float32, len(ns.Nodes)*k)
+				}
+				rows = rows[:0]
+				for j := range ns.Nodes {
+					dst := rowStore[j*k : (j+1)*k]
+					decodeRow(b.data[(base+1+j)*rb:(base+2+j)*rb], dst)
+					rows = append(rows, dst)
+				}
+				idx := b.lo + i
+				core.UpdatePhi(&nd.cfg, eps, piA, phiSumA, rows, ns.Linked, ns.Scale,
+					nd.beta, b.rngs[i], newPhi[idx*k:(idx+1)*k], sc)
+			}
+		})
+	}
+
+	if nd.opt.Pipeline {
+		par.Pipeline(nChunks, load, compute)
+	} else {
+		par.Serial(nChunks, load, compute)
+	}
+	errMu.Lock()
+	defer errMu.Unlock()
+	return newPhi, errVal
+}
+
+// writeRows commits the staged φ rows through the DKV store (update_pi).
+func (nd *node) writeRows(nodes []int32, newPhi []float64) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	k := nd.k
+	rb := rowBytes(k)
+	values := make([]byte, len(nodes)*rb)
+	par.For(len(nodes), nd.opt.Threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			encodeRow(values[i*rb:(i+1)*rb], newPhi[i*k:(i+1)*k])
+		}
+	})
+	return nd.store.WriteBatch(nodes, values)
+}
+
+// updateBetaTheta computes this rank's per-chunk θ-gradient partials from
+// freshly read π rows, gathers them at the master (which folds them in
+// global chunk order, applies Eqn 3 and broadcasts the new θ).
+func (nd *node) updateBetaTheta(t int, eps float64, dep *deployment) error {
+	k := nd.k
+	rb := rowBytes(k)
+	nLocalChunks := (len(dep.pairs) + core.ThetaChunk - 1) / core.ThetaChunk
+	partials := make([]float64, nLocalChunks*2*k)
+
+	if len(dep.pairs) > 0 {
+		keys := make([]int32, 0, 2*len(dep.pairs))
+		for _, e := range dep.pairs {
+			keys = append(keys, e.A, e.B)
+		}
+		data := make([]byte, len(keys)*rb)
+		if err := nd.store.ReadBatch(keys, data); err != nil {
+			return err
+		}
+		par.ForEach(nLocalChunks, nd.opt.Threads, func(c int) {
+			lo := c * core.ThetaChunk
+			hi := min(lo+core.ThetaChunk, len(dep.pairs))
+			acc := partials[c*2*k : (c+1)*2*k]
+			sc := core.NewThetaScratch(k)
+			piA := make([]float32, k)
+			piB := make([]float32, k)
+			for i := lo; i < hi; i++ {
+				decodeRow(data[(2*i)*rb:(2*i+1)*rb], piA)
+				decodeRow(data[(2*i+1)*rb:(2*i+2)*rb], piB)
+				core.AccumulateThetaGrad(piA, piB, nd.theta, nd.beta, nd.cfg.Delta, dep.link[i], acc, sc)
+			}
+		})
+	}
+
+	gathered, err := nd.comm.Gather(0, wire.AppendFloat64s(nil, partials))
+	if err != nil {
+		return err
+	}
+	var thetaBytes []byte
+	if nd.rank == 0 {
+		grad := make([]float64, 2*k)
+		chunk := make([]float64, 2*k)
+		for r := 0; r < nd.size; r++ {
+			buf := gathered[r]
+			nChunks := len(buf) / (8 * 2 * k)
+			for c := 0; c < nChunks; c++ {
+				wire.Float64s(buf, c*2*k*8, 2*k, chunk)
+				for i, v := range chunk {
+					grad[i] += v
+				}
+			}
+		}
+		core.ApplyThetaUpdate(&nd.cfg, eps, dep.scale, grad, nd.theta, mathx.NewStream(nd.cfg.Seed, core.StreamTheta(t)))
+		thetaBytes = wire.AppendFloat64s(nil, nd.theta)
+	}
+	thetaBytes, err = nd.comm.Bcast(0, thetaBytes)
+	if err != nil {
+		return err
+	}
+	wire.Float64s(thetaBytes, 0, 2*k, nd.theta)
+	for kk := 0; kk < k; kk++ {
+		nd.beta[kk] = nd.theta[kk*2+1] / (nd.theta[kk*2] + nd.theta[kk*2+1])
+	}
+	return nil
+}
+
+// evalPerplexity folds the current state into the running posterior average
+// over this rank's held-out shard and reduces the global averaged perplexity
+// (Eqn 7) at the master; the value is broadcast so every rank returns it.
+func (nd *node) evalPerplexity() (float64, error) {
+	defer nd.phases.Timer(PhasePerplexity)()
+	k := nd.k
+	rb := rowBytes(k)
+	nd.ppxT++
+	tInv := 1 / float64(nd.ppxT)
+
+	nLocal := nd.hHi - nd.hLo
+	nChunks := (nLocal + core.PerplexityChunk - 1) / core.PerplexityChunk
+	partials := make([]float64, nChunks)
+
+	if nLocal > 0 {
+		keys := make([]int32, 0, 2*nLocal)
+		for i := nd.hLo; i < nd.hHi; i++ {
+			e := nd.held.Pairs[i]
+			keys = append(keys, e.A, e.B)
+		}
+		data := make([]byte, len(keys)*rb)
+		if err := nd.store.ReadBatch(keys, data); err != nil {
+			return 0, err
+		}
+		par.ForEach(nChunks, nd.opt.Threads, func(c int) {
+			lo := c * core.PerplexityChunk
+			hi := min(lo+core.PerplexityChunk, nLocal)
+			piA := make([]float32, k)
+			piB := make([]float32, k)
+			var logSum float64
+			for i := lo; i < hi; i++ {
+				decodeRow(data[(2*i)*rb:(2*i+1)*rb], piA)
+				decodeRow(data[(2*i+1)*rb:(2*i+2)*rb], piB)
+				prob := core.EdgeProbability(piA, piB, nd.beta, nd.cfg.Delta, nd.held.Linked[nd.hLo+i])
+				nd.avg[i] += (prob - nd.avg[i]) * tInv
+				v := nd.avg[i]
+				if v < 1e-300 {
+					v = 1e-300
+				}
+				logSum += math.Log(v)
+			}
+			partials[c] = logSum
+		})
+	}
+
+	gathered, err := nd.comm.Gather(0, wire.AppendFloat64s(nil, partials))
+	if err != nil {
+		return 0, err
+	}
+	var out []byte
+	if nd.rank == 0 {
+		var logSum float64
+		for r := 0; r < nd.size; r++ {
+			buf := gathered[r]
+			cnt := len(buf) / 8
+			vals := make([]float64, cnt)
+			wire.Float64s(buf, 0, cnt, vals)
+			for _, v := range vals {
+				logSum += v
+			}
+		}
+		out = wire.AppendUint64(nil, math.Float64bits(math.Exp(-logSum/float64(nd.held.Len()))))
+	}
+	out, err = nd.comm.Bcast(0, out)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(wire.Uint64At(out, 0)), nil
+}
+
+// collectState reads the whole π matrix back out of the DKV store into a
+// core.State; master-only, used for final reporting and the equivalence
+// tests.
+func (nd *node) collectState() (*core.State, error) {
+	st := &core.State{
+		N:      nd.n,
+		K:      nd.k,
+		Pi:     make([]float32, nd.n*nd.k),
+		PhiSum: make([]float64, nd.n),
+		Theta:  append([]float64(nil), nd.theta...),
+		Beta:   append([]float64(nil), nd.beta...),
+	}
+	rb := rowBytes(nd.k)
+	const batchKeys = 4096
+	keys := make([]int32, 0, batchKeys)
+	data := make([]byte, batchKeys*rb)
+	for base := 0; base < nd.n; base += batchKeys {
+		hi := min(base+batchKeys, nd.n)
+		keys = keys[:0]
+		for a := base; a < hi; a++ {
+			keys = append(keys, int32(a))
+		}
+		buf := data[:len(keys)*rb]
+		if err := nd.store.ReadBatch(keys, buf); err != nil {
+			return nil, err
+		}
+		for i, a := range keys {
+			st.PhiSum[a] = decodeRow(buf[i*rb:(i+1)*rb], st.PiRow(int(a)))
+		}
+	}
+	return st, nil
+}
+
+func assembleResult(nodes []*node) *Result {
+	master := nodes[0]
+	res := &Result{
+		State:      master.finalState,
+		Perplexity: master.perp,
+		Phases:     trace.NewPhases(),
+		Iterations: master.opt.Iterations,
+		Elapsed:    master.phases.Total(PhaseTotal),
+	}
+	var totalKeys int64
+	for _, nd := range nodes {
+		snap := nd.phases.Snapshot()
+		res.RankPhases = append(res.RankPhases, snap)
+		res.Phases.Merge(snap)
+		s := nd.store.Stats()
+		res.DKV.LocalKeys += s.LocalKeys.Load()
+		res.DKV.RemoteKeys += s.RemoteKeys.Load()
+		res.DKV.Requests += s.Requests.Load()
+		res.DKV.BytesRead += s.BytesRead.Load()
+		res.DKV.BytesWritten += s.BytesWritten.Load()
+	}
+	totalKeys = res.DKV.LocalKeys + res.DKV.RemoteKeys
+	if totalKeys > 0 {
+		res.RemoteFrac = float64(res.DKV.RemoteKeys) / float64(totalKeys)
+	}
+	return res
+}

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"net"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/transport"
+)
+
+// TestTCPTransportMatchesInproc runs the full engine over a real TCP
+// loopback mesh and demands bit-exact agreement with the in-process fabric —
+// the protocol must not depend on transport-specific behavior.
+func TestTCPTransportMatchesInproc(t *testing.T) {
+	train, held := fixture(t, 180, 4, 900, 91)
+	cfg := core.DefaultConfig(4, 17)
+	const ranks, iters = 3, 6
+
+	inproc, err := Run(cfg, train, held, Options{Ranks: ranks, Iterations: iters, EvalEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve loopback ports.
+	addrs := make([]string, ranks)
+	listeners := make([]net.Listener, ranks)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range listeners {
+		ln.Close()
+	}
+
+	conns := make([]transport.Conn, ranks)
+	var wg sync.WaitGroup
+	errs := make([]error, ranks)
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c, err := transport.DialMesh(r, addrs)
+			conns[r], errs[r] = c, err
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("mesh rank %d: %v", r, err)
+		}
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	tcp, err := RunOnTransport(cfg, train, held, Options{Iterations: iters, EvalEvery: 3}, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if d := mathx.MaxAbsDiff32(inproc.State.Pi, tcp.State.Pi); d != 0 {
+		t.Fatalf("TCP π differs from inproc by %v", d)
+	}
+	if d := mathx.MaxAbsDiff(inproc.State.Theta, tcp.State.Theta); d != 0 {
+		t.Fatalf("TCP θ differs from inproc by %v", d)
+	}
+	for i := range inproc.Perplexity {
+		if inproc.Perplexity[i].Value != tcp.Perplexity[i].Value {
+			t.Fatalf("perplexity %d differs: %v vs %v", i,
+				inproc.Perplexity[i].Value, tcp.Perplexity[i].Value)
+		}
+	}
+}

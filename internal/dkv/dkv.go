@@ -1,0 +1,335 @@
+// Package dkv implements the distributed key-value store of Section III-B:
+// the π matrix lives in the collective memory of the cluster, statically
+// partitioned by key (vertex id), with fixed-size values and no concurrency
+// control — the algorithm's phase structure guarantees that read sets and
+// write sets never overlap within a phase.
+//
+// The paper implements this store directly on InfiniBand RDMA verbs, one
+// RDMA read or write per operation. Here the same contract is implemented
+// over a transport.Conn: a batch read is one request/response per owning
+// rank, a batch write one request/ack. Local keys short-circuit to memory,
+// which reproduces the paper's observation that a rank must fetch (C-1)/C of
+// a random batch over the network.
+package dkv
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cluster"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Protocol tags. Responses carry the request id in the tag so a client can
+// keep several asynchronous reads in flight (the double-buffered pipeline
+// does exactly that).
+const (
+	tagRequest  = cluster.TagUserBase + 0x100
+	tagRespBase = cluster.TagUserBase + 0x10000
+	respIDMask  = 0xffff
+)
+
+// Request opcodes.
+const (
+	opRead  = 1
+	opWrite = 2
+	opStop  = 3
+)
+
+// Stats counts the traffic a rank generated as a DKV client.
+type Stats struct {
+	LocalKeys    atomic.Int64 // keys served from the local shard
+	RemoteKeys   atomic.Int64 // keys fetched from or written to peers
+	Requests     atomic.Int64 // network round trips issued
+	BytesRead    atomic.Int64 // value bytes received from peers
+	BytesWritten atomic.Int64 // value bytes sent to peers
+}
+
+// Store is one rank's view of the distributed store: its local shard plus a
+// client for every peer's shard.
+type Store struct {
+	conn     transport.Conn
+	n        int // total keys
+	valBytes int // fixed value size
+	per      int // keys per rank (last rank may own fewer)
+	lo, hi   int // owned key range [lo, hi)
+	shard    []byte
+
+	reqID   atomic.Uint32
+	stats   Stats
+	serveWG sync.WaitGroup
+}
+
+// New creates the store and starts this rank's server goroutine. All ranks
+// must call New with identical n and valBytes. The initial shard content is
+// zero; populate it with WriteLocal before the first Barrier.
+func New(conn transport.Conn, n, valBytes int) (*Store, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dkv: n = %d, need at least 1", n)
+	}
+	if valBytes < 1 {
+		return nil, fmt.Errorf("dkv: value size %d, need at least 1", valBytes)
+	}
+	size := conn.Size()
+	per := (n + size - 1) / size
+	lo := conn.Rank() * per
+	hi := lo + per
+	if lo > n {
+		lo = n
+	}
+	if hi > n {
+		hi = n
+	}
+	s := &Store{
+		conn:     conn,
+		n:        n,
+		valBytes: valBytes,
+		per:      per,
+		lo:       lo,
+		hi:       hi,
+		shard:    make([]byte, (hi-lo)*valBytes),
+	}
+	s.serveWG.Add(1)
+	go s.serve()
+	return s, nil
+}
+
+// Owner returns the rank owning key k.
+func (s *Store) Owner(k int) int { return k / s.per }
+
+// OwnedRange returns this rank's key range [lo, hi).
+func (s *Store) OwnedRange() (lo, hi int) { return s.lo, s.hi }
+
+// ValueBytes returns the fixed value size.
+func (s *Store) ValueBytes() int { return s.valBytes }
+
+// Stats exposes the client-side traffic counters.
+func (s *Store) Stats() *Stats { return &s.stats }
+
+// localValue returns the storage slice for an owned key.
+func (s *Store) localValue(k int) []byte {
+	off := (k - s.lo) * s.valBytes
+	return s.shard[off : off+s.valBytes]
+}
+
+// WriteLocal stores a value for an owned key without any messaging; used for
+// initial population. It panics on non-owned keys.
+func (s *Store) WriteLocal(k int, val []byte) {
+	if k < s.lo || k >= s.hi {
+		panic(fmt.Sprintf("dkv: WriteLocal key %d outside owned range [%d,%d)", k, s.lo, s.hi))
+	}
+	if len(val) != s.valBytes {
+		panic(fmt.Sprintf("dkv: value size %d, want %d", len(val), s.valBytes))
+	}
+	copy(s.localValue(k), val)
+}
+
+// ReadLocal copies an owned key's value into dst; used by tests.
+func (s *Store) ReadLocal(k int, dst []byte) {
+	if k < s.lo || k >= s.hi {
+		panic(fmt.Sprintf("dkv: ReadLocal key %d outside owned range [%d,%d)", k, s.lo, s.hi))
+	}
+	copy(dst, s.localValue(k))
+}
+
+// serve answers read and write requests until an opStop message arrives from
+// this rank itself.
+func (s *Store) serve() {
+	defer s.serveWG.Done()
+	for {
+		from, req, err := s.conn.RecvAny(tagRequest)
+		if err != nil {
+			return // transport closed
+		}
+		op := wire.Uint32At(req, 0)
+		id := wire.Uint32At(req, 4)
+		count := int(wire.Uint32At(req, 8))
+		switch op {
+		case opStop:
+			return
+		case opRead:
+			keys := make([]int32, count)
+			wire.Int32s(req, 12, count, keys)
+			resp := make([]byte, count*s.valBytes)
+			for i, k := range keys {
+				copy(resp[i*s.valBytes:], s.localValue(int(k)))
+			}
+			if err := s.conn.Send(from, tagRespBase+id, resp); err != nil {
+				return
+			}
+		case opWrite:
+			keys := make([]int32, count)
+			off := wire.Int32s(req, 12, count, keys)
+			for i, k := range keys {
+				copy(s.localValue(int(k)), req[off+i*s.valBytes:off+(i+1)*s.valBytes])
+			}
+			if err := s.conn.Send(from, tagRespBase+id, nil); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// Close stops the server goroutine. The underlying transport stays open.
+func (s *Store) Close() error {
+	req := wire.AppendUint32(nil, opStop)
+	req = wire.AppendUint32(req, 0)
+	req = wire.AppendUint32(req, 0)
+	if err := s.conn.Send(s.conn.Rank(), tagRequest, req); err != nil {
+		// Transport already closed; the server loop has exited.
+		s.serveWG.Wait()
+		return nil
+	}
+	s.serveWG.Wait()
+	return nil
+}
+
+// perRankBatch groups a key batch by owning rank, remembering each key's
+// position in the caller's batch so responses scatter back in order.
+type perRankBatch struct {
+	keys []int32
+	pos  []int
+}
+
+func (s *Store) groupByOwner(keys []int32) map[int]*perRankBatch {
+	groups := make(map[int]*perRankBatch)
+	for i, k := range keys {
+		if k < 0 || int(k) >= s.n {
+			panic(fmt.Sprintf("dkv: key %d out of range [0,%d)", k, s.n))
+		}
+		o := s.Owner(int(k))
+		g := groups[o]
+		if g == nil {
+			g = &perRankBatch{}
+			groups[o] = g
+		}
+		g.keys = append(g.keys, k)
+		g.pos = append(g.pos, i)
+	}
+	return groups
+}
+
+// Future represents an in-flight asynchronous batch read.
+type Future struct {
+	store   *Store
+	dst     []byte
+	pending []pendingResp
+	err     error
+	done    bool
+}
+
+type pendingResp struct {
+	rank int
+	id   uint32
+	g    *perRankBatch
+}
+
+// Wait blocks until every response has arrived and been scattered into the
+// destination buffer. It is idempotent.
+func (f *Future) Wait() error {
+	if f.done {
+		return f.err
+	}
+	f.done = true
+	for _, p := range f.pending {
+		resp, err := f.store.conn.Recv(p.rank, tagRespBase+p.id)
+		if err != nil {
+			f.err = err
+			continue
+		}
+		vb := f.store.valBytes
+		for i, pos := range p.g.pos {
+			copy(f.dst[pos*vb:(pos+1)*vb], resp[i*vb:(i+1)*vb])
+		}
+		f.store.stats.BytesRead.Add(int64(len(resp)))
+	}
+	return f.err
+}
+
+// ReadBatchAsync issues the reads for a key batch and returns a Future; the
+// local portion is served immediately. dst must have len(keys)*ValueBytes
+// bytes and must stay untouched until Wait returns. This is the prefetch
+// primitive behind the paper's double-buffered pipeline.
+func (s *Store) ReadBatchAsync(keys []int32, dst []byte) (*Future, error) {
+	if len(dst) != len(keys)*s.valBytes {
+		return nil, fmt.Errorf("dkv: dst has %d bytes, want %d", len(dst), len(keys)*s.valBytes)
+	}
+	f := &Future{store: s, dst: dst}
+	for rank, g := range s.groupByOwner(keys) {
+		if rank == s.conn.Rank() {
+			for i, k := range g.keys {
+				copy(dst[g.pos[i]*s.valBytes:], s.localValue(int(k)))
+			}
+			s.stats.LocalKeys.Add(int64(len(g.keys)))
+			continue
+		}
+		id := s.reqID.Add(1) & respIDMask
+		req := wire.AppendUint32(nil, opRead)
+		req = wire.AppendUint32(req, id)
+		req = wire.AppendUint32(req, uint32(len(g.keys)))
+		req = wire.AppendInt32s(req, g.keys)
+		if err := s.conn.Send(rank, tagRequest, req); err != nil {
+			return nil, err
+		}
+		s.stats.RemoteKeys.Add(int64(len(g.keys)))
+		s.stats.Requests.Add(1)
+		f.pending = append(f.pending, pendingResp{rank: rank, id: id, g: g})
+	}
+	return f, nil
+}
+
+// ReadBatch is the synchronous form of ReadBatchAsync.
+func (s *Store) ReadBatch(keys []int32, dst []byte) error {
+	f, err := s.ReadBatchAsync(keys, dst)
+	if err != nil {
+		return err
+	}
+	return f.Wait()
+}
+
+// WriteBatch stores values (len(keys)*ValueBytes bytes, in key order) under
+// their keys and waits for every owner's acknowledgement, so that a
+// subsequent cluster barrier orders these writes before any later read —
+// exactly the write-then-barrier-then-read discipline of the paper's phases.
+func (s *Store) WriteBatch(keys []int32, values []byte) error {
+	if len(values) != len(keys)*s.valBytes {
+		return fmt.Errorf("dkv: values have %d bytes, want %d", len(values), len(keys)*s.valBytes)
+	}
+	type ack struct {
+		rank int
+		id   uint32
+	}
+	var acks []ack
+	for rank, g := range s.groupByOwner(keys) {
+		if rank == s.conn.Rank() {
+			for i, k := range g.keys {
+				copy(s.localValue(int(k)), values[g.pos[i]*s.valBytes:(g.pos[i]+1)*s.valBytes])
+			}
+			s.stats.LocalKeys.Add(int64(len(g.keys)))
+			continue
+		}
+		id := s.reqID.Add(1) & respIDMask
+		req := wire.AppendUint32(nil, opWrite)
+		req = wire.AppendUint32(req, id)
+		req = wire.AppendUint32(req, uint32(len(g.keys)))
+		req = wire.AppendInt32s(req, g.keys)
+		for _, pos := range g.pos {
+			req = append(req, values[pos*s.valBytes:(pos+1)*s.valBytes]...)
+		}
+		if err := s.conn.Send(rank, tagRequest, req); err != nil {
+			return err
+		}
+		s.stats.RemoteKeys.Add(int64(len(g.keys)))
+		s.stats.Requests.Add(1)
+		s.stats.BytesWritten.Add(int64(len(g.keys) * s.valBytes))
+		acks = append(acks, ack{rank, id})
+	}
+	for _, a := range acks {
+		if _, err := s.conn.Recv(a.rank, tagRespBase+a.id); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package dkv
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// TestReadAfterFabricCloseErrors: a DKV client must surface transport
+// failure as an error rather than hanging — the behavior the distributed
+// engine's error paths rely on.
+func TestReadAfterFabricCloseErrors(t *testing.T) {
+	f, err := transport.NewFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := New(f.Endpoint(0), 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, err := New(f.Endpoint(1), 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s1
+	f.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		// Key 9 is owned by rank 1; the remote read must fail fast.
+		done <- s0.ReadBatch([]int32{9}, make([]byte, 4))
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("read over closed fabric returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read over closed fabric hung")
+	}
+}
+
+// TestWriteAfterFabricCloseErrors mirrors the read case for writes.
+func TestWriteAfterFabricCloseErrors(t *testing.T) {
+	f, err := transport.NewFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0, err := New(f.Endpoint(0), 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(f.Endpoint(1), 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		done <- s0.WriteBatch([]int32{9}, make([]byte, 4))
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("write over closed fabric returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write over closed fabric hung")
+	}
+}
+
+// TestCloseIsIdempotentAndUnblocksServer: Close must terminate the server
+// goroutine even when called twice or after the fabric died.
+func TestCloseIsIdempotentAndUnblocksServer(t *testing.T) {
+	f, err := transport.NewFabric(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(f.Endpoint(0), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err) // second close: server already gone, must not hang
+	}
+	f.Close()
+
+	// Close after the fabric is gone must also return promptly.
+	f2, _ := transport.NewFabric(1)
+	s2, err := New(f2.Endpoint(0), 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	done := make(chan struct{})
+	go func() {
+		s2.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung after fabric shutdown")
+	}
+}

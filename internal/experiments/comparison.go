@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+	"repro/internal/metrics"
+	"repro/internal/svi"
+)
+
+// CompareInference pits the SG-MCMC sampler against the stochastic
+// variational baseline on the same planted graph — the comparison behind the
+// paper's choice of algorithm (its introduction cites Li, Ahn & Welling's
+// finding that SG-MCMC is faster and more accurate than SVB). Both engines
+// see the same held-out split and report perplexity and recovery F1 over
+// wall-clock time.
+func CompareInference(iters int) (string, error) {
+	const n, k = 800, 6
+	if iters <= 0 {
+		iters = 3000
+	}
+	g, gt, err := gen.Planted(gen.PlantedConfig{
+		N: n, NumCommunities: k, MeanMembership: 1.2,
+		SizeSkew: 0.5, TargetEdges: 8000, Background: 0.03, Seed: 77,
+	})
+	if err != nil {
+		return "", err
+	}
+	train, held, err := graph.Split(g, g.NumEdges()/20, mathx.NewRNG(78))
+	if err != nil {
+		return "", err
+	}
+	truth := metrics.NewCover(n, gt.Members)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "SG-MCMC vs SVI on a planted graph (N=%d, |E|=%d, K=%d)\n",
+		train.NumVertices(), train.NumEdges(), k)
+	fmt.Fprintf(&b, "%-8s %10s %12s %14s %8s %8s\n",
+		"engine", "iteration", "elapsed (s)", "perplexity", "F1", "NMI")
+
+	// SG-MCMC.
+	mcfg := core.DefaultConfig(k, 79)
+	mcfg.Alpha = 1.0 / k
+	mcfg.StepA = 0.05
+	mcfg.StepB = 4096
+	mc, err := core.NewSampler(mcfg, train, held, core.SamplerOptions{
+		Threads: 0, MinibatchPairs: 256, NeighborCount: 32,
+	})
+	if err != nil {
+		return "", err
+	}
+	start := time.Now()
+	checkpoints := 5
+	for c := 1; c <= checkpoints; c++ {
+		mc.Run(iters / checkpoints)
+		det := metrics.FromState(mc.State, 0)
+		fmt.Fprintf(&b, "%-8s %10d %12.2f %14.4f %8.3f %8.3f\n",
+			"mcmc", mc.Iteration(), time.Since(start).Seconds(),
+			core.Perplexity(mc.State, held, mcfg.Delta, 0),
+			metrics.F1Score(det, truth), metrics.NMI(det, truth))
+	}
+
+	// SVI: node batches sized so a "checkpoint" covers a comparable number
+	// of vertex updates.
+	scfg := svi.DefaultConfig(k, 80)
+	sv, err := svi.NewSampler(scfg, train, held, svi.Options{Threads: 0, NodeBatch: 128})
+	if err != nil {
+		return "", err
+	}
+	sviIters := iters / 2
+	start = time.Now()
+	for c := 1; c <= checkpoints; c++ {
+		sv.Run(sviIters / checkpoints)
+		st := sv.PosteriorMeanState()
+		det := metrics.FromState(st, 0)
+		fmt.Fprintf(&b, "%-8s %10d %12.2f %14.4f %8.3f %8.3f\n",
+			"svi", sv.Iteration(), time.Since(start).Seconds(),
+			core.Perplexity(st, held, scfg.Delta, 0),
+			metrics.F1Score(det, truth), metrics.NMI(det, truth))
+	}
+	fmt.Fprintf(&b, "\n(SVI starts from a label-propagation sketch, so its F1 starts high\n")
+	fmt.Fprintf(&b, "and plateaus; SG-MCMC starts from the prior and overtakes it — the\n")
+	fmt.Fprintf(&b, "qualitative comparison of Li, Ahn & Welling that motivated the paper.)\n")
+	return b.String(), nil
+}

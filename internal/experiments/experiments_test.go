@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableIIFast(t *testing.T) {
+	out, err := TableII(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"com-livejournal-sim", "com-friendster-sim", "com-orkut-sim",
+		"com-youtube-sim", "com-dblp-sim", "com-amazon-sim"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("Table II missing %s", name)
+		}
+	}
+	if !strings.Contains(out, "65608366") {
+		t.Error("Table II missing paper Friendster vertex count")
+	}
+}
+
+func TestFig1Series(t *testing.T) {
+	out := Fig1()
+	if !strings.Contains(out, "strong scaling") || !strings.Contains(out, "speedup") {
+		t.Fatalf("Figure 1 output malformed:\n%s", out)
+	}
+	if lines := strings.Count(out, "\n"); lines < 10 {
+		t.Fatalf("Figure 1 has %d lines, want a full series", lines)
+	}
+}
+
+func TestModelFigureSeriesRender(t *testing.T) {
+	for name, out := range map[string]string{
+		"fig2":     Fig2(),
+		"fig3":     Fig3(),
+		"tableIII": TableIII(),
+		"fig4":     Fig4(),
+		"fig5":     Fig5(),
+	} {
+		if len(out) < 100 {
+			t.Errorf("%s output suspiciously short:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(TableIII(), "load_pi") {
+		t.Error("Table III missing the load_pi substage")
+	}
+	if !strings.Contains(Fig5(), "qperf") {
+		t.Error("Figure 5 missing the qperf baseline")
+	}
+}
+
+func TestFig1ValidationRealRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real distributed runs too slow for -short")
+	}
+	out, err := Fig1Validation(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ranks") || strings.Count(out, "\n") < 5 {
+		t.Fatalf("validation output malformed:\n%s", out)
+	}
+}
+
+func TestFig6SmallPresetRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("convergence run too slow for -short")
+	}
+	out, err := Fig6(Fig6Config{
+		Preset: "com-dblp-sim", K: 16, Ranks: 2, Threads: 2,
+		Iterations: 30, EvalEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "perplexity") || !strings.Contains(out, "recovery F1") {
+		t.Fatalf("Figure 6 output malformed:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 6 {
+		t.Fatalf("Figure 6 missing series rows:\n%s", out)
+	}
+}
+
+func TestFig6UnknownPreset(t *testing.T) {
+	if _, err := Fig6(Fig6Config{Preset: "nope"}); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestCompareInferenceRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dual training run too slow for -short")
+	}
+	out, err := CompareInference(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "mcmc") || !strings.Contains(out, "svi") {
+		t.Fatalf("comparison output malformed:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 12 {
+		t.Fatalf("comparison missing series rows:\n%s", out)
+	}
+}

@@ -1,0 +1,127 @@
+package gen
+
+import (
+	"sort"
+	"testing"
+)
+
+func TestDegreeCorrectedShape(t *testing.T) {
+	cfg := DefaultDegreeCorrected(2000, 16, 20000, 7)
+	g, gt, err := DegreeCorrected(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2000 || gt.NumCommunities() != 16 {
+		t.Fatalf("shape wrong: N=%d communities=%d", g.NumVertices(), gt.NumCommunities())
+	}
+	// Realised edges within 30% of target (heavy hubs saturate some pairs).
+	if e := g.NumEdges(); e < 14000 || e > 22000 {
+		t.Fatalf("edges = %d, want ≈20000", e)
+	}
+}
+
+func TestDegreeCorrectedHeavyTail(t *testing.T) {
+	cfg := DefaultDegreeCorrected(3000, 16, 30000, 8)
+	g, _, err := DegreeCorrected(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, _, err := Planted(DefaultPlanted(3000, 16, 30000, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The corrected generator's max degree must far exceed the uniform one's,
+	// and the top-1% of vertices must carry a much larger share of edges.
+	if g.MaxDegree() < 2*uniform.MaxDegree() {
+		t.Fatalf("max degree %d vs uniform %d: no heavy tail", g.MaxDegree(), uniform.MaxDegree())
+	}
+	topShare := func(gr interface {
+		NumVertices() int
+		NumEdges() int
+		Degree(int) int
+	}) float64 {
+		degs := make([]int, gr.NumVertices())
+		for v := range degs {
+			degs[v] = gr.Degree(v)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+		top := 0
+		for _, d := range degs[:gr.NumVertices()/100] {
+			top += d
+		}
+		return float64(top) / float64(2*gr.NumEdges())
+	}
+	if corrected, flat := topShare(g), topShare(uniform); corrected < 1.5*flat {
+		t.Fatalf("top-1%% degree share %.3f vs uniform %.3f: tail too light", corrected, flat)
+	}
+}
+
+func TestDegreeCorrectedStructure(t *testing.T) {
+	// Edges must still be predominantly intra-community.
+	cfg := DefaultDegreeCorrected(1500, 8, 15000, 9)
+	cfg.Background = 0.03
+	g, gt, err := DegreeCorrected(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := gt.MembershipSets(g.NumVertices())
+	intra, total := 0, 0
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if int32(v) >= w {
+				continue
+			}
+			total++
+			for c := range sets[v] {
+				if sets[w][c] {
+					intra++
+					break
+				}
+			}
+		}
+	}
+	if frac := float64(intra) / float64(total); frac < 0.75 {
+		t.Fatalf("intra-community fraction %.2f too low", frac)
+	}
+}
+
+func TestDegreeCorrectedValidation(t *testing.T) {
+	bad := DefaultDegreeCorrected(1000, 8, 5000, 1)
+	bad.DegreeExponent = 1
+	if _, _, err := DegreeCorrected(bad); err == nil {
+		t.Fatal("exponent 1 accepted")
+	}
+	bad = DefaultDegreeCorrected(1000, 8, 5000, 1)
+	bad.MaxDegreeFactor = 1
+	if _, _, err := DegreeCorrected(bad); err == nil {
+		t.Fatal("factor 1 accepted")
+	}
+	bad = DefaultDegreeCorrected(1, 8, 5000, 1)
+	if _, _, err := DegreeCorrected(bad); err == nil {
+		t.Fatal("N=1 accepted")
+	}
+}
+
+func TestDegreeCorrectedDeterminism(t *testing.T) {
+	cfg := DefaultDegreeCorrected(800, 8, 6000, 11)
+	g1, _, err := DegreeCorrected(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := DegreeCorrected(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.NumEdges() != g2.NumEdges() {
+		t.Fatal("same seed produced different graphs")
+	}
+	l1, l2 := g1.EdgeList(), g2.EdgeList()
+	for i := range l1 {
+		if l1[i] != l2[i] {
+			t.Fatal("edge lists differ")
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package gen
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mathx"
+)
+
+// DisassortativeConfig parameterises a planted structure the ASSORTATIVE
+// model cannot express: vertices belong to K groups arranged in a ring, and
+// edges connect members of ADJACENT groups (k ↔ k+1 mod K) rather than
+// members of the same group. The general MMSB (full block matrix) captures
+// this; a-MMSB, whose only non-noise link mechanism is same-community
+// membership, cannot. The extension tests use it to show the general model
+// earning its O(K²) cost.
+type DisassortativeConfig struct {
+	N           int
+	K           int // number of groups (>= 2)
+	TargetEdges int
+	Background  float64 // fraction of uniform noise edges
+	Seed        uint64
+}
+
+// Disassortative generates the ring-of-groups graph and returns it with the
+// planted group assignment.
+func Disassortative(cfg DisassortativeConfig) (*graph.Graph, []int, error) {
+	switch {
+	case cfg.N < 4:
+		return nil, nil, fmt.Errorf("gen: N = %d, need at least 4", cfg.N)
+	case cfg.K < 2:
+		return nil, nil, fmt.Errorf("gen: K = %d, need at least 2", cfg.K)
+	case cfg.TargetEdges < 1:
+		return nil, nil, fmt.Errorf("gen: TargetEdges = %d", cfg.TargetEdges)
+	case cfg.Background < 0 || cfg.Background > 1:
+		return nil, nil, fmt.Errorf("gen: Background = %v", cfg.Background)
+	}
+	rng := mathx.NewRNG(cfg.Seed)
+
+	// Round-robin group assignment keeps groups equal-sized.
+	group := make([]int, cfg.N)
+	members := make([][]int32, cfg.K)
+	for v := 0; v < cfg.N; v++ {
+		g := v % cfg.K
+		group[v] = g
+		members[g] = append(members[g], int32(v))
+	}
+
+	b := graph.NewBuilder(cfg.N)
+	structural := int(float64(cfg.TargetEdges) * (1 - cfg.Background))
+	for added := 0; added < structural; {
+		g := rng.Intn(cfg.K)
+		next := (g + 1) % cfg.K
+		u := members[g][rng.Intn(len(members[g]))]
+		w := members[next][rng.Intn(len(members[next]))]
+		if b.AddEdge(int(u), int(w)) {
+			added++
+		}
+	}
+	noise := cfg.TargetEdges - structural
+	for added := 0; added < noise; {
+		u, w := rng.Intn(cfg.N), rng.Intn(cfg.N)
+		if u != w && b.AddEdge(u, w) {
+			added++
+		}
+	}
+	return b.Finalize(), group, nil
+}

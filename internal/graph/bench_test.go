@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
+
+func benchGraph(b *testing.B, n, m int) *Graph {
+	b.Helper()
+	rng := mathx.NewRNG(1)
+	bld := NewBuilder(n)
+	for bld.NumEdges() < m {
+		bld.AddEdge(rng.Intn(n), rng.Intn(n))
+	}
+	return bld.Finalize()
+}
+
+// BenchmarkEdgeSetContains measures the y_ab membership query — executed
+// once per sampled neighbor in the training inner loop.
+func BenchmarkEdgeSetContains(b *testing.B) {
+	g := benchGraph(b, 100000, 1000000)
+	rng := mathx.NewRNG(2)
+	var hits int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if g.HasEdge(rng.Intn(100000), rng.Intn(100000)) {
+			hits++
+		}
+	}
+	_ = hits
+}
+
+// BenchmarkEdgeSetAdd measures set construction.
+func BenchmarkEdgeSetAdd(b *testing.B) {
+	rng := mathx.NewRNG(3)
+	b.ResetTimer()
+	s := NewEdgeSet(b.N)
+	for i := 0; i < b.N; i++ {
+		s.Add(Edge{int32(rng.Uint64() & 0xffffff), int32(rng.Uint64() & 0xffffff)})
+	}
+}
+
+// BenchmarkBuilderFinalize measures CSR construction from an edge list.
+func BenchmarkBuilderFinalize(b *testing.B) {
+	const n, m = 50000, 500000
+	rng := mathx.NewRNG(4)
+	edges := make([]Edge, 0, m)
+	for len(edges) < m {
+		a, bb := rng.Intn(n), rng.Intn(n)
+		if a != bb {
+			edges = append(edges, Edge{int32(a), int32(bb)})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld := NewBuilder(n)
+		for _, e := range edges {
+			bld.AddEdge(int(e.A), int(e.B))
+		}
+		bld.Finalize()
+	}
+}
+
+// BenchmarkNeighborsIteration measures adjacency traversal (the link part of
+// the link+uniform neighbor scheme).
+func BenchmarkNeighborsIteration(b *testing.B) {
+	g := benchGraph(b, 10000, 200000)
+	var total int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, w := range g.Neighbors(i % 10000) {
+			total += int(w)
+		}
+	}
+	_ = total
+}
+
+// BenchmarkSplit measures held-out set construction.
+func BenchmarkSplit(b *testing.B) {
+	g := benchGraph(b, 20000, 200000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Split(g, 10000, mathx.NewRNG(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package graph
+
+// EdgeSet is an open-addressing hash set of canonical edges, tuned for the
+// access pattern of the sampler: built once, then queried billions of times
+// for y_ab membership. It uses linear probing over a power-of-two table and
+// stores packed uint64 keys, so a com-LiveJournal-scale edge set costs 8
+// bytes per slot with a 0.7 load factor.
+type EdgeSet struct {
+	slots []uint64 // 0 = empty (edge (0,0) is a self-loop, never stored)
+	count int
+	mask  uint64
+}
+
+const edgeSetMaxLoadNum, edgeSetMaxLoadDen = 7, 10
+
+// NewEdgeSet creates a set with capacity for roughly sizeHint edges before
+// the first grow.
+func NewEdgeSet(sizeHint int) EdgeSet {
+	cap := 16
+	for cap*edgeSetMaxLoadNum < sizeHint*edgeSetMaxLoadDen {
+		cap *= 2
+	}
+	return EdgeSet{slots: make([]uint64, cap), mask: uint64(cap - 1)}
+}
+
+// Len returns the number of edges in the set.
+func (s *EdgeSet) Len() int { return s.count }
+
+func edgeHash(key uint64) uint64 {
+	// Fibonacci-style mix; keys are packed (a<<32 | b) pairs which are far
+	// from uniform, so mixing matters for probe lengths.
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	key *= 0xc4ceb9fe1a85ec53
+	key ^= key >> 33
+	return key
+}
+
+// Add inserts the edge, returning true if it was not already present.
+// Self-loops are rejected (they cannot be distinguished from empty slots and
+// the model has no use for them).
+func (s *EdgeSet) Add(e Edge) bool {
+	c := e.Canon()
+	if c.A == c.B {
+		return false
+	}
+	if s.slots == nil {
+		*s = NewEdgeSet(16)
+	}
+	key := c.Key()
+	if s.insert(key) {
+		s.count++
+		if s.count*edgeSetMaxLoadDen > len(s.slots)*edgeSetMaxLoadNum {
+			s.grow()
+		}
+		return true
+	}
+	return false
+}
+
+func (s *EdgeSet) insert(key uint64) bool {
+	i := edgeHash(key) & s.mask
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			s.slots[i] = key
+			return true
+		}
+		if v == key {
+			return false
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+func (s *EdgeSet) grow() {
+	old := s.slots
+	s.slots = make([]uint64, 2*len(old))
+	s.mask = uint64(len(s.slots) - 1)
+	for _, v := range old {
+		if v != 0 {
+			s.insert(v)
+		}
+	}
+}
+
+// Contains reports whether the edge is in the set.
+func (s *EdgeSet) Contains(e Edge) bool {
+	if s.slots == nil || s.count == 0 {
+		return false
+	}
+	c := e.Canon()
+	if c.A == c.B {
+		return false
+	}
+	key := c.Key()
+	i := edgeHash(key) & s.mask
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			return false
+		}
+		if v == key {
+			return true
+		}
+		i = (i + 1) & s.mask
+	}
+}
+
+// Each calls fn for every edge in the set, in unspecified order.
+func (s *EdgeSet) Each(fn func(Edge)) {
+	for _, v := range s.slots {
+		if v != 0 {
+			fn(Edge{int32(v >> 32), int32(v & 0xffffffff)})
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package graph provides the compact network representation used throughout
+// the system: a CSR-style adjacency structure for iterating a vertex's links,
+// a hash-based edge set for O(1) membership queries (the y_ab observations of
+// the model), readers and writers for the SNAP edge-list format, and the
+// held-out split used by the perplexity metric.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is an undirected vertex pair, stored canonically with A < B.
+type Edge struct {
+	A, B int32
+}
+
+// Canon returns e with endpoints ordered so A < B. Self loops are returned
+// unchanged.
+func (e Edge) Canon() Edge {
+	if e.A > e.B {
+		e.A, e.B = e.B, e.A
+	}
+	return e
+}
+
+// Key packs the canonical edge into a single uint64 for hashing.
+func (e Edge) Key() uint64 {
+	c := e.Canon()
+	return uint64(uint32(c.A))<<32 | uint64(uint32(c.B))
+}
+
+// Graph is an immutable undirected graph. Build one with a Builder or a
+// generator from internal/gen; after Finalize the adjacency arrays never
+// change, which is what lets the sampler share a Graph across threads and
+// ranks without synchronisation.
+type Graph struct {
+	n       int
+	offsets []int32 // len n+1; CSR row pointers into neigh
+	neigh   []int32 // concatenated sorted adjacency lists
+	edges   EdgeSet // canonical linked-edge membership
+	m       int     // number of undirected edges
+}
+
+// NumVertices returns N, the number of vertices.
+func (g *Graph) NumVertices() int { return g.n }
+
+// NumEdges returns |E|, the number of undirected linked edges.
+func (g *Graph) NumEdges() int { return g.m }
+
+// Degree returns the number of neighbors of vertex v.
+func (g *Graph) Degree(v int) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the sorted adjacency list of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v int) []int32 {
+	return g.neigh[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether the undirected edge (a, b) is linked.
+func (g *Graph) HasEdge(a, b int) bool {
+	return g.edges.Contains(Edge{int32(a), int32(b)})
+}
+
+// Edges calls fn for every canonical undirected edge. Iteration order is
+// deterministic (by first endpoint, then second).
+func (g *Graph) Edges(fn func(Edge)) {
+	for v := 0; v < g.n; v++ {
+		for _, w := range g.Neighbors(v) {
+			if int32(v) < w {
+				fn(Edge{int32(v), w})
+			}
+		}
+	}
+}
+
+// EdgeList materialises all canonical edges; used by the held-out splitter
+// and the minibatch samplers that need random access to E.
+func (g *Graph) EdgeList() []Edge {
+	out := make([]Edge, 0, g.m)
+	g.Edges(func(e Edge) { out = append(out, e) })
+	return out
+}
+
+// MaxDegree returns the largest vertex degree in the graph (0 when empty).
+func (g *Graph) MaxDegree() int {
+	best := 0
+	for v := 0; v < g.n; v++ {
+		if d := g.Degree(v); d > best {
+			best = d
+		}
+	}
+	return best
+}
+
+// MeanDegree returns 2|E|/N, the average degree (0 for an empty graph).
+func (g *Graph) MeanDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(g.n)
+}
+
+// Density returns |E| / (N choose 2).
+func (g *Graph) Density() float64 {
+	if g.n < 2 {
+		return 0
+	}
+	return float64(g.m) / (float64(g.n) * float64(g.n-1) / 2)
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate edges
+// and self-loops are dropped silently, matching how the paper's loader treats
+// the SNAP inputs.
+type Builder struct {
+	n     int
+	set   EdgeSet
+	edges []Edge
+}
+
+// NewBuilder creates a builder for a graph with n vertices.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, set: NewEdgeSet(16)}
+}
+
+// AddEdge records the undirected edge (a, b). It returns true if the edge was
+// new and within range, false for duplicates, self-loops, or out-of-range
+// endpoints.
+func (b *Builder) AddEdge(a, bb int) bool {
+	if a == bb || a < 0 || bb < 0 || a >= b.n || bb >= b.n {
+		return false
+	}
+	e := Edge{int32(a), int32(bb)}.Canon()
+	if !b.set.Add(e) {
+		return false
+	}
+	b.edges = append(b.edges, e)
+	return true
+}
+
+// NumEdges returns the number of accepted edges so far.
+func (b *Builder) NumEdges() int { return len(b.edges) }
+
+// Finalize builds the immutable Graph. The builder must not be used after.
+func (b *Builder) Finalize() *Graph {
+	deg := make([]int32, b.n+1)
+	for _, e := range b.edges {
+		deg[e.A+1]++
+		deg[e.B+1]++
+	}
+	for i := 0; i < b.n; i++ {
+		deg[i+1] += deg[i]
+	}
+	offsets := deg
+	neigh := make([]int32, 2*len(b.edges))
+	cursor := make([]int32, b.n)
+	for _, e := range b.edges {
+		neigh[offsets[e.A]+cursor[e.A]] = e.B
+		cursor[e.A]++
+		neigh[offsets[e.B]+cursor[e.B]] = e.A
+		cursor[e.B]++
+	}
+	for v := 0; v < b.n; v++ {
+		row := neigh[offsets[v]:offsets[v+1]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+	g := &Graph{
+		n:       b.n,
+		offsets: offsets,
+		neigh:   neigh,
+		edges:   b.set,
+		m:       len(b.edges),
+	}
+	b.edges = nil
+	b.set = EdgeSet{}
+	return g
+}
+
+// FromEdges is a convenience constructor for tests and generators.
+func FromEdges(n int, edges []Edge) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(int(e.A), int(e.B))
+	}
+	return b.Finalize()
+}
+
+// Validate checks internal consistency (CSR symmetry, edge set agreement).
+// It is O(N + E log E) and intended for tests, not hot paths.
+func (g *Graph) Validate() error {
+	if len(g.offsets) != g.n+1 {
+		return fmt.Errorf("graph: offsets length %d, want %d", len(g.offsets), g.n+1)
+	}
+	count := 0
+	for v := 0; v < g.n; v++ {
+		row := g.Neighbors(v)
+		for i, w := range row {
+			if w < 0 || int(w) >= g.n {
+				return fmt.Errorf("graph: vertex %d has out-of-range neighbor %d", v, w)
+			}
+			if int(w) == v {
+				return fmt.Errorf("graph: self-loop at %d", v)
+			}
+			if i > 0 && row[i-1] >= w {
+				return fmt.Errorf("graph: adjacency of %d not strictly sorted", v)
+			}
+			if !g.edges.Contains(Edge{int32(v), w}) {
+				return fmt.Errorf("graph: CSR edge (%d,%d) missing from edge set", v, w)
+			}
+			// Symmetry: v must appear in w's list.
+			back := g.Neighbors(int(w))
+			idx := sort.Search(len(back), func(i int) bool { return back[i] >= int32(v) })
+			if idx >= len(back) || back[idx] != int32(v) {
+				return fmt.Errorf("graph: edge (%d,%d) not symmetric", v, w)
+			}
+			if int32(v) < w {
+				count++
+			}
+		}
+	}
+	if count != g.m {
+		return fmt.Errorf("graph: CSR holds %d edges, header says %d", count, g.m)
+	}
+	if g.edges.Len() != g.m {
+		return fmt.Errorf("graph: edge set holds %d edges, header says %d", g.edges.Len(), g.m)
+	}
+	return nil
+}

@@ -1,0 +1,219 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mathx"
+)
+
+func triangle() *Graph {
+	return FromEdges(3, []Edge{{0, 1}, {1, 2}, {0, 2}})
+}
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4)
+	if !b.AddEdge(0, 1) {
+		t.Fatal("fresh edge rejected")
+	}
+	if b.AddEdge(1, 0) {
+		t.Fatal("duplicate (reversed) edge accepted")
+	}
+	if b.AddEdge(2, 2) {
+		t.Fatal("self-loop accepted")
+	}
+	if b.AddEdge(0, 4) {
+		t.Fatal("out-of-range edge accepted")
+	}
+	if b.AddEdge(-1, 0) {
+		t.Fatal("negative vertex accepted")
+	}
+	b.AddEdge(2, 3)
+	g := b.Finalize()
+	if g.NumVertices() != 4 || g.NumEdges() != 2 {
+		t.Fatalf("got N=%d E=%d, want 4/2", g.NumVertices(), g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriangleQueries(t *testing.T) {
+	g := triangle()
+	for v := 0; v < 3; v++ {
+		if g.Degree(v) != 2 {
+			t.Fatalf("degree(%d) = %d, want 2", v, g.Degree(v))
+		}
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || !g.HasEdge(2, 0) {
+		t.Fatal("edge membership broken")
+	}
+	if g.HasEdge(0, 0) {
+		t.Fatal("self-loop reported present")
+	}
+	if g.MeanDegree() != 2 {
+		t.Fatalf("mean degree = %v", g.MeanDegree())
+	}
+	if g.Density() != 1 {
+		t.Fatalf("triangle density = %v, want 1", g.Density())
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("max degree = %v", g.MaxDegree())
+	}
+}
+
+func TestEdgeIterationCanonical(t *testing.T) {
+	g := triangle()
+	var got []Edge
+	g.Edges(func(e Edge) { got = append(got, e) })
+	want := []Edge{{0, 1}, {0, 2}, {1, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("edge count %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edge %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEdgeCanonKey(t *testing.T) {
+	e1 := Edge{5, 2}
+	e2 := Edge{2, 5}
+	if e1.Key() != e2.Key() {
+		t.Fatal("Key not orientation-invariant")
+	}
+	if e1.Canon() != (Edge{2, 5}) {
+		t.Fatalf("Canon = %v", e1.Canon())
+	}
+}
+
+func TestRandomGraphValidates(t *testing.T) {
+	rng := mathx.NewRNG(77)
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(60)
+		b := NewBuilder(n)
+		attempts := rng.Intn(3 * n)
+		for i := 0; i < attempts; i++ {
+			b.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		g := b.Finalize()
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(5).Finalize()
+	if g.NumEdges() != 0 || g.NumVertices() != 5 {
+		t.Fatal("empty graph wrong shape")
+	}
+	if g.MeanDegree() != 0 || g.MaxDegree() != 0 {
+		t.Fatal("empty graph degree stats wrong")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.EdgeList()) != 0 {
+		t.Fatal("empty graph has edges")
+	}
+}
+
+func TestEdgeSetAddContains(t *testing.T) {
+	s := NewEdgeSet(4)
+	if s.Contains(Edge{0, 1}) {
+		t.Fatal("empty set contains an edge")
+	}
+	if !s.Add(Edge{0, 1}) {
+		t.Fatal("first Add returned false")
+	}
+	if s.Add(Edge{1, 0}) {
+		t.Fatal("reversed duplicate accepted")
+	}
+	if !s.Contains(Edge{1, 0}) {
+		t.Fatal("membership not orientation-invariant")
+	}
+	if s.Add(Edge{3, 3}) {
+		t.Fatal("self-loop accepted by EdgeSet")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestEdgeSetGrowth(t *testing.T) {
+	s := NewEdgeSet(2)
+	const n = 5000
+	for i := 0; i < n; i++ {
+		if !s.Add(Edge{int32(i), int32(i + 1)}) {
+			t.Fatalf("edge %d rejected", i)
+		}
+	}
+	if s.Len() != n {
+		t.Fatalf("Len = %d, want %d", s.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if !s.Contains(Edge{int32(i + 1), int32(i)}) {
+			t.Fatalf("edge %d lost after growth", i)
+		}
+	}
+	if s.Contains(Edge{9999, 12345}) {
+		t.Fatal("phantom edge present")
+	}
+}
+
+func TestEdgeSetProperty(t *testing.T) {
+	f := func(pairs [][2]int16) bool {
+		s := NewEdgeSet(0)
+		ref := map[uint64]bool{}
+		for _, p := range pairs {
+			e := Edge{int32(p[0]), int32(p[1])}
+			if p[0] == p[1] {
+				if s.Add(e) {
+					return false
+				}
+				continue
+			}
+			added := s.Add(e)
+			if added == ref[e.Key()] {
+				return false // Add result must reflect prior membership
+			}
+			ref[e.Key()] = true
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for _, p := range pairs {
+			if p[0] == p[1] {
+				continue
+			}
+			e := Edge{int32(p[0]), int32(p[1])}
+			if !s.Contains(e) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeSetEach(t *testing.T) {
+	s := NewEdgeSet(0)
+	in := []Edge{{0, 1}, {2, 3}, {1, 4}}
+	for _, e := range in {
+		s.Add(e)
+	}
+	seen := map[uint64]bool{}
+	s.Each(func(e Edge) { seen[e.Key()] = true })
+	if len(seen) != len(in) {
+		t.Fatalf("Each visited %d edges, want %d", len(seen), len(in))
+	}
+	for _, e := range in {
+		if !seen[e.Key()] {
+			t.Fatalf("Each missed %v", e)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package mathx
+
+import "math"
+
+// AliasTable implements Walker's alias method: O(n) construction, O(1)
+// sampling from an arbitrary discrete distribution. The degree-corrected
+// graph generator draws millions of weighted endpoints, which is exactly the
+// workload the method exists for.
+type AliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAliasTable builds a table for the given non-negative weights (sum must
+// be positive). The input slice is not retained.
+func NewAliasTable(weights []float64) *AliasTable {
+	n := len(weights)
+	if n == 0 {
+		panic("mathx: alias table with no weights")
+	}
+	var sum float64
+	for _, w := range weights {
+		if w < 0 {
+			panic("mathx: alias table with negative weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		panic("mathx: alias table with zero total weight")
+	}
+	t := &AliasTable{prob: make([]float64, n), alias: make([]int32, n)}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = float64(n) * w / sum
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		t.prob[i] = 1 // numerical leftovers
+		t.alias[i] = i
+	}
+	return t
+}
+
+// Sample draws one index with probability proportional to its weight.
+func (t *AliasTable) Sample(rng *RNG) int {
+	i := rng.Intn(len(t.prob))
+	if rng.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// Pareto returns a sample from the bounded Pareto distribution with shape
+// alpha and support [lo, hi]; the degree-corrected generator uses it for
+// power-law degree targets. Inverse-CDF:
+//
+//	x = (H^a - u·(H^a - L^a))^(-1/a) · (L·H)  — standard bounded-Pareto form
+func (r *RNG) Pareto(alpha, lo, hi float64) float64 {
+	if alpha <= 0 || lo <= 0 || hi <= lo {
+		panic("mathx: invalid bounded Pareto parameters")
+	}
+	u := r.Float64Open()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	// CDF(x) = (1 - L^a x^-a) / (1 - (L/H)^a); invert for x.
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}

@@ -1,0 +1,96 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAliasTableDistribution(t *testing.T) {
+	weights := []float64{1, 2, 3, 4, 0, 10}
+	tab := NewAliasTable(weights)
+	rng := NewRNG(5)
+	counts := make([]int, len(weights))
+	const draws = 400000
+	for i := 0; i < draws; i++ {
+		counts[tab.Sample(rng)]++
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for i, w := range weights {
+		want := w / sum * draws
+		got := float64(counts[i])
+		if w == 0 {
+			if got != 0 {
+				t.Fatalf("zero-weight index %d sampled %v times", i, got)
+			}
+			continue
+		}
+		if math.Abs(got-want) > 6*math.Sqrt(want) {
+			t.Fatalf("index %d: %v draws, want ≈%.0f", i, got, want)
+		}
+	}
+}
+
+func TestAliasTableSingleton(t *testing.T) {
+	tab := NewAliasTable([]float64{7})
+	rng := NewRNG(1)
+	for i := 0; i < 100; i++ {
+		if tab.Sample(rng) != 0 {
+			t.Fatal("singleton table sampled non-zero index")
+		}
+	}
+}
+
+func TestAliasTablePanics(t *testing.T) {
+	cases := [][]float64{nil, {0, 0}, {1, -1}}
+	for i, w := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			NewAliasTable(w)
+		}()
+	}
+}
+
+func TestParetoBoundsAndTail(t *testing.T) {
+	rng := NewRNG(9)
+	const lo, hi, alpha = 2.0, 200.0, 2.5
+	var w Welford
+	exceed10 := 0
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		v := rng.Pareto(alpha, lo, hi)
+		if v < lo-1e-9 || v > hi+1e-9 {
+			t.Fatalf("Pareto out of bounds: %v", v)
+		}
+		w.Add(v)
+		if v > 10*lo {
+			exceed10++
+		}
+	}
+	// Bounded Pareto(2.5, 2, 200) mean = a·L^a·(H^(1-a) - L^(1-a)) /
+	// ((1-a)·(1 - (L/H)^a)) ≈ 3.3.
+	if w.Mean() < 2.5 || w.Mean() > 4.5 {
+		t.Fatalf("Pareto mean = %v, want ≈3.3", w.Mean())
+	}
+	// Heavy tail: P(X > 10·L) = (L^a·(10L)^-a - (L/H)^a)/(1-(L/H)^a) ≈ 0.003.
+	frac := float64(exceed10) / draws
+	if frac < 0.001 || frac > 0.01 {
+		t.Fatalf("tail mass beyond 10×min = %v, want ≈0.003", frac)
+	}
+}
+
+func TestParetoPanics(t *testing.T) {
+	rng := NewRNG(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid Pareto parameters accepted")
+		}
+	}()
+	rng.Pareto(0, 1, 2)
+}

@@ -1,0 +1,48 @@
+package mathx
+
+import "math"
+
+// Digamma returns ψ(x) = d/dx ln Γ(x) for x > 0, via the recurrence
+// ψ(x) = ψ(x+1) − 1/x to push the argument above 6, then the asymptotic
+// series. Accuracy is ~1e-12 over the range the variational updates use
+// (pseudo-counts ≥ α > 0). The SVI baseline needs ψ for the Dirichlet and
+// Beta expectations E[log π] and E[log β].
+func Digamma(x float64) float64 {
+	if x <= 0 {
+		if x == math.Trunc(x) {
+			return math.NaN() // poles at non-positive integers
+		}
+		// Reflection: ψ(1-x) - ψ(x) = π·cot(πx).
+		return Digamma(1-x) - math.Pi/math.Tan(math.Pi*x)
+	}
+	var result float64
+	for x < 6 {
+		result -= 1 / x
+		x++
+	}
+	// Asymptotic expansion: ψ(x) ≈ ln x − 1/(2x) − Σ B_2n / (2n x^{2n}).
+	inv := 1 / x
+	inv2 := inv * inv
+	result += math.Log(x) - 0.5*inv
+	result -= inv2 * (1.0/12 - inv2*(1.0/120-inv2*(1.0/252-inv2*(1.0/240-inv2*(1.0/132)))))
+	return result
+}
+
+// DirichletExpLog fills out[k] = E_q[log π_k] = ψ(γ_k) − ψ(Σγ) for a
+// Dirichlet(γ) variational factor.
+func DirichletExpLog(gamma []float64, out []float64) {
+	var sum float64
+	for _, v := range gamma {
+		sum += v
+	}
+	total := Digamma(sum)
+	for i, v := range gamma {
+		out[i] = Digamma(v) - total
+	}
+}
+
+// BetaExpLogs returns (E[log β], E[log(1−β)]) for a Beta(λ1, λ0) factor.
+func BetaExpLogs(lambda1, lambda0 float64) (elog, elog1m float64) {
+	t := Digamma(lambda1 + lambda0)
+	return Digamma(lambda1) - t, Digamma(lambda0) - t
+}

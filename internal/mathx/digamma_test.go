@@ -1,0 +1,105 @@
+package mathx
+
+import (
+	"math"
+	"testing"
+)
+
+const eulerMascheroni = 0.5772156649015328606
+
+func TestDigammaKnownValues(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{1, -eulerMascheroni},
+		{0.5, -eulerMascheroni - 2*math.Ln2},
+		{2, 1 - eulerMascheroni},
+		{3, 1.5 - eulerMascheroni},
+		{10, harmonic(9) - eulerMascheroni},
+		{100, harmonic(99) - eulerMascheroni},
+	}
+	for _, c := range cases {
+		if got := Digamma(c.x); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("ψ(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func harmonic(n int) float64 {
+	var h float64
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	return h
+}
+
+func TestDigammaRecurrence(t *testing.T) {
+	// ψ(x+1) = ψ(x) + 1/x for arbitrary x.
+	for _, x := range []float64{0.1, 0.7, 1.3, 4.9, 42.5} {
+		lhs := Digamma(x + 1)
+		rhs := Digamma(x) + 1/x
+		if math.Abs(lhs-rhs) > 1e-10 {
+			t.Errorf("recurrence fails at %v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestDigammaMonotoneAndConcaveish(t *testing.T) {
+	prev := math.Inf(-1)
+	for x := 0.05; x < 50; x += 0.07 {
+		v := Digamma(x)
+		if v <= prev {
+			t.Fatalf("ψ not increasing at %v", x)
+		}
+		prev = v
+	}
+}
+
+func TestDigammaPoles(t *testing.T) {
+	for _, x := range []float64{0, -1, -2} {
+		if !math.IsNaN(Digamma(x)) {
+			t.Errorf("ψ(%v) should be NaN at a pole", x)
+		}
+	}
+	// Negative non-integer arguments work via reflection.
+	// ψ(-0.5) = 2 - γ - 2 ln 2 ≈ 0.03649.
+	want := 2 - eulerMascheroni - 2*math.Ln2
+	if got := Digamma(-0.5); math.Abs(got-want) > 1e-10 {
+		t.Errorf("ψ(-0.5) = %v, want %v", got, want)
+	}
+}
+
+func TestDirichletExpLog(t *testing.T) {
+	gamma := []float64{1, 2, 3}
+	out := make([]float64, 3)
+	DirichletExpLog(gamma, out)
+	total := Digamma(6)
+	for i, g := range gamma {
+		want := Digamma(g) - total
+		if math.Abs(out[i]-want) > 1e-12 {
+			t.Fatalf("component %d = %v, want %v", i, out[i], want)
+		}
+	}
+	// E[log π] must be negative (π < 1 almost surely).
+	for i, v := range out {
+		if v >= 0 {
+			t.Fatalf("E[log π_%d] = %v, should be negative", i, v)
+		}
+	}
+}
+
+func TestBetaExpLogs(t *testing.T) {
+	elog, elog1m := BetaExpLogs(3, 2)
+	if elog >= 0 || elog1m >= 0 {
+		t.Fatal("Beta expected logs must be negative")
+	}
+	// For a symmetric Beta the two must agree.
+	a, b := BetaExpLogs(5, 5)
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("symmetric Beta: %v != %v", a, b)
+	}
+	// Concentrating mass near 1 raises E[log β] toward 0.
+	hi, _ := BetaExpLogs(100, 1)
+	lo, _ := BetaExpLogs(1, 100)
+	if hi <= lo {
+		t.Fatal("E[log β] ordering wrong")
+	}
+}

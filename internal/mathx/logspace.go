@@ -1,0 +1,46 @@
+package mathx
+
+import "math"
+
+// LogSumExp returns log(Σ exp(x_i)) computed stably. It returns -Inf for an
+// empty slice, matching the sum-of-nothing convention.
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, v := range x {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+// Log1pExp returns log(1 + exp(x)) without overflow.
+func Log1pExp(x float64) float64 {
+	if x > 35 {
+		return x
+	}
+	if x < -35 {
+		return math.Exp(x)
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// SafeLog returns log(x) with a floor that avoids -Inf when a held-out
+// probability underflows to zero in float32 arithmetic.
+func SafeLog(x float64) float64 {
+	const floor = 1e-300
+	if x < floor {
+		x = floor
+	}
+	return math.Log(x)
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Cover file format: one community per line, space-separated vertex ids —
+// the same layout SNAP uses for its ground-truth community files, so
+// detected covers can be compared with external tooling.
+
+// WriteCover writes the cover to w, one community per line.
+func WriteCover(w io.Writer, c *Cover) error {
+	bw := bufio.NewWriter(w)
+	for _, members := range c.Members {
+		for i, v := range members {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(int(v))); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCover parses a cover over n vertices; out-of-range ids are an error.
+// Blank lines and '#' comments are skipped.
+func ReadCover(r io.Reader, n int) (*Cover, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	var members [][]int32
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		community := make([]int32, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("metrics: line %d: %v", lineNo, err)
+			}
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("metrics: line %d: vertex %d out of [0,%d)", lineNo, v, n)
+			}
+			community = append(community, int32(v))
+		}
+		members = append(members, community)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewCover(n, members), nil
+}
+
+// WriteCoverFile writes the cover to path.
+func WriteCoverFile(path string, c *Cover) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCover(f, c); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCoverFile reads a cover over n vertices from path.
+func ReadCoverFile(path string, n int) (*Cover, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCover(f, n)
+}

@@ -1,0 +1,37 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// ExampleF1Score scores a detected cover against planted ground truth.
+func ExampleF1Score() {
+	truth := metrics.NewCover(8, [][]int32{
+		{0, 1, 2, 3},
+		{4, 5, 6, 7},
+	})
+	perfect := metrics.NewCover(8, [][]int32{
+		{0, 1, 2, 3},
+		{4, 5, 6, 7},
+	})
+	partial := metrics.NewCover(8, [][]int32{
+		{0, 1, 2},
+		{4, 5, 6, 7},
+	})
+	fmt.Printf("perfect: %.2f\n", metrics.F1Score(perfect, truth))
+	fmt.Printf("partial: %.2f\n", metrics.F1Score(partial, truth))
+	// Output:
+	// perfect: 1.00
+	// partial: 0.93
+}
+
+// ExampleNMI compares covers with the overlapping normalized mutual
+// information.
+func ExampleNMI() {
+	a := metrics.NewCover(10, [][]int32{{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}})
+	fmt.Printf("self: %.2f\n", metrics.NMI(a, a))
+	// Output:
+	// self: 1.00
+}

@@ -1,0 +1,302 @@
+// Package metrics scores detected overlapping communities against planted
+// ground truth. Two standard scores are provided: the symmetric average
+// best-match F1 of Yang & Leskovec, and the overlapping normalized mutual
+// information (NMI) of Lancichinetti, Fortunato & Kertész. Both treat a
+// community as a set of vertices and a "cover" as a set of communities that
+// may overlap.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Cover is a set of (possibly overlapping) communities over N vertices.
+type Cover struct {
+	N       int
+	Members [][]int32
+}
+
+// NewCover builds a cover, dropping empty communities and deduplicating
+// members within each community.
+func NewCover(n int, members [][]int32) *Cover {
+	out := make([][]int32, 0, len(members))
+	for _, m := range members {
+		if len(m) == 0 {
+			continue
+		}
+		c := append([]int32(nil), m...)
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		dedup := c[:1]
+		for _, v := range c[1:] {
+			if v != dedup[len(dedup)-1] {
+				dedup = append(dedup, v)
+			}
+		}
+		out = append(out, dedup)
+	}
+	return &Cover{N: n, Members: out}
+}
+
+// FromState thresholds the model's π matrix into a cover: vertex a belongs
+// to community k when π_ak > threshold. A threshold of 0 uses the adaptive
+// default 1.5/K, which separates "active" memberships from the Dirichlet
+// floor.
+func FromState(s *core.State, threshold float64) *Cover {
+	if threshold <= 0 {
+		threshold = 1.5 / float64(s.K)
+	}
+	members := make([][]int32, s.K)
+	for a := 0; a < s.N; a++ {
+		row := s.PiRow(a)
+		for k, v := range row {
+			if float64(v) > threshold {
+				members[k] = append(members[k], int32(a))
+			}
+		}
+	}
+	return NewCover(s.N, members)
+}
+
+// f1 returns the F1 score between two sorted member lists.
+func f1(a, b []int32) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	if inter == 0 {
+		return 0
+	}
+	prec := float64(inter) / float64(len(a))
+	rec := float64(inter) / float64(len(b))
+	return 2 * prec * rec / (prec + rec)
+}
+
+// F1Score returns the symmetric average best-match F1 between a detected
+// cover and the ground truth:
+//
+//	½ · ( avg_d max_t F1(d, t) + avg_t max_d F1(d, t) )
+//
+// 1.0 means a perfect reconstruction; a random cover scores near the overlap
+// of community size distributions.
+func F1Score(detected, truth *Cover) float64 {
+	if len(detected.Members) == 0 || len(truth.Members) == 0 {
+		return 0
+	}
+	avgBest := func(from, to [][]int32) float64 {
+		var total float64
+		for _, f := range from {
+			best := 0.0
+			for _, t := range to {
+				if s := f1(f, t); s > best {
+					best = s
+				}
+			}
+			total += best
+		}
+		return total / float64(len(from))
+	}
+	return 0.5 * (avgBest(detected.Members, truth.Members) + avgBest(truth.Members, detected.Members))
+}
+
+// binaryEntropy returns H(p) for a Bernoulli(p) variable, in nats.
+func binaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log(p) - (1-p)*math.Log(1-p)
+}
+
+// h is the plug-in entropy of a count out of n.
+func h(count, n int) float64 {
+	if count <= 0 || n <= 0 {
+		return 0
+	}
+	p := float64(count) / float64(n)
+	if p >= 1 {
+		return 0
+	}
+	return -p * math.Log(p)
+}
+
+// NMI computes the overlapping normalized mutual information of
+// Lancichinetti, Fortunato & Kertész (2009) between two covers. It treats
+// each community as a binary membership vector over the N vertices and
+// returns 1 for identical covers, ~0 for independent ones.
+func NMI(x, y *Cover) float64 {
+	if x.N != y.N {
+		panic("metrics: covers over different vertex counts")
+	}
+	if len(x.Members) == 0 || len(y.Members) == 0 {
+		return 0
+	}
+	n := x.N
+	condX := conditionalEntropy(x, y, n)
+	condY := conditionalEntropy(y, x, n)
+	hx := coverEntropy(x, n)
+	hy := coverEntropy(y, n)
+	if hx == 0 || hy == 0 {
+		return 0
+	}
+	return 1 - 0.5*(condX/hx+condY/hy)
+}
+
+// coverEntropy returns Σ_k H(X_k) over the cover's communities.
+func coverEntropy(c *Cover, n int) float64 {
+	var total float64
+	for _, m := range c.Members {
+		total += binaryEntropy(float64(len(m)) / float64(n))
+	}
+	return total
+}
+
+// conditionalEntropy returns H(X|Y) = Σ_k min_l H(X_k | Y_l), normalised per
+// community by H(X_k) as in the LFK definition, then multiplied back so the
+// caller can divide by Σ H(X_k).
+func conditionalEntropy(x, y *Cover, n int) float64 {
+	var total float64
+	for _, xk := range x.Members {
+		hxk := binaryEntropy(float64(len(xk)) / float64(n))
+		if hxk == 0 {
+			continue
+		}
+		best := hxk // H(X_k | Y_l) is capped at H(X_k) by definition
+		xset := toSet(xk)
+		for _, yl := range y.Members {
+			c11 := 0
+			for _, v := range yl {
+				if xset[v] {
+					c11++
+				}
+			}
+			c10 := len(xk) - c11       // in X, not in Y
+			c01 := len(yl) - c11       // in Y, not in X
+			c00 := n - c11 - c10 - c01 // in neither
+			// LFK constraint: only accept candidates where the positive
+			// agreement carries more information than the disagreement,
+			// otherwise complementary sets would spuriously match.
+			if h(c11, n)+h(c00, n) < h(c01, n)+h(c10, n) {
+				continue
+			}
+			hyl := binaryEntropy(float64(len(yl)) / float64(n))
+			cond := h(c11, n) + h(c00, n) + h(c01, n) + h(c10, n) - hyl
+			if cond < best {
+				best = cond
+			}
+		}
+		total += best
+	}
+	return total
+}
+
+func toSet(m []int32) map[int32]bool {
+	s := make(map[int32]bool, len(m))
+	for _, v := range m {
+		s[v] = true
+	}
+	return s
+}
+
+// ConvergenceDetector implements the stopping rule used by the convergence
+// experiments (Figure 6): training has converged when the relative change of
+// the smoothed perplexity over a window falls below a tolerance.
+type ConvergenceDetector struct {
+	window  int
+	tol     float64
+	history []float64
+}
+
+// NewConvergenceDetector creates a detector with the given smoothing window
+// (number of recent perplexity evaluations compared) and relative tolerance.
+func NewConvergenceDetector(window int, tol float64) *ConvergenceDetector {
+	if window < 2 {
+		window = 2
+	}
+	return &ConvergenceDetector{window: window, tol: tol}
+}
+
+// Add records a perplexity evaluation and reports whether the series has
+// converged: the mean of the last half-window is within tol (relatively) of
+// the mean of the preceding half-window.
+func (d *ConvergenceDetector) Add(perplexity float64) bool {
+	d.history = append(d.history, perplexity)
+	if len(d.history) < d.window {
+		return false
+	}
+	recent := d.history[len(d.history)-d.window:]
+	half := d.window / 2
+	older := mean(recent[:half])
+	newer := mean(recent[half:])
+	if older == 0 {
+		return false
+	}
+	return math.Abs(newer-older)/older < d.tol
+}
+
+func mean(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// LinkAUC scores the model as a link predictor: the probability that a
+// uniformly random held-out LINK receives a higher modeled link probability
+// than a uniformly random held-out NON-link (area under the ROC curve).
+// 0.5 is chance; 1.0 is perfect ranking. It complements perplexity with a
+// calibration-free view of the same held-out set.
+func LinkAUC(s *core.State, pairs [][2]int32, linked []bool, delta float64) float64 {
+	type scored struct {
+		p    float64
+		link bool
+	}
+	items := make([]scored, len(pairs))
+	nPos := 0
+	for i, pr := range pairs {
+		items[i] = scored{
+			p:    core.EdgeProbability(s.PiRow(int(pr[0])), s.PiRow(int(pr[1])), s.Beta, delta, true),
+			link: linked[i],
+		}
+		if linked[i] {
+			nPos++
+		}
+	}
+	nNeg := len(pairs) - nPos
+	if nPos == 0 || nNeg == 0 {
+		return 0.5
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].p < items[j].p })
+	// Rank-sum (Mann-Whitney) with midranks for ties.
+	var rankSum float64
+	i := 0
+	for i < len(items) {
+		j := i
+		for j < len(items) && items[j].p == items[i].p {
+			j++
+		}
+		midrank := float64(i+j+1) / 2 // ranks are 1-based
+		for k := i; k < j; k++ {
+			if items[k].link {
+				rankSum += midrank
+			}
+		}
+		i = j
+	}
+	return (rankSum - float64(nPos)*float64(nPos+1)/2) / (float64(nPos) * float64(nNeg))
+}

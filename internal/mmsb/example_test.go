@@ -1,0 +1,38 @@
+package mmsb_test
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+	"repro/internal/mmsb"
+)
+
+// Example trains the general (non-assortative) model on a ring-of-groups
+// graph — structure the assortative model cannot express.
+func Example() {
+	g, _, err := gen.Disassortative(gen.DisassortativeConfig{
+		N: 200, K: 4, TargetEdges: 2000, Background: 0.02, Seed: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	train, held, err := graph.Split(g, g.NumEdges()/10, mathx.NewRNG(2))
+	if err != nil {
+		panic(err)
+	}
+	s, err := mmsb.NewSampler(mmsb.DefaultConfig(4, 3), train, held, mmsb.Options{MinibatchPairs: 64})
+	if err != nil {
+		panic(err)
+	}
+	s.Run(30)
+
+	fmt.Println("iterations:", s.Iteration())
+	fmt.Println("block matrix entries:", len(s.State.B))
+	fmt.Println("state valid:", s.State.Validate() == nil)
+	// Output:
+	// iterations: 30
+	// block matrix entries: 16
+	// state valid: true
+}

@@ -1,0 +1,444 @@
+// Package mmsb implements the GENERAL mixed-membership stochastic blockmodel
+// — the extension the paper's footnote 1 points at ("it is also
+// straightforward to apply the proposed method to the general MMSB model").
+// Where the assortative model has one strength β_k per community, the
+// general model has a full K×K block matrix B: community k's members link to
+// community l's members with probability B_kl, so disassortative structure
+// (bipartite-like cores, hub/authority layers) becomes expressible.
+//
+// The inference machinery is the same SGRLD scheme as internal/core, with
+// the per-pair work rising from O(K) to O(K²):
+//
+//	p(y_ab) = Σ_kl π_ak π_bl B_kl^y (1-B_kl)^(1-y)
+//
+// B_kl is reparameterised by a pair of Gamma pseudo-counts θ_kl ∈ R², just
+// as β_k is in the assortative model.
+package mmsb
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+	"repro/internal/par"
+	"repro/internal/sampling"
+)
+
+// Config carries the hyperparameters; the step schedule matches core.Config.
+type Config struct {
+	K     int
+	Alpha float64
+	Eta0  float64
+	Eta1  float64
+
+	StepA float64
+	StepB float64
+	StepC float64
+
+	PhiFloor float64
+	Seed     uint64
+}
+
+// DefaultConfig mirrors core.DefaultConfig for the general model.
+func DefaultConfig(k int, seed uint64) Config {
+	return Config{
+		K:        k,
+		Alpha:    1 / float64(k),
+		Eta0:     5,
+		Eta1:     1,
+		StepA:    0.05,
+		StepB:    4096,
+		StepC:    0.55,
+		PhiFloor: 1e-12,
+		Seed:     seed,
+	}
+}
+
+// Validate reports the first invalid field.
+func (c Config) Validate() error {
+	switch {
+	case c.K < 1:
+		return fmt.Errorf("mmsb: K = %d", c.K)
+	case c.Alpha <= 0 || c.Eta0 <= 0 || c.Eta1 <= 0:
+		return fmt.Errorf("mmsb: non-positive prior")
+	case c.StepA <= 0 || c.StepB <= 0:
+		return fmt.Errorf("mmsb: invalid step schedule")
+	case c.StepC <= 0.5 || c.StepC > 1:
+		return fmt.Errorf("mmsb: StepC = %v out of (0.5, 1]", c.StepC)
+	case c.PhiFloor <= 0:
+		return fmt.Errorf("mmsb: PhiFloor = %v", c.PhiFloor)
+	}
+	return nil
+}
+
+// StepSize returns ε_t.
+func (c Config) StepSize(t int) float64 {
+	return c.StepA * math.Pow(1+float64(t)/c.StepB, -c.StepC)
+}
+
+// State holds π (with Σφ, as in the assortative engine) plus the K×K block
+// parameters. Theta is row-major with layout Theta[(k*K+l)*2 + i]; index 1
+// is the "link" pseudo-count. B is derived: B_kl = θ_kl1 / (θ_kl0 + θ_kl1).
+type State struct {
+	N, K   int
+	Pi     []float32
+	PhiSum []float64
+	Theta  []float64
+	B      []float64 // row-major K×K
+}
+
+// NewState draws the initial state from the priors, reusing the assortative
+// engine's deterministic π initialisation so experiments are comparable.
+func NewState(cfg Config, n int) (*State, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("mmsb: N = %d", n)
+	}
+	s := &State{
+		N:      n,
+		K:      cfg.K,
+		Pi:     make([]float32, n*cfg.K),
+		PhiSum: make([]float64, n),
+		Theta:  make([]float64, cfg.K*cfg.K*2),
+		B:      make([]float64, cfg.K*cfg.K),
+	}
+	coreCfg := core.Config{
+		K: cfg.K, Alpha: cfg.Alpha, Eta0: cfg.Eta0, Eta1: cfg.Eta1, Delta: 1e-7,
+		StepA: cfg.StepA, StepB: cfg.StepB, StepC: cfg.StepC,
+		PhiFloor: cfg.PhiFloor, Seed: cfg.Seed,
+	}
+	for a := 0; a < n; a++ {
+		s.PhiSum[a] = core.InitPiRow(coreCfg, a, s.PiRow(a))
+	}
+	rng := mathx.NewStream(cfg.Seed, 1<<61|3)
+	for i := 0; i < cfg.K*cfg.K; i++ {
+		s.Theta[i*2] = rng.Gamma(cfg.Eta0)
+		s.Theta[i*2+1] = rng.Gamma(cfg.Eta1)
+	}
+	s.RefreshB()
+	return s, nil
+}
+
+// PiRow returns π_a.
+func (s *State) PiRow(a int) []float32 {
+	return s.Pi[a*s.K : (a+1)*s.K]
+}
+
+// RefreshB recomputes the block matrix from θ.
+func (s *State) RefreshB() {
+	for i := 0; i < s.K*s.K; i++ {
+		s.B[i] = s.Theta[i*2+1] / (s.Theta[i*2] + s.Theta[i*2+1])
+	}
+}
+
+// Validate checks the model invariants.
+func (s *State) Validate() error {
+	for a := 0; a < s.N; a++ {
+		var sum float64
+		for _, v := range s.PiRow(a) {
+			if v < 0 {
+				return fmt.Errorf("mmsb: π[%d] negative", a)
+			}
+			sum += float64(v)
+		}
+		if math.Abs(sum-1) > 1e-4 {
+			return fmt.Errorf("mmsb: π[%d] sums to %v", a, sum)
+		}
+	}
+	for i, v := range s.B {
+		if v <= 0 || v >= 1 || math.IsNaN(v) {
+			return fmt.Errorf("mmsb: B[%d] = %v", i, v)
+		}
+	}
+	return nil
+}
+
+// EdgeProbability returns p(y_ab | π_a, π_b, B) — the O(K²) general-model
+// likelihood. The undirected graph uses the symmetrised convention: the pair
+// (a, b) is evaluated with z_ab drawn from π_a indexing rows of B.
+func EdgeProbability(piA, piB []float32, bMat []float64, k int, linked bool) float64 {
+	var p float64
+	for i := 0; i < k; i++ {
+		pa := float64(piA[i])
+		if pa == 0 {
+			continue
+		}
+		row := bMat[i*k : (i+1)*k]
+		var inner float64
+		if linked {
+			for j := 0; j < k; j++ {
+				inner += float64(piB[j]) * row[j]
+			}
+		} else {
+			for j := 0; j < k; j++ {
+				inner += float64(piB[j]) * (1 - row[j])
+			}
+		}
+		p += pa * inner
+	}
+	return p
+}
+
+// phiGradient accumulates neighbor b's contribution to φ_a's gradient:
+// grad_i += weight · (q_i / Z − 1) with q_i = Σ_j π_bj · w_ij and
+// Z = Σ_i π_ai q_i, exactly the general-model analogue of the assortative
+// kernel (the caller divides by Σφ_a once per vertex).
+func phiGradient(piA, piB []float32, bMat []float64, k int, linked bool, weight float64, grad, q []float64) {
+	var z float64
+	for i := 0; i < k; i++ {
+		row := bMat[i*k : (i+1)*k]
+		var qi float64
+		if linked {
+			for j := 0; j < k; j++ {
+				qi += float64(piB[j]) * row[j]
+			}
+		} else {
+			for j := 0; j < k; j++ {
+				qi += float64(piB[j]) * (1 - row[j])
+			}
+		}
+		q[i] = qi
+		z += float64(piA[i]) * qi
+	}
+	if z <= 0 {
+		return
+	}
+	invZ := 1 / z
+	for i := 0; i < k; i++ {
+		grad[i] += weight * (q[i]*invZ - 1)
+	}
+}
+
+// thetaGradient accumulates the pair's contribution to every block's θ
+// gradient: responsibility r_ij = π_ai π_bj w_ij / Z, and
+// grad_ij,i' += r_ij (|1-i'-y|/θ_ij,i' − 1/(θ_ij0+θ_ij1)). Because the
+// graph is undirected, each unordered pair contributes symmetrically: the
+// caller passes each pair once and the gradient treats (i,j) and (j,i)
+// blocks via their own responsibilities.
+func thetaGradient(piA, piB []float32, theta, bMat []float64, k int, linked bool, grad []float64) {
+	var z float64
+	for i := 0; i < k; i++ {
+		row := bMat[i*k : (i+1)*k]
+		pa := float64(piA[i])
+		for j := 0; j < k; j++ {
+			w := row[j]
+			if !linked {
+				w = 1 - w
+			}
+			z += pa * float64(piB[j]) * w
+		}
+	}
+	if z <= 0 {
+		return
+	}
+	invZ := 1 / z
+	y0, y1 := 1.0, 0.0
+	if linked {
+		y0, y1 = 0.0, 1.0
+	}
+	for i := 0; i < k; i++ {
+		pa := float64(piA[i])
+		for j := 0; j < k; j++ {
+			w := bMat[i*k+j]
+			if !linked {
+				w = 1 - w
+			}
+			r := pa * float64(piB[j]) * w * invZ
+			if r == 0 {
+				continue
+			}
+			idx := (i*k + j) * 2
+			sum := theta[idx] + theta[idx+1]
+			grad[idx] += r * (y0/theta[idx] - 1/sum)
+			grad[idx+1] += r * (y1/theta[idx+1] - 1/sum)
+		}
+	}
+}
+
+// Sampler runs the general-model SGRLD chain on a single node.
+type Sampler struct {
+	Cfg     Config
+	Graph   *graph.Graph
+	Held    *graph.HeldOut
+	State   *State
+	Threads int
+
+	edges sampling.EdgeStrategy
+	neigh sampling.NeighborStrategy
+	t     int
+	batch sampling.Batch
+}
+
+// Options configures NewSampler.
+type Options struct {
+	MinibatchPairs int
+	NeighborCount  int
+	Threads        int
+}
+
+// NewSampler wires the general-model sampler with the same minibatch and
+// neighbor machinery as the assortative engine.
+func NewSampler(cfg Config, g *graph.Graph, held *graph.HeldOut, opt Options) (*Sampler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.MinibatchPairs == 0 {
+		opt.MinibatchPairs = 128
+	}
+	if opt.NeighborCount == 0 {
+		opt.NeighborCount = 32
+	}
+	state, err := NewState(cfg, g.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+	var excluded *graph.EdgeSet
+	if held != nil {
+		set := graph.NewEdgeSet(held.Len())
+		for _, e := range held.Pairs {
+			set.Add(e)
+		}
+		excluded = &set
+	}
+	edges, err := sampling.NewRandomPair(g, excluded, opt.MinibatchPairs)
+	if err != nil {
+		return nil, err
+	}
+	neigh, err := sampling.NewLinkPlusUniform(sampling.NewGraphView(g, excluded), opt.NeighborCount)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{
+		Cfg: cfg, Graph: g, Held: held, State: state,
+		Threads: opt.Threads, edges: edges, neigh: neigh,
+	}, nil
+}
+
+// Iteration returns the completed iteration count.
+func (s *Sampler) Iteration() int { return s.t }
+
+// Step runs one SGRLD iteration of the general model: the same four stages
+// as Algorithm 1, with O(K²) kernels.
+func (s *Sampler) Step() {
+	t := s.t
+	k := s.Cfg.K
+	eps := s.Cfg.StepSize(t)
+	mbRNG := mathx.NewStream(s.Cfg.Seed, core.StreamMinibatch(t))
+	s.edges.Sample(mbRNG, &s.batch)
+	nodes := s.batch.Nodes
+
+	// update_phi, staged then committed.
+	newPhi := make([]float64, len(nodes)*k)
+	par.For(len(nodes), s.Threads, func(lo, hi int) {
+		grad := make([]float64, k)
+		q := make([]float64, k)
+		var ns sampling.NeighborSample
+		for i := lo; i < hi; i++ {
+			a := nodes[i]
+			rng := mathx.NewStream(s.Cfg.Seed, core.StreamVertex(t, int(a)))
+			s.neigh.Sample(a, rng, &ns)
+			for j := range grad {
+				grad[j] = 0
+			}
+			piA := s.State.PiRow(int(a))
+			for j, b := range ns.Nodes {
+				phiGradient(piA, s.State.PiRow(int(b)), s.State.B, k, ns.Linked[j], ns.Scale[j], grad, q)
+			}
+			phiSum := s.State.PhiSum[int(a)]
+			invPhiSum := 1 / phiSum
+			noiseStd := math.Sqrt(eps)
+			dst := newPhi[i*k : (i+1)*k]
+			for j := 0; j < k; j++ {
+				phi := float64(piA[j]) * phiSum
+				v := phi + eps/2*(s.Cfg.Alpha-phi+grad[j]*invPhiSum) + math.Sqrt(phi)*noiseStd*rng.Norm()
+				if v < 0 {
+					v = -v
+				}
+				if v < s.Cfg.PhiFloor {
+					v = s.Cfg.PhiFloor
+				}
+				dst[j] = v
+			}
+		}
+	})
+	par.For(len(nodes), s.Threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := int(nodes[i])
+			row := newPhi[i*k : (i+1)*k]
+			var sum float64
+			for _, v := range row {
+				sum += v
+			}
+			s.State.PhiSum[a] = sum
+			dst := s.State.PiRow(a)
+			inv := 1 / sum
+			for j, v := range row {
+				dst[j] = float32(v * inv)
+			}
+		}
+	})
+
+	// update_theta/B from the minibatch pairs (chunk-ordered fold).
+	grad := par.ChunkedReduceVec(len(s.batch.Pairs), core.ThetaChunk, s.Threads, 2*k*k,
+		func(lo, hi int, acc []float64) {
+			for i := lo; i < hi; i++ {
+				e := s.batch.Pairs[i]
+				thetaGradient(s.State.PiRow(int(e.A)), s.State.PiRow(int(e.B)),
+					s.State.Theta, s.State.B, k, s.batch.Linked[i], acc)
+			}
+		})
+	thetaRNG := mathx.NewStream(s.Cfg.Seed, core.StreamTheta(t))
+	noiseStd := math.Sqrt(eps)
+	for i := 0; i < k*k; i++ {
+		for c := 0; c < 2; c++ {
+			idx := i*2 + c
+			eta := s.Cfg.Eta0
+			if c == 1 {
+				eta = s.Cfg.Eta1
+			}
+			th := s.State.Theta[idx]
+			v := th + eps/2*(eta-th+s.batch.Scale*grad[idx]) + math.Sqrt(th)*noiseStd*thetaRNG.Norm()
+			if v < 0 {
+				v = -v
+			}
+			if v < s.Cfg.PhiFloor {
+				v = s.Cfg.PhiFloor
+			}
+			s.State.Theta[idx] = v
+		}
+	}
+	s.State.RefreshB()
+	s.t++
+}
+
+// Run executes n iterations.
+func (s *Sampler) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Perplexity evaluates Eqn (7)'s metric under the general model.
+func (s *Sampler) Perplexity() float64 {
+	if s.Held == nil {
+		panic("mmsb: sampler has no held-out set")
+	}
+	k := s.Cfg.K
+	logSum := par.ChunkedReduce(s.Held.Len(), core.PerplexityChunk, s.Threads, func(lo, hi int) float64 {
+		var acc float64
+		for i := lo; i < hi; i++ {
+			e := s.Held.Pairs[i]
+			p := EdgeProbability(s.State.PiRow(int(e.A)), s.State.PiRow(int(e.B)), s.State.B, k, s.Held.Linked[i])
+			if p < 1e-300 {
+				p = 1e-300
+			}
+			acc += math.Log(p)
+		}
+		return acc
+	})
+	return math.Exp(-logSum / float64(s.Held.Len()))
+}

@@ -1,0 +1,312 @@
+package mmsb
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+)
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig(4, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.K = 0 },
+		func(c *Config) { c.Alpha = 0 },
+		func(c *Config) { c.Eta1 = 0 },
+		func(c *Config) { c.StepC = 0.5 },
+		func(c *Config) { c.PhiFloor = 0 },
+	}
+	for i, m := range mutations {
+		c := good
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestNewStateInvariants(t *testing.T) {
+	s, err := NewState(DefaultConfig(5, 3), 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.B) != 25 || len(s.Theta) != 50 {
+		t.Fatal("block matrix shapes wrong")
+	}
+}
+
+func randomSimplex32(rng *mathx.RNG, k int) []float32 {
+	tmp := make([]float64, k)
+	rng.Dirichlet(1, tmp)
+	out := make([]float32, k)
+	for i, v := range tmp {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+func TestEdgeProbabilityComplementary(t *testing.T) {
+	rng := mathx.NewRNG(7)
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(6)
+		piA := randomSimplex32(rng, k)
+		piB := randomSimplex32(rng, k)
+		bMat := make([]float64, k*k)
+		for i := range bMat {
+			bMat[i] = rng.Float64Open()
+		}
+		p1 := EdgeProbability(piA, piB, bMat, k, true)
+		p0 := EdgeProbability(piA, piB, bMat, k, false)
+		if math.Abs(p1+p0-1) > 1e-6 {
+			t.Fatalf("p1+p0 = %v", p1+p0)
+		}
+	}
+}
+
+// logLik64 is a float64 reference for the numerical gradient checks.
+func logLik64(piA, piB, bMat []float64, k int, linked bool) float64 {
+	var p float64
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			w := bMat[i*k+j]
+			if !linked {
+				w = 1 - w
+			}
+			p += piA[i] * piB[j] * w
+		}
+	}
+	return math.Log(p)
+}
+
+func TestPhiGradientMatchesNumerical(t *testing.T) {
+	rng := mathx.NewRNG(8)
+	const k = 4
+	for trial := 0; trial < 40; trial++ {
+		phiA := make([]float64, k)
+		var phiSum float64
+		for i := range phiA {
+			phiA[i] = rng.Gamma(1) + 0.05
+			phiSum += phiA[i]
+		}
+		piA := make([]float32, k)
+		piA64 := make([]float64, k)
+		for i, v := range phiA {
+			piA[i] = float32(v / phiSum)
+			piA64[i] = v / phiSum
+		}
+		piB := randomSimplex32(rng, k)
+		piB64 := make([]float64, k)
+		for i, v := range piB {
+			piB64[i] = float64(v)
+		}
+		bMat := make([]float64, k*k)
+		for i := range bMat {
+			bMat[i] = 0.05 + 0.9*rng.Float64()
+		}
+		linked := trial%2 == 0
+
+		grad := make([]float64, k)
+		q := make([]float64, k)
+		phiGradient(piA, piB, bMat, k, linked, 1.0, grad, q)
+		for i := range grad {
+			grad[i] /= phiSum
+		}
+
+		logLikAsPhi := func(phi []float64) float64 {
+			var sum float64
+			for _, v := range phi {
+				sum += v
+			}
+			pi := make([]float64, k)
+			for i, v := range phi {
+				pi[i] = v / sum
+			}
+			return logLik64(pi, piB64, bMat, k, linked)
+		}
+		for i := 0; i < k; i++ {
+			h := 1e-6 * phiA[i]
+			up := append([]float64(nil), phiA...)
+			dn := append([]float64(nil), phiA...)
+			up[i] += h
+			dn[i] -= h
+			num := (logLikAsPhi(up) - logLikAsPhi(dn)) / (2 * h)
+			if math.Abs(num-grad[i]) > 1e-4*math.Max(1, math.Abs(num)) {
+				t.Fatalf("trial %d φ[%d]: analytic %v numerical %v", trial, i, grad[i], num)
+			}
+		}
+	}
+}
+
+func TestThetaGradientMatchesNumerical(t *testing.T) {
+	rng := mathx.NewRNG(9)
+	const k = 3
+	for trial := 0; trial < 40; trial++ {
+		theta := make([]float64, 2*k*k)
+		bMat := make([]float64, k*k)
+		for i := 0; i < k*k; i++ {
+			theta[i*2] = rng.Gamma(2) + 0.1
+			theta[i*2+1] = rng.Gamma(2) + 0.1
+			bMat[i] = theta[i*2+1] / (theta[i*2] + theta[i*2+1])
+		}
+		piA := randomSimplex32(rng, k)
+		piB := randomSimplex32(rng, k)
+		piA64 := make([]float64, k)
+		piB64 := make([]float64, k)
+		for i := 0; i < k; i++ {
+			piA64[i], piB64[i] = float64(piA[i]), float64(piB[i])
+		}
+		linked := trial%2 == 0
+
+		grad := make([]float64, 2*k*k)
+		thetaGradient(piA, piB, theta, bMat, k, linked, grad)
+
+		logLikAsTheta := func(th []float64) float64 {
+			bm := make([]float64, k*k)
+			for i := 0; i < k*k; i++ {
+				bm[i] = th[i*2+1] / (th[i*2] + th[i*2+1])
+			}
+			return logLik64(piA64, piB64, bm, k, linked)
+		}
+		for idx := 0; idx < 2*k*k; idx++ {
+			h := 1e-6 * theta[idx]
+			up := append([]float64(nil), theta...)
+			dn := append([]float64(nil), theta...)
+			up[idx] += h
+			dn[idx] -= h
+			num := (logLikAsTheta(up) - logLikAsTheta(dn)) / (2 * h)
+			if math.Abs(num-grad[idx]) > 1e-3*math.Max(1, math.Abs(num)) {
+				t.Fatalf("trial %d θ[%d]: analytic %v numerical %v", trial, idx, grad[idx], num)
+			}
+		}
+	}
+}
+
+func disassortativeFixture(t *testing.T) (*graph.Graph, *graph.HeldOut, []int) {
+	t.Helper()
+	g, group, err := gen.Disassortative(gen.DisassortativeConfig{
+		N: 400, K: 4, TargetEdges: 6000, Background: 0.02, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, held, err := graph.Split(g, g.NumEdges()/20, mathx.NewRNG(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return train, held, group
+}
+
+func TestSamplerInvariantsAndDeterminism(t *testing.T) {
+	train, held, _ := disassortativeFixture(t)
+	run := func() *State {
+		s, err := NewSampler(DefaultConfig(4, 5), train, held, Options{Threads: 2, MinibatchPairs: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Run(40)
+		if err := s.State.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return s.State
+	}
+	a, b := run(), run()
+	if mathx.MaxAbsDiff32(a.Pi, b.Pi) != 0 || mathx.MaxAbsDiff(a.Theta, b.Theta) != 0 {
+		t.Fatal("same-seed general-MMSB runs diverged")
+	}
+}
+
+// TestGeneralBeatsAssortativeOnDisassortativeData is the extension's payoff:
+// on a ring-of-groups graph, the full block model reaches a much better
+// held-out perplexity than a-MMSB, which structurally cannot represent
+// between-group affinity.
+func TestGeneralBeatsAssortativeOnDisassortativeData(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training too slow for -short")
+	}
+	train, held, _ := disassortativeFixture(t)
+	const iters = 1500
+
+	gen2 := DefaultConfig(4, 6)
+	full, err := NewSampler(gen2, train, held, Options{Threads: 0, MinibatchPairs: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full.Run(iters)
+	fullPerp := full.Perplexity()
+
+	acfg := core.DefaultConfig(4, 6)
+	acfg.Alpha = 0.25
+	acfg.StepA = 0.05
+	acfg.StepB = 4096
+	assort, err := core.NewSampler(acfg, train, held, core.SamplerOptions{
+		Threads: 0, MinibatchPairs: 200, NeighborCount: 32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assort.Run(iters)
+	assortPerp := core.Perplexity(assort.State, held, acfg.Delta, 0)
+
+	t.Logf("held-out perplexity: general %.3f vs assortative %.3f", fullPerp, assortPerp)
+	if fullPerp >= assortPerp*0.9 {
+		t.Fatalf("general model (%.3f) not clearly better than a-MMSB (%.3f) on disassortative data",
+			fullPerp, assortPerp)
+	}
+	// The learned block matrix must be ring-structured: off-diagonal
+	// neighbors stronger than the diagonal on average.
+	k := 4
+	var diag, ring float64
+	for i := 0; i < k; i++ {
+		diag += full.State.B[i*k+i]
+		ring += full.State.B[i*k+(i+1)%k] + full.State.B[i*k+(i+k-1)%k]
+	}
+	diag /= float64(k)
+	ring /= float64(2 * k)
+	if ring <= diag {
+		t.Fatalf("learned B not disassortative: ring %.4f <= diag %.4f", ring, diag)
+	}
+}
+
+func TestDisassortativeGenerator(t *testing.T) {
+	g, group, err := gen.Disassortative(gen.DisassortativeConfig{
+		N: 200, K: 4, TargetEdges: 2000, Background: 0.05, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Most edges must connect adjacent groups, almost none the same group.
+	same, adjacent, other := 0, 0, 0
+	g.Edges(func(e graph.Edge) {
+		ga, gb := group[e.A], group[e.B]
+		switch {
+		case ga == gb:
+			same++
+		case (ga+1)%4 == gb || (gb+1)%4 == ga:
+			adjacent++
+		default:
+			other++
+		}
+	})
+	total := same + adjacent + other
+	if float64(adjacent)/float64(total) < 0.9 {
+		t.Fatalf("only %d/%d edges adjacent-group", adjacent, total)
+	}
+	if _, _, err := gen.Disassortative(gen.DisassortativeConfig{N: 2, K: 2, TargetEdges: 1}); err == nil {
+		t.Fatal("tiny N accepted")
+	}
+	if _, _, err := gen.Disassortative(gen.DisassortativeConfig{N: 10, K: 1, TargetEdges: 5}); err == nil {
+		t.Fatal("K=1 accepted")
+	}
+}

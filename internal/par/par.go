@@ -1,0 +1,199 @@
+// Package par provides the shared-memory parallelism primitives that play
+// the role OpenMP plays in the paper: a chunked parallel-for over index
+// ranges and a double-buffered two-stage pipeline used to overlap loading π
+// with the update_phi computation.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For splits [0, n) into contiguous chunks and runs body(lo, hi) on up to
+// workers goroutines. workers <= 1 (or n small) degrades to a plain loop, so
+// the sequential and parallel engines share one code path.
+func For(n, workers int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForEach runs body(i) for every i in [0, n) with the same chunking as For.
+func ForEach(n, workers int, body func(i int)) {
+	For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// Reduce runs body over chunks, each chunk contributing a float64 partial
+// that is summed (an OpenMP reduction clause).
+func Reduce(n, workers int, body func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return body(0, n)
+	}
+	chunk := (n + workers - 1) / workers
+	nChunks := (n + chunk - 1) / chunk
+	partials := make([]float64, nChunks)
+	var wg sync.WaitGroup
+	idx := 0
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(slot, lo, hi int) {
+			defer wg.Done()
+			partials[slot] = body(lo, hi)
+		}(idx, lo, hi)
+		idx++
+	}
+	wg.Wait()
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// ChunkedReduce computes a sum over [0, n) with a FIXED chunk size, in
+// parallel, then folds the per-chunk partials in chunk-index order. Because
+// the grouping of floating-point additions depends only on chunkSize — never
+// on the worker count or the scheduling — the result is bit-identical across
+// thread counts, and across the sequential and distributed engines as long
+// as rank boundaries fall on chunk boundaries. That property is what lets
+// the equivalence tests demand exact agreement.
+func ChunkedReduce(n, chunkSize, workers int, body func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if chunkSize <= 0 {
+		chunkSize = 64
+	}
+	nChunks := (n + chunkSize - 1) / chunkSize
+	partials := make([]float64, nChunks)
+	ForEach(nChunks, workers, func(c int) {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		partials[c] = body(lo, hi)
+	})
+	var total float64
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// ChunkedReduceVec is ChunkedReduce for vector-valued partials: body fills
+// its per-chunk accumulator acc (pre-zeroed, length dim); the partials are
+// folded element-wise in chunk order into a fresh result slice.
+func ChunkedReduceVec(n, chunkSize, workers, dim int, body func(lo, hi int, acc []float64)) []float64 {
+	out := make([]float64, dim)
+	if n <= 0 {
+		return out
+	}
+	if chunkSize <= 0 {
+		chunkSize = 64
+	}
+	nChunks := (n + chunkSize - 1) / chunkSize
+	partials := make([][]float64, nChunks)
+	ForEach(nChunks, workers, func(c int) {
+		lo := c * chunkSize
+		hi := lo + chunkSize
+		if hi > n {
+			hi = n
+		}
+		acc := make([]float64, dim)
+		body(lo, hi, acc)
+		partials[c] = acc
+	})
+	for _, p := range partials {
+		for i, v := range p {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// Pipeline runs a two-stage producer/consumer pipeline over nChunks chunks
+// with double buffering: load(c) fetches chunk c's inputs while compute(c-1)
+// processes the previous chunk. It reproduces the paper's Section III-D
+// scheme where loading π for the next chunk overlaps update_phi on the
+// current one.
+//
+// load and compute both receive the chunk index and a buffer slot in {0, 1};
+// the caller owns two sets of buffers and indexes them by slot.
+func Pipeline(nChunks int, load func(chunk, slot int), compute func(chunk, slot int)) {
+	if nChunks <= 0 {
+		return
+	}
+	// ready[s] signals that slot s holds loaded data for the chunk the
+	// consumer expects next; free[s] signals the consumer is done with it.
+	type token struct{}
+	ready := [2]chan token{make(chan token, 1), make(chan token, 1)}
+	free := [2]chan token{make(chan token, 1), make(chan token, 1)}
+	free[0] <- token{}
+	free[1] <- token{}
+
+	go func() {
+		for c := 0; c < nChunks; c++ {
+			slot := c & 1
+			<-free[slot]
+			load(c, slot)
+			ready[slot] <- token{}
+		}
+	}()
+	for c := 0; c < nChunks; c++ {
+		slot := c & 1
+		<-ready[slot]
+		compute(c, slot)
+		free[slot] <- token{}
+	}
+}
+
+// Serial runs the same chunked load/compute schedule without overlap; it is
+// the "single-buffering" baseline of Figure 3.
+func Serial(nChunks int, load func(chunk, slot int), compute func(chunk, slot int)) {
+	for c := 0; c < nChunks; c++ {
+		load(c, 0)
+		compute(c, 0)
+	}
+}

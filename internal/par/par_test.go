@@ -1,0 +1,223 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100, 1000} {
+			hits := make([]int32, n)
+			For(n, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum int64
+	ForEach(100, 4, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if sum != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum)
+	}
+}
+
+func TestForActuallyParallel(t *testing.T) {
+	var mu sync.Mutex
+	inFlight, peak := 0, 0
+	For(8, 8, func(lo, hi int) {
+		mu.Lock()
+		inFlight++
+		if inFlight > peak {
+			peak = inFlight
+		}
+		mu.Unlock()
+		time.Sleep(5 * time.Millisecond)
+		mu.Lock()
+		inFlight--
+		mu.Unlock()
+	})
+	if peak < 2 {
+		t.Fatalf("peak concurrency = %d, want >= 2", peak)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		got := Reduce(1000, workers, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += float64(i)
+			}
+			return s
+		})
+		if got != 499500 {
+			t.Fatalf("workers=%d: Reduce = %v, want 499500", workers, got)
+		}
+	}
+	if Reduce(0, 4, func(lo, hi int) float64 { return 1 }) != 0 {
+		t.Fatal("Reduce over empty range should be 0")
+	}
+}
+
+func TestPipelineOrderingAndCoverage(t *testing.T) {
+	const chunks = 10
+	var mu sync.Mutex
+	loaded := map[int]int{} // chunk -> slot
+	computed := []int{}     // order of computed chunks
+	Pipeline(chunks, func(c, slot int) {
+		mu.Lock()
+		loaded[c] = slot
+		mu.Unlock()
+	}, func(c, slot int) {
+		mu.Lock()
+		if loaded[c] != slot {
+			t.Errorf("chunk %d computed from slot %d, loaded into %d", c, slot, loaded[c])
+		}
+		computed = append(computed, c)
+		mu.Unlock()
+	})
+	if len(computed) != chunks {
+		t.Fatalf("computed %d chunks, want %d", len(computed), chunks)
+	}
+	for i, c := range computed {
+		if c != i {
+			t.Fatalf("compute order %v not sequential", computed)
+		}
+	}
+}
+
+func TestPipelineOverlaps(t *testing.T) {
+	// With double buffering, total time should approach max(load, compute)
+	// per chunk rather than their sum. Use generous margins so the test is
+	// robust on loaded CI machines.
+	const chunks = 8
+	const stage = 10 * time.Millisecond
+	work := func(c, slot int) { time.Sleep(stage) }
+
+	start := time.Now()
+	Serial(chunks, work, work)
+	serial := time.Since(start)
+
+	start = time.Now()
+	Pipeline(chunks, work, work)
+	pipelined := time.Since(start)
+
+	if pipelined >= serial*3/4 {
+		t.Fatalf("pipelining gave no speedup: serial %v, pipelined %v", serial, pipelined)
+	}
+}
+
+func TestPipelineZeroChunks(t *testing.T) {
+	called := false
+	Pipeline(0, func(c, s int) { called = true }, func(c, s int) { called = true })
+	if called {
+		t.Fatal("Pipeline(0) invoked a stage")
+	}
+}
+
+func TestPipelineSlotAlternation(t *testing.T) {
+	var slots []int
+	Pipeline(6, func(c, slot int) {}, func(c, slot int) { slots = append(slots, slot) })
+	for i, s := range slots {
+		if s != i&1 {
+			t.Fatalf("chunk %d used slot %d, want %d", i, s, i&1)
+		}
+	}
+}
+
+func TestChunkedReduceMatchesSequential(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i%17) * 1.25
+	}
+	var want float64
+	for _, v := range vals {
+		want += v
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got := ChunkedReduce(len(vals), 64, workers, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			return s
+		})
+		if got != want {
+			t.Fatalf("workers=%d: %v != %v", workers, got, want)
+		}
+	}
+}
+
+func TestChunkedReduceBitExactAcrossWorkers(t *testing.T) {
+	// Values chosen so the sum is order-sensitive in float64; the fixed
+	// chunking must make all worker counts agree bitwise.
+	vals := make([]float64, 777)
+	for i := range vals {
+		vals[i] = 1e16 / float64(i+1)
+		if i%2 == 0 {
+			vals[i] = -vals[i] * 0.99999
+		}
+	}
+	body := func(lo, hi int) float64 {
+		var s float64
+		for i := lo; i < hi; i++ {
+			s += vals[i]
+		}
+		return s
+	}
+	ref := ChunkedReduce(len(vals), 64, 1, body)
+	for _, workers := range []int{2, 5, 16} {
+		if got := ChunkedReduce(len(vals), 64, workers, body); got != ref {
+			t.Fatalf("workers=%d: %v != %v (not bit-exact)", workers, got, ref)
+		}
+	}
+}
+
+func TestChunkedReduceVec(t *testing.T) {
+	const n, dim = 300, 4
+	want := make([]float64, dim)
+	for i := 0; i < n; i++ {
+		for d := 0; d < dim; d++ {
+			want[d] += float64(i*dim + d)
+		}
+	}
+	got := ChunkedReduceVec(n, 64, 4, dim, func(lo, hi int, acc []float64) {
+		for i := lo; i < hi; i++ {
+			for d := 0; d < dim; d++ {
+				acc[d] += float64(i*dim + d)
+			}
+		}
+	})
+	for d := 0; d < dim; d++ {
+		if got[d] != want[d] {
+			t.Fatalf("dim %d: %v != %v", d, got[d], want[d])
+		}
+	}
+	// Empty range returns zeros.
+	zero := ChunkedReduceVec(0, 64, 2, dim, func(lo, hi int, acc []float64) {})
+	for _, v := range zero {
+		if v != 0 {
+			t.Fatal("empty reduce not zero")
+		}
+	}
+}
+
+func TestChunkedReduceDefaultChunk(t *testing.T) {
+	// chunkSize <= 0 falls back to a default rather than panicking.
+	got := ChunkedReduce(100, 0, 2, func(lo, hi int) float64 { return float64(hi - lo) })
+	if got != 100 {
+		t.Fatalf("got %v, want 100", got)
+	}
+}

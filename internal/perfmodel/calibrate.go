@@ -1,0 +1,137 @@
+package perfmodel
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/mathx"
+)
+
+// Calibrate measures the model's per-operation costs on the current host by
+// timing the actual Go kernels of internal/core. Use the result to compare
+// model predictions against real internal/dist runs on this machine; use
+// DAS5() to reproduce the paper's absolute numbers.
+func Calibrate() Machine {
+	const k = 128
+	const neighbors = 32
+	cfg := core.DefaultConfig(k, 42)
+	rng := mathx.NewRNG(7)
+
+	// Synthetic state rows.
+	newRow := func() []float32 {
+		tmp := make([]float64, k)
+		rng.Dirichlet(1, tmp)
+		out := make([]float32, k)
+		for i, v := range tmp {
+			out[i] = float32(v)
+		}
+		return out
+	}
+	piA := newRow()
+	rows := make([][]float32, neighbors)
+	linked := make([]bool, neighbors)
+	weight := make([]float64, neighbors)
+	for i := range rows {
+		rows[i] = newRow()
+		linked[i] = i%8 == 0
+		weight[i] = 10
+	}
+	beta := make([]float64, k)
+	for i := range beta {
+		beta[i] = 0.2 + 0.6*rng.Float64()
+	}
+	theta := core.InitTheta(cfg)
+
+	// PhiOp: per (neighbor+1) × K unit of UpdatePhi.
+	sc := core.NewPhiScratch(k)
+	newPhi := make([]float64, k)
+	phiIters := timedLoop(func() {
+		core.UpdatePhi(&cfg, 0.001, piA, 10, rows, linked, weight, beta, rng, newPhi, sc)
+	})
+	phiOp := phiIters.perCall / float64((neighbors+1)*k)
+
+	// ThetaOp: per pair × K unit of the gradient accumulation.
+	tsc := core.NewThetaScratch(k)
+	grad := make([]float64, 2*k)
+	thetaIters := timedLoop(func() {
+		core.AccumulateThetaGrad(piA, rows[0], theta, beta, cfg.Delta, false, grad, tsc)
+	})
+	thetaOp := thetaIters.perCall / float64(k)
+
+	// PerpOp: per pair × K unit of the likelihood.
+	var sink float64
+	perpIters := timedLoop(func() {
+		sink += core.EdgeProbability(piA, rows[1], beta, cfg.Delta, false)
+	})
+	_ = sink
+	perpOp := perpIters.perCall / float64(k)
+
+	// PiOp: per vertex × K unit of the φ→π normalisation and store.
+	st, _ := core.NewState(cfg, 4)
+	phiRow := make([]float64, k)
+	for i := range phiRow {
+		phiRow[i] = rng.Gamma(1) + 0.01
+	}
+	piIters := timedLoop(func() { st.SetPhiRow(1, phiRow) })
+	piOp := piIters.perCall / float64(k)
+
+	// SampleOp: approximate with the cost of drawing + deduplicating one
+	// random pair (hash set insert dominates).
+	seen := map[uint64]struct{}{}
+	sampleIters := timedLoop(func() {
+		a, b := rng.Intn(1_000_000), rng.Intn(1_000_000)
+		key := uint64(a)<<32 | uint64(b)
+		if len(seen) > 1<<16 {
+			seen = map[uint64]struct{}{}
+		}
+		seen[key] = struct{}{}
+	})
+
+	// Memory bandwidth: stream-copy a buffer bigger than LLC.
+	buf1 := make([]byte, 64<<20)
+	buf2 := make([]byte, 64<<20)
+	start := time.Now()
+	const copies = 6
+	for i := 0; i < copies; i++ {
+		copy(buf2, buf1)
+	}
+	memBW := float64(copies*2*len(buf1)) / time.Since(start).Seconds()
+
+	return Machine{
+		Name:           "local",
+		PhiOp:          phiOp,
+		PiOp:           piOp,
+		ThetaOp:        thetaOp,
+		PerpOp:         perpOp,
+		SampleOp:       sampleIters.perCall,
+		Cores:          runtime.GOMAXPROCS(0),
+		MemBandwidth:   memBW,
+		ReadEfficiency: 0.30,
+		SyncBase:       2e-4,
+		SyncPerRank:    3.0e-5,
+		OverheadFactor: 1.1,
+	}
+}
+
+type loopResult struct {
+	perCall float64
+}
+
+// timedLoop runs fn until ~20 ms have elapsed and returns the mean per-call
+// seconds, warming up first so the measurement sees steady state.
+func timedLoop(fn func()) loopResult {
+	for i := 0; i < 16; i++ {
+		fn()
+	}
+	const target = 20 * time.Millisecond
+	calls := 0
+	start := time.Now()
+	for time.Since(start) < target {
+		for i := 0; i < 64; i++ {
+			fn()
+		}
+		calls += 64
+	}
+	return loopResult{perCall: time.Since(start).Seconds() / float64(calls)}
+}

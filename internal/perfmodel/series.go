@@ -1,0 +1,125 @@
+package perfmodel
+
+import "repro/internal/simnet"
+
+// This file generates the figure series of Section IV from the model.
+
+// ScalePoint is one cluster-size sample of a scaling curve.
+type ScalePoint struct {
+	C int
+	E Estimate
+}
+
+// StrongScaling models Figure 1: total and per-phase time for a fixed
+// workload across cluster sizes.
+func StrongScaling(m Machine, net simnet.Model, w Workload, sizes []int, pipelined bool) []ScalePoint {
+	out := make([]ScalePoint, len(sizes))
+	for i, c := range sizes {
+		out[i] = ScalePoint{C: c, E: Iteration(m, net, w, c, pipelined)}
+	}
+	return out
+}
+
+// Speedup converts a scaling curve to speedups relative to its first point
+// (the paper's Figure 1-b is relative to 8 nodes).
+func Speedup(points []ScalePoint) []float64 {
+	out := make([]float64, len(points))
+	if len(points) == 0 {
+		return out
+	}
+	base := points[0].E.Total
+	for i, p := range points {
+		out[i] = base / p.E.Total
+	}
+	return out
+}
+
+// WeakScaling models Figure 2: the number of communities grows in proportion
+// to the cluster size (K = kPerNode · C), so per-node work stays constant
+// while communication intensity grows.
+func WeakScaling(m Machine, net simnet.Model, base Workload, sizes []int, kPerNode int) []ScalePoint {
+	out := make([]ScalePoint, len(sizes))
+	for i, c := range sizes {
+		w := base
+		w.K = kPerNode * c
+		out[i] = ScalePoint{C: c, E: Iteration(m, net, w, c, true)}
+	}
+	return out
+}
+
+// PipelinePoint is one K sample of the Figure 3 sweep.
+type PipelinePoint struct {
+	K      int
+	Single float64 // seconds/iteration without double buffering
+	Double float64 // seconds/iteration with double buffering
+}
+
+// PipelineSweep models Figure 3: single- vs double-buffered execution time
+// across community counts on a fixed cluster.
+func PipelineSweep(m Machine, net simnet.Model, base Workload, c int, ks []int) []PipelinePoint {
+	out := make([]PipelinePoint, len(ks))
+	for i, k := range ks {
+		w := base
+		w.K = k
+		out[i] = PipelinePoint{
+			K:      k,
+			Single: Iteration(m, net, w, c, false).Total,
+			Double: Iteration(m, net, w, c, true).Total,
+		}
+	}
+	return out
+}
+
+// HVPoint is one K sample of the Figure 4 comparison.
+type HVPoint struct {
+	K           int
+	Distributed float64 // seconds/iteration on the cluster
+	Vertical    float64 // seconds/iteration on the single big node
+}
+
+// HorizontalVsVertical models Figure 4: the distributed cluster against a
+// single large shared-memory machine across community counts.
+func HorizontalVsVertical(cluster, big Machine, net simnet.Model, base Workload, c, bigThreads int, ks []int) []HVPoint {
+	out := make([]HVPoint, len(ks))
+	for i, k := range ks {
+		w := base
+		w.K = k
+		out[i] = HVPoint{
+			K:           k,
+			Distributed: Iteration(cluster, net, w, c, true).Total,
+			Vertical:    SingleNode(big, w, bigThreads).Total,
+		}
+	}
+	return out
+}
+
+// BandwidthPoint is one payload sample of Figure 5.
+type BandwidthPoint struct {
+	PayloadBytes int
+	QperfBps     float64
+	DKVBps       float64
+}
+
+// Fig5Payloads returns the payload sweep of Figure 5: 64 B to 1 MB in powers
+// of two.
+func Fig5Payloads() []int {
+	var out []int
+	for p := 64; p <= 1<<20; p *= 2 {
+		out = append(out, p)
+	}
+	return out
+}
+
+// BandwidthSweep models Figure 5: DKV read bandwidth against the raw
+// qperf-style upper bound across payload sizes.
+func BandwidthSweep(raw, dkv simnet.Model, payloads []int) []BandwidthPoint {
+	out := make([]BandwidthPoint, len(payloads))
+	for i, p := range payloads {
+		out[i] = BandwidthPoint{
+			PayloadBytes: p,
+			QperfBps:     raw.Bandwidth(p),
+			DKVBps:       dkv.Bandwidth(p),
+		}
+	}
+	return out
+}

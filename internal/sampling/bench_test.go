@@ -1,0 +1,80 @@
+package sampling
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+)
+
+func benchFixture(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, _, err := gen.Planted(gen.DefaultPlanted(20000, 64, 200000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkRandomPairSample measures edge-minibatch drawing — the master's
+// per-iteration sampling work in the distributed engine.
+func BenchmarkRandomPairSample(b *testing.B) {
+	g := benchFixture(b)
+	s, err := NewRandomPair(g, nil, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mathx.NewRNG(2)
+	var batch Batch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(rng, &batch)
+	}
+}
+
+// BenchmarkStratifiedSample measures the stratified-node alternative.
+func BenchmarkStratifiedSample(b *testing.B) {
+	g := benchFixture(b)
+	s, err := NewStratifiedNode(g, nil, 0.5, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mathx.NewRNG(3)
+	var batch Batch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(rng, &batch)
+	}
+}
+
+// BenchmarkLinkPlusUniformSample measures the per-vertex neighbor draw in
+// update_phi.
+func BenchmarkLinkPlusUniformSample(b *testing.B) {
+	g := benchFixture(b)
+	s, err := NewLinkPlusUniform(NewGraphView(g, nil), 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mathx.NewRNG(4)
+	var ns NeighborSample
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(int32(i%20000), rng, &ns)
+	}
+}
+
+// BenchmarkUniformNeighborsSample measures the paper's Eqn (5) variant.
+func BenchmarkUniformNeighborsSample(b *testing.B) {
+	g := benchFixture(b)
+	s, err := NewUniformNeighbors(NewGraphView(g, nil), 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := mathx.NewRNG(5)
+	var ns NeighborSample
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Sample(int32(i%20000), rng, &ns)
+	}
+}

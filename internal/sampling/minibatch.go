@@ -1,0 +1,214 @@
+// Package sampling implements the stochastic pieces of the SG-MCMC sampler:
+// the edge minibatch strategies that feed the global (β/θ) update and the
+// neighbor subsampling that feeds the local (φ/π) update.
+//
+// Every strategy comes with its scaling factor h(E_n) chosen so that the
+// scaled minibatch sum is an unbiased estimator of the full-graph sum — the
+// invariant the property tests in this package verify by Monte Carlo.
+package sampling
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mathx"
+)
+
+// Batch is one edge minibatch E_n: the sampled vertex pairs, the observation
+// y for each pair, the global scaling factor h(E_n), and the distinct
+// vertices touched (the "M vertices in E_n" of the paper's Table I).
+type Batch struct {
+	Pairs  []graph.Edge
+	Linked []bool
+	Scale  float64
+	Nodes  []int32
+}
+
+// Reset clears the batch for reuse without reallocating.
+func (b *Batch) Reset() {
+	b.Pairs = b.Pairs[:0]
+	b.Linked = b.Linked[:0]
+	b.Nodes = b.Nodes[:0]
+	b.Scale = 0
+}
+
+// collectNodes fills b.Nodes with the distinct endpoints of b.Pairs.
+func (b *Batch) collectNodes(scratch map[int32]struct{}) {
+	for k := range scratch {
+		delete(scratch, k)
+	}
+	for _, e := range b.Pairs {
+		if _, ok := scratch[e.A]; !ok {
+			scratch[e.A] = struct{}{}
+			b.Nodes = append(b.Nodes, e.A)
+		}
+		if _, ok := scratch[e.B]; !ok {
+			scratch[e.B] = struct{}{}
+			b.Nodes = append(b.Nodes, e.B)
+		}
+	}
+}
+
+// EdgeStrategy produces edge minibatches. Implementations are safe for
+// concurrent use only if each goroutine passes its own RNG and Batch.
+type EdgeStrategy interface {
+	// Sample fills out with a fresh minibatch using rng.
+	Sample(rng *mathx.RNG, out *Batch)
+	Name() string
+}
+
+// RandomPair samples pairs (a, b) uniformly from the N(N-1)/2 vertex pairs,
+// skipping held-out pairs. This is the simplest strategy of Li et al.; its
+// scaling factor is (#candidate pairs) / |E_n|.
+type RandomPair struct {
+	g        *graph.Graph
+	excluded *graph.EdgeSet // held-out pairs, never observed in training
+	nPairs   int
+	scratch  map[int32]struct{}
+}
+
+// NewRandomPair builds the strategy. excluded may be nil.
+func NewRandomPair(g *graph.Graph, excluded *graph.EdgeSet, nPairs int) (*RandomPair, error) {
+	if nPairs < 1 {
+		return nil, fmt.Errorf("sampling: minibatch size %d must be positive", nPairs)
+	}
+	n := g.NumVertices()
+	if nPairs > n*(n-1)/4 {
+		return nil, fmt.Errorf("sampling: minibatch size %d too large for %d vertices", nPairs, n)
+	}
+	return &RandomPair{g: g, excluded: excluded, nPairs: nPairs, scratch: map[int32]struct{}{}}, nil
+}
+
+// Name implements EdgeStrategy.
+func (s *RandomPair) Name() string { return "random-pair" }
+
+// Sample implements EdgeStrategy.
+func (s *RandomPair) Sample(rng *mathx.RNG, out *Batch) {
+	out.Reset()
+	n := s.g.NumVertices()
+	seen := graph.NewEdgeSet(2 * s.nPairs)
+	for len(out.Pairs) < s.nPairs {
+		a := rng.Intn(n)
+		b := rng.Intn(n)
+		if a == b {
+			continue
+		}
+		e := graph.Edge{A: int32(a), B: int32(b)}.Canon()
+		if s.excluded != nil && s.excluded.Contains(e) {
+			continue
+		}
+		if !seen.Add(e) {
+			continue
+		}
+		out.Pairs = append(out.Pairs, e)
+		out.Linked = append(out.Linked, s.g.HasEdge(a, b))
+	}
+	candidates := float64(n)*float64(n-1)/2 - s.excludedCount()
+	out.Scale = candidates / float64(len(out.Pairs))
+	out.collectNodes(s.scratch)
+}
+
+func (s *RandomPair) excludedCount() float64 {
+	if s.excluded == nil {
+		return 0
+	}
+	return float64(s.excluded.Len())
+}
+
+// StratifiedNode implements the stratified random node sampling of Li et al.:
+// pick a vertex i uniformly; with probability linkProb the minibatch is the
+// full link set of i, otherwise it is a uniform sample of nonLinkCount
+// non-linked pairs (i, b). The per-case scaling factors keep the estimator
+// unbiased:
+//
+//	link case:     h = N / (2·linkProb)
+//	non-link case: h = N · |nonlinks(i)| / (2·(1-linkProb)·|E_n|)
+//
+// where |nonlinks(i)| = N-1-deg(i) minus held-out pairs touching i. Setting
+// linkProb = 1/(m+1) recovers the paper's formulation with m non-link strata.
+type StratifiedNode struct {
+	g            *graph.Graph
+	excluded     *graph.EdgeSet
+	linkProb     float64
+	nonLinkCount int
+	heldTouch    []int32 // per-vertex count of excluded pairs
+	scratch      map[int32]struct{}
+}
+
+// NewStratifiedNode builds the strategy. excluded may be nil. heldPairs must
+// enumerate the same pairs as excluded (it is used to precompute per-vertex
+// exclusion counts); pass nil for both to disable exclusion.
+func NewStratifiedNode(g *graph.Graph, excluded *graph.EdgeSet, linkProb float64, nonLinkCount int) (*StratifiedNode, error) {
+	if linkProb <= 0 || linkProb >= 1 {
+		return nil, fmt.Errorf("sampling: linkProb %v must be in (0,1)", linkProb)
+	}
+	if nonLinkCount < 1 {
+		return nil, fmt.Errorf("sampling: nonLinkCount %d must be positive", nonLinkCount)
+	}
+	if nonLinkCount >= g.NumVertices()/2 {
+		return nil, fmt.Errorf("sampling: nonLinkCount %d too large for %d vertices", nonLinkCount, g.NumVertices())
+	}
+	s := &StratifiedNode{
+		g:            g,
+		excluded:     excluded,
+		linkProb:     linkProb,
+		nonLinkCount: nonLinkCount,
+		heldTouch:    make([]int32, g.NumVertices()),
+		scratch:      map[int32]struct{}{},
+	}
+	if excluded != nil {
+		excluded.Each(func(e graph.Edge) {
+			s.heldTouch[e.A]++
+			s.heldTouch[e.B]++
+		})
+	}
+	return s, nil
+}
+
+// Name implements EdgeStrategy.
+func (s *StratifiedNode) Name() string { return "stratified-node" }
+
+// Sample implements EdgeStrategy.
+func (s *StratifiedNode) Sample(rng *mathx.RNG, out *Batch) {
+	out.Reset()
+	n := s.g.NumVertices()
+	for {
+		i := rng.Intn(n)
+		if rng.Float64() < s.linkProb {
+			links := s.g.Neighbors(i)
+			if len(links) == 0 {
+				continue // isolated vertex: resample
+			}
+			for _, b := range links {
+				out.Pairs = append(out.Pairs, graph.Edge{A: int32(i), B: b}.Canon())
+				out.Linked = append(out.Linked, true)
+			}
+			out.Scale = float64(n) / (2 * s.linkProb)
+			break
+		}
+		nonlinks := n - 1 - s.g.Degree(i) - int(s.heldTouch[i])
+		if nonlinks < s.nonLinkCount {
+			continue // pathological hub: resample
+		}
+		seen := map[int32]struct{}{}
+		for len(out.Pairs) < s.nonLinkCount {
+			b := rng.Intn(n)
+			if b == i || s.g.HasEdge(i, b) {
+				continue
+			}
+			e := graph.Edge{A: int32(i), B: int32(b)}.Canon()
+			if s.excluded != nil && s.excluded.Contains(e) {
+				continue
+			}
+			if _, dup := seen[int32(b)]; dup {
+				continue
+			}
+			seen[int32(b)] = struct{}{}
+			out.Pairs = append(out.Pairs, e)
+			out.Linked = append(out.Linked, false)
+		}
+		out.Scale = float64(n) * float64(nonlinks) / (2 * (1 - s.linkProb) * float64(len(out.Pairs)))
+		break
+	}
+	out.collectNodes(s.scratch)
+}

@@ -1,0 +1,408 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+)
+
+// testGraph builds a small planted graph for the Monte Carlo estimator
+// checks.
+func testGraph(t *testing.T, n, edges int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, _, err := gen.Planted(gen.DefaultPlanted(n, 5, edges, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// pairFn is an arbitrary deterministic test function over vertex pairs whose
+// full-graph sum the minibatch estimators must reproduce in expectation.
+func pairFn(e graph.Edge, linked bool) float64 {
+	v := float64((int(e.A)*31+int(e.B)*17)%13) + 0.25
+	if linked {
+		v *= 2.5
+	}
+	return v
+}
+
+// fullPairSum computes Σ over all unordered pairs not excluded.
+func fullPairSum(g *graph.Graph, excluded *graph.EdgeSet) float64 {
+	n := g.NumVertices()
+	var total float64
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			e := graph.Edge{A: int32(a), B: int32(b)}
+			if excluded != nil && excluded.Contains(e) {
+				continue
+			}
+			total += pairFn(e, g.HasEdge(a, b))
+		}
+	}
+	return total
+}
+
+func estimatorMean(s EdgeStrategy, trials int, rng *mathx.RNG) float64 {
+	var batch Batch
+	var acc float64
+	for i := 0; i < trials; i++ {
+		s.Sample(rng, &batch)
+		var sum float64
+		for j, e := range batch.Pairs {
+			sum += pairFn(e, batch.Linked[j])
+		}
+		acc += batch.Scale * sum
+	}
+	return acc / float64(trials)
+}
+
+func TestRandomPairUnbiased(t *testing.T) {
+	g := testGraph(t, 60, 300, 1)
+	s, err := NewRandomPair(g, nil, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fullPairSum(g, nil)
+	got := estimatorMean(s, 30000, mathx.NewRNG(2))
+	if rel := math.Abs(got-want) / want; rel > 0.03 {
+		t.Fatalf("random-pair estimator mean %v, full sum %v (rel err %.3f)", got, want, rel)
+	}
+}
+
+func TestRandomPairUnbiasedWithExclusion(t *testing.T) {
+	g := testGraph(t, 60, 300, 3)
+	excl := graph.NewEdgeSet(16)
+	rng := mathx.NewRNG(4)
+	for excl.Len() < 40 {
+		excl.Add(graph.Edge{A: int32(rng.Intn(60)), B: int32(rng.Intn(60))})
+	}
+	s, err := NewRandomPair(g, &excl, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fullPairSum(g, &excl)
+	got := estimatorMean(s, 30000, mathx.NewRNG(5))
+	if rel := math.Abs(got-want) / want; rel > 0.03 {
+		t.Fatalf("excluded random-pair estimator mean %v, want %v (rel %.3f)", got, want, rel)
+	}
+	// No excluded pair may ever be emitted.
+	var batch Batch
+	for i := 0; i < 200; i++ {
+		s.Sample(rng, &batch)
+		for _, e := range batch.Pairs {
+			if excl.Contains(e) {
+				t.Fatalf("excluded pair %v sampled", e)
+			}
+		}
+	}
+}
+
+func TestStratifiedNodeUnbiased(t *testing.T) {
+	g := testGraph(t, 60, 300, 6)
+	s, err := NewStratifiedNode(g, nil, 0.3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fullPairSum(g, nil)
+	got := estimatorMean(s, 60000, mathx.NewRNG(7))
+	if rel := math.Abs(got-want) / want; rel > 0.04 {
+		t.Fatalf("stratified estimator mean %v, full sum %v (rel err %.3f)", got, want, rel)
+	}
+}
+
+func TestStratifiedNodeLinkBatchesAreLinkSets(t *testing.T) {
+	g := testGraph(t, 80, 400, 8)
+	s, err := NewStratifiedNode(g, nil, 0.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(9)
+	var batch Batch
+	sawLink, sawNonLink := false, false
+	for i := 0; i < 300; i++ {
+		s.Sample(rng, &batch)
+		if len(batch.Pairs) == 0 {
+			t.Fatal("empty minibatch")
+		}
+		allLinked := true
+		for _, l := range batch.Linked {
+			allLinked = allLinked && l
+		}
+		if allLinked {
+			sawLink = true
+			// Link batches must be exactly one vertex's full link set.
+			base := int32(-1)
+			counts := map[int32]int{}
+			for _, e := range batch.Pairs {
+				counts[e.A]++
+				counts[e.B]++
+			}
+			for v, c := range counts {
+				if c == len(batch.Pairs) {
+					base = v
+				}
+			}
+			if len(batch.Pairs) > 1 && base == -1 {
+				t.Fatal("link batch does not share a common vertex")
+			}
+			if base >= 0 && len(batch.Pairs) != g.Degree(int(base)) {
+				t.Fatalf("link batch size %d != degree %d", len(batch.Pairs), g.Degree(int(base)))
+			}
+		} else {
+			sawNonLink = true
+			for j, l := range batch.Linked {
+				if l {
+					t.Fatalf("non-link batch contains linked pair %v", batch.Pairs[j])
+				}
+			}
+			if len(batch.Pairs) != 5 {
+				t.Fatalf("non-link batch size %d, want 5", len(batch.Pairs))
+			}
+		}
+	}
+	if !sawLink || !sawNonLink {
+		t.Fatal("stratified sampler never produced one of the strata")
+	}
+}
+
+func TestBatchNodesAreDistinctEndpoints(t *testing.T) {
+	g := testGraph(t, 50, 200, 10)
+	s, err := NewRandomPair(g, nil, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(11)
+	var batch Batch
+	for i := 0; i < 50; i++ {
+		s.Sample(rng, &batch)
+		want := map[int32]bool{}
+		for _, e := range batch.Pairs {
+			want[e.A] = true
+			want[e.B] = true
+		}
+		if len(batch.Nodes) != len(want) {
+			t.Fatalf("Nodes has %d entries, want %d distinct", len(batch.Nodes), len(want))
+		}
+		seen := map[int32]bool{}
+		for _, v := range batch.Nodes {
+			if seen[v] || !want[v] {
+				t.Fatalf("Nodes contains duplicate or foreign vertex %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestEdgeStrategyValidation(t *testing.T) {
+	g := testGraph(t, 30, 100, 12)
+	if _, err := NewRandomPair(g, nil, 0); err == nil {
+		t.Fatal("zero minibatch accepted")
+	}
+	if _, err := NewRandomPair(g, nil, 10000); err == nil {
+		t.Fatal("oversized minibatch accepted")
+	}
+	if _, err := NewStratifiedNode(g, nil, 0, 5); err == nil {
+		t.Fatal("linkProb 0 accepted")
+	}
+	if _, err := NewStratifiedNode(g, nil, 1, 5); err == nil {
+		t.Fatal("linkProb 1 accepted")
+	}
+	if _, err := NewStratifiedNode(g, nil, 0.5, 0); err == nil {
+		t.Fatal("zero non-link count accepted")
+	}
+	if _, err := NewStratifiedNode(g, nil, 0.5, 20); err == nil {
+		t.Fatal("huge non-link count accepted")
+	}
+}
+
+// neighborFn is the per-node test function for the neighbor estimators.
+func neighborFn(b int32, linked bool) float64 {
+	v := float64(int(b)%11) + 0.5
+	if linked {
+		v *= 3
+	}
+	return v
+}
+
+func fullNeighborSum(g *graph.Graph, a int32, excluded *graph.EdgeSet) float64 {
+	var total float64
+	for b := 0; b < g.NumVertices(); b++ {
+		if int32(b) == a {
+			continue
+		}
+		if excluded != nil && excluded.Contains(graph.Edge{A: a, B: int32(b)}) {
+			continue
+		}
+		total += neighborFn(int32(b), g.HasEdge(int(a), b))
+	}
+	return total
+}
+
+func neighborEstimatorMean(s NeighborStrategy, a int32, trials int, rng *mathx.RNG) float64 {
+	var ns NeighborSample
+	var acc float64
+	for i := 0; i < trials; i++ {
+		s.Sample(a, rng, &ns)
+		var sum float64
+		for j, b := range ns.Nodes {
+			sum += ns.Scale[j] * neighborFn(b, ns.Linked[j])
+		}
+		acc += sum
+	}
+	return acc / float64(trials)
+}
+
+func TestUniformNeighborsUnbiased(t *testing.T) {
+	g := testGraph(t, 80, 400, 13)
+	s, err := NewUniformNeighbors(NewGraphView(g, nil), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []int32{0, 17, 42} {
+		want := fullNeighborSum(g, a, nil)
+		got := neighborEstimatorMean(s, a, 20000, mathx.NewRNG(uint64(100+a)))
+		if rel := math.Abs(got-want) / want; rel > 0.03 {
+			t.Fatalf("uniform neighbors a=%d: mean %v, want %v (rel %.3f)", a, got, want, rel)
+		}
+	}
+}
+
+func TestLinkPlusUniformUnbiased(t *testing.T) {
+	g := testGraph(t, 80, 400, 14)
+	s, err := NewLinkPlusUniform(NewGraphView(g, nil), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []int32{1, 23, 55} {
+		want := fullNeighborSum(g, a, nil)
+		got := neighborEstimatorMean(s, a, 20000, mathx.NewRNG(uint64(200+a)))
+		if rel := math.Abs(got-want) / want; rel > 0.03 {
+			t.Fatalf("link+uniform a=%d: mean %v, want %v (rel %.3f)", a, got, want, rel)
+		}
+	}
+}
+
+func TestLinkPlusUniformAlwaysIncludesLinks(t *testing.T) {
+	g := testGraph(t, 60, 250, 15)
+	s, err := NewLinkPlusUniform(NewGraphView(g, nil), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := mathx.NewRNG(16)
+	var ns NeighborSample
+	a := int32(0)
+	deg := g.Degree(0)
+	for i := 0; i < 100; i++ {
+		s.Sample(a, rng, &ns)
+		links := 0
+		for j, b := range ns.Nodes {
+			if ns.Linked[j] {
+				links++
+				if !g.HasEdge(0, int(b)) {
+					t.Fatal("node marked linked but edge absent")
+				}
+				if ns.Scale[j] != 1 {
+					t.Fatalf("link weight = %v, want 1", ns.Scale[j])
+				}
+			}
+		}
+		if links != deg {
+			t.Fatalf("sample carries %d links, vertex has degree %d", links, deg)
+		}
+	}
+}
+
+func TestLinkPlusUniformVarianceLower(t *testing.T) {
+	// The whole point of link+uniform: the per-sample estimator variance is
+	// far below uniform sampling on a sparse graph.
+	g := testGraph(t, 200, 800, 17)
+	uni, err := NewUniformNeighbors(NewGraphView(g, nil), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpu, err := NewLinkPlusUniform(NewGraphView(g, nil), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variance := func(s NeighborStrategy, seed uint64) float64 {
+		rng := mathx.NewRNG(seed)
+		var ns NeighborSample
+		var w mathx.Welford
+		for i := 0; i < 4000; i++ {
+			s.Sample(5, rng, &ns)
+			var sum float64
+			for j, b := range ns.Nodes {
+				sum += ns.Scale[j] * neighborFn(b, ns.Linked[j])
+			}
+			w.Add(sum)
+		}
+		return w.Var()
+	}
+	vu := variance(uni, 18)
+	vl := variance(lpu, 19)
+	if vl >= vu {
+		t.Fatalf("link+uniform variance %v not below uniform %v", vl, vu)
+	}
+}
+
+func TestNeighborValidation(t *testing.T) {
+	g := testGraph(t, 30, 100, 20)
+	view := NewGraphView(g, nil)
+	if _, err := NewUniformNeighbors(view, 0); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := NewUniformNeighbors(view, 30); err == nil {
+		t.Fatal("count >= N accepted")
+	}
+	if _, err := NewLinkPlusUniform(view, 0); err == nil {
+		t.Fatal("zero count accepted")
+	}
+	if _, err := NewLinkPlusUniform(view, 16); err == nil {
+		t.Fatal("count >= N/2 accepted")
+	}
+}
+
+func TestNeighborSampleNoDuplicates(t *testing.T) {
+	g := testGraph(t, 100, 400, 21)
+	for _, s := range []NeighborStrategy{
+		mustUniform(t, g, 15), mustLPU(t, g, 15),
+	} {
+		rng := mathx.NewRNG(22)
+		var ns NeighborSample
+		for i := 0; i < 100; i++ {
+			s.Sample(7, rng, &ns)
+			seen := map[int32]bool{}
+			for _, b := range ns.Nodes {
+				if b == 7 {
+					t.Fatalf("%s: vertex sampled itself", s.Name())
+				}
+				if seen[b] {
+					t.Fatalf("%s: duplicate neighbor %d", s.Name(), b)
+				}
+				seen[b] = true
+			}
+		}
+	}
+}
+
+func mustUniform(t *testing.T, g *graph.Graph, c int) NeighborStrategy {
+	t.Helper()
+	s, err := NewUniformNeighbors(NewGraphView(g, nil), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustLPU(t *testing.T, g *graph.Graph, c int) NeighborStrategy {
+	t.Helper()
+	s, err := NewLinkPlusUniform(NewGraphView(g, nil), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}

@@ -1,0 +1,35 @@
+package svi_test
+
+import (
+	"fmt"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+	"repro/internal/svi"
+)
+
+// Example trains the variational baseline and converts its posterior means
+// into the shared core.State representation for evaluation.
+func Example() {
+	g, _, err := gen.Planted(gen.DefaultPlanted(200, 4, 1000, 7))
+	if err != nil {
+		panic(err)
+	}
+	train, held, err := graph.Split(g, g.NumEdges()/10, mathx.NewRNG(8))
+	if err != nil {
+		panic(err)
+	}
+	s, err := svi.NewSampler(svi.DefaultConfig(4, 9), train, held, svi.Options{NodeBatch: 50})
+	if err != nil {
+		panic(err)
+	}
+	s.Run(40)
+
+	state := s.PosteriorMeanState()
+	fmt.Println("iterations:", s.Iteration())
+	fmt.Println("state valid:", state.Validate() == nil)
+	// Output:
+	// iterations: 40
+	// state valid: true
+}

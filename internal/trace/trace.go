@@ -1,0 +1,117 @@
+// Package trace provides the lightweight phase timing used to produce the
+// paper's per-stage breakdowns (Figure 1's phase curves and Table III).
+// Timers are cumulative per phase name; the distributed engine keeps one
+// Phases per rank and aggregates at the end of a run.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Phases accumulates wall-clock time per named phase.
+type Phases struct {
+	mu     sync.Mutex
+	totals map[string]time.Duration
+	counts map[string]int
+}
+
+// NewPhases creates an empty accumulator.
+func NewPhases() *Phases {
+	return &Phases{totals: map[string]time.Duration{}, counts: map[string]int{}}
+}
+
+// Add folds a measured duration into a phase.
+func (p *Phases) Add(name string, d time.Duration) {
+	p.mu.Lock()
+	p.totals[name] += d
+	p.counts[name]++
+	p.mu.Unlock()
+}
+
+// Timer starts timing a phase; invoke the returned func to stop and record.
+//
+//	defer phases.Timer("update_phi")()
+func (p *Phases) Timer(name string) func() {
+	start := time.Now()
+	return func() { p.Add(name, time.Since(start)) }
+}
+
+// Total returns the cumulative time of a phase.
+func (p *Phases) Total(name string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.totals[name]
+}
+
+// Count returns how many intervals were recorded for a phase.
+func (p *Phases) Count(name string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.counts[name]
+}
+
+// Mean returns the average interval length of a phase (0 if never recorded).
+func (p *Phases) Mean(name string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	c := p.counts[name]
+	if c == 0 {
+		return 0
+	}
+	return p.totals[name] / time.Duration(c)
+}
+
+// Names returns the recorded phase names, sorted.
+func (p *Phases) Names() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.totals))
+	for n := range p.totals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of the totals map.
+func (p *Phases) Snapshot() map[string]time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]time.Duration, len(p.totals))
+	for k, v := range p.totals {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge folds another accumulator's totals into this one, taking the MAX per
+// phase — the right aggregation across ranks, where the slowest rank bounds
+// the barrier-separated phase.
+func (p *Phases) Merge(other map[string]time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, v := range other {
+		if v > p.totals[k] {
+			p.totals[k] = v
+		}
+	}
+}
+
+// Table renders a per-iteration breakdown like the paper's Table III:
+// phase name and milliseconds per iteration, given the iteration count.
+func (p *Phases) Table(iterations int) string {
+	if iterations < 1 {
+		iterations = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s\n", "stage", "ms/iter")
+	for _, name := range p.Names() {
+		ms := float64(p.Total(name).Microseconds()) / 1000 / float64(iterations)
+		fmt.Fprintf(&b, "%-28s %12.3f\n", name, ms)
+	}
+	return b.String()
+}

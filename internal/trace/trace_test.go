@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddAndTotals(t *testing.T) {
+	p := NewPhases()
+	p.Add("a", 10*time.Millisecond)
+	p.Add("a", 20*time.Millisecond)
+	p.Add("b", 5*time.Millisecond)
+	if p.Total("a") != 30*time.Millisecond {
+		t.Fatalf("Total(a) = %v", p.Total("a"))
+	}
+	if p.Count("a") != 2 || p.Count("b") != 1 {
+		t.Fatal("counts wrong")
+	}
+	if p.Mean("a") != 15*time.Millisecond {
+		t.Fatalf("Mean(a) = %v", p.Mean("a"))
+	}
+	if p.Mean("missing") != 0 {
+		t.Fatal("Mean of missing phase should be 0")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	p := NewPhases()
+	stop := p.Timer("x")
+	time.Sleep(5 * time.Millisecond)
+	stop()
+	if p.Total("x") < 4*time.Millisecond {
+		t.Fatalf("Timer recorded %v", p.Total("x"))
+	}
+}
+
+func TestNamesSorted(t *testing.T) {
+	p := NewPhases()
+	p.Add("zeta", 1)
+	p.Add("alpha", 1)
+	p.Add("mid", 1)
+	names := p.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[2] != "zeta" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestMergeTakesMax(t *testing.T) {
+	p := NewPhases()
+	p.Add("a", 10*time.Millisecond)
+	p.Merge(map[string]time.Duration{"a": 5 * time.Millisecond, "b": 7 * time.Millisecond})
+	if p.Total("a") != 10*time.Millisecond {
+		t.Fatal("Merge lowered an existing phase")
+	}
+	if p.Total("b") != 7*time.Millisecond {
+		t.Fatal("Merge dropped a new phase")
+	}
+	p.Merge(map[string]time.Duration{"a": 30 * time.Millisecond})
+	if p.Total("a") != 30*time.Millisecond {
+		t.Fatal("Merge did not take max")
+	}
+}
+
+func TestSnapshotIsCopy(t *testing.T) {
+	p := NewPhases()
+	p.Add("a", time.Second)
+	snap := p.Snapshot()
+	snap["a"] = 0
+	if p.Total("a") != time.Second {
+		t.Fatal("Snapshot aliases internal state")
+	}
+}
+
+func TestTable(t *testing.T) {
+	p := NewPhases()
+	p.Add("update_phi", 100*time.Millisecond)
+	out := p.Table(10)
+	if !strings.Contains(out, "update_phi") || !strings.Contains(out, "10.000") {
+		t.Fatalf("Table output wrong:\n%s", out)
+	}
+	// Zero iterations must not divide by zero.
+	_ = p.Table(0)
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	p := NewPhases()
+	done := make(chan struct{})
+	for i := 0; i < 8; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				p.Add("x", time.Microsecond)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		<-done
+	}
+	if p.Count("x") != 8000 {
+		t.Fatalf("Count = %d, want 8000", p.Count("x"))
+	}
+}

@@ -1,0 +1,80 @@
+package transport
+
+import "fmt"
+
+// Fabric is an in-process transport connecting `size` ranks that live as
+// goroutines in one address space. It stands in for the paper's InfiniBand
+// interconnect in the simulated-cluster experiments: message semantics are
+// identical to the TCP backend, only the wire is a mailbox.
+type Fabric struct {
+	boxes []*mailbox
+}
+
+// NewFabric creates an in-process fabric for size ranks.
+func NewFabric(size int) (*Fabric, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("transport: fabric size %d must be positive", size)
+	}
+	f := &Fabric{boxes: make([]*mailbox, size)}
+	for i := range f.boxes {
+		f.boxes[i] = newMailbox()
+	}
+	return f, nil
+}
+
+// Endpoint returns rank r's Conn.
+func (f *Fabric) Endpoint(r int) Conn {
+	if r < 0 || r >= len(f.boxes) {
+		panic(fmt.Sprintf("transport: rank %d out of range [0,%d)", r, len(f.boxes)))
+	}
+	return &inprocConn{fabric: f, rank: r}
+}
+
+// Endpoints returns all rank endpoints, index = rank.
+func (f *Fabric) Endpoints() []Conn {
+	out := make([]Conn, len(f.boxes))
+	for i := range out {
+		out[i] = f.Endpoint(i)
+	}
+	return out
+}
+
+// Close shuts down every mailbox, releasing blocked receivers.
+func (f *Fabric) Close() {
+	for _, b := range f.boxes {
+		b.close()
+	}
+}
+
+type inprocConn struct {
+	fabric *Fabric
+	rank   int
+}
+
+func (c *inprocConn) Rank() int { return c.rank }
+func (c *inprocConn) Size() int { return len(c.fabric.boxes) }
+
+func (c *inprocConn) Send(to int, tag uint32, payload []byte) error {
+	if to < 0 || to >= c.Size() {
+		return fmt.Errorf("transport: send to rank %d out of range [0,%d)", to, c.Size())
+	}
+	return c.fabric.boxes[to].put(c.rank, tag, payload)
+}
+
+func (c *inprocConn) Recv(from int, tag uint32) ([]byte, error) {
+	if from < 0 || from >= c.Size() {
+		return nil, fmt.Errorf("transport: recv from rank %d out of range [0,%d)", from, c.Size())
+	}
+	return c.fabric.boxes[c.rank].get(from, tag)
+}
+
+func (c *inprocConn) RecvAny(tag uint32) (int, []byte, error) {
+	return c.fabric.boxes[c.rank].getAny(tag)
+}
+
+func (c *inprocConn) Close() error {
+	// Closing one endpoint closes its inbox only; peers learn via ErrClosed
+	// on sends to this rank.
+	c.fabric.boxes[c.rank].close()
+	return nil
+}

@@ -1,0 +1,225 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP backend: a full mesh of TCP connections between ranks, with the same
+// mailbox demultiplexing as the in-process fabric. Frame format on the wire:
+//
+//	[tag uint32][length uint32][payload ...]
+//
+// The sender's rank is established once per connection during the handshake,
+// so frames do not repeat it.
+
+// maxFrame bounds a single message; a π batch for K=16384 and 4096 rows is
+// ~268 MB, so the limit is generous but still catches corrupt frames.
+const maxFrame = 1 << 30
+
+// meshSetupTimeout bounds DialMesh: dial retries and the accept loop both
+// give up after this long, so a dead peer yields an error instead of a hang.
+const meshSetupTimeout = 30 * time.Second
+
+// dialRetry dials addr until it succeeds or the setup timeout elapses.
+func dialRetry(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(meshSetupTimeout)
+	delay := time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+// TCPConn is one rank's endpoint in a TCP mesh.
+type TCPConn struct {
+	rank  int
+	size  int
+	box   *mailbox
+	peers []net.Conn // peers[r] is the connection to rank r (nil for self)
+	sendM []sync.Mutex
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// DialMesh establishes a full mesh between `size` ranks. addrs[r] is the
+// listen address of rank r (for example "127.0.0.1:9000"). Every rank calls
+// DialMesh with the same address list and its own rank; the call returns
+// once all pairwise connections are up.
+//
+// Connection direction: rank i dials rank j for i > j; the lower rank
+// accepts. The handshake is the dialer's rank as a uint32.
+func DialMesh(rank int, addrs []string) (*TCPConn, error) {
+	size := len(addrs)
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("transport: rank %d out of range [0,%d)", rank, size)
+	}
+	c := &TCPConn{
+		rank:  rank,
+		size:  size,
+		box:   newMailbox(),
+		peers: make([]net.Conn, size),
+		sendM: make([]sync.Mutex, size),
+	}
+
+	ln, err := net.Listen("tcp", addrs[rank])
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addrs[rank], err)
+	}
+	defer ln.Close()
+	// Bound the whole mesh setup: if a peer died, fail instead of hanging.
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(time.Now().Add(meshSetupTimeout))
+	}
+
+	// Accept connections from all higher ranks.
+	accepted := make(chan error, 1)
+	expect := size - rank - 1
+	go func() {
+		for i := 0; i < expect; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				accepted <- err
+				return
+			}
+			var hdr [4]byte
+			if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+				accepted <- fmt.Errorf("transport: handshake read: %w", err)
+				return
+			}
+			peer := int(binary.LittleEndian.Uint32(hdr[:]))
+			if peer <= rank || peer >= size {
+				accepted <- fmt.Errorf("transport: bad handshake rank %d", peer)
+				return
+			}
+			c.peers[peer] = conn
+		}
+		accepted <- nil
+	}()
+
+	// Dial all lower ranks, retrying while their listeners come up — ranks
+	// start concurrently, so early dials routinely beat the peer's Listen.
+	for peer := 0; peer < rank; peer++ {
+		conn, err := dialRetry(addrs[peer])
+		if err != nil {
+			return nil, fmt.Errorf("transport: dial rank %d (%s): %w", peer, addrs[peer], err)
+		}
+		var hdr [4]byte
+		binary.LittleEndian.PutUint32(hdr[:], uint32(rank))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			return nil, fmt.Errorf("transport: handshake write: %w", err)
+		}
+		c.peers[peer] = conn
+	}
+	if err := <-accepted; err != nil {
+		return nil, err
+	}
+
+	// Start one reader per peer.
+	for peer, conn := range c.peers {
+		if conn == nil {
+			continue
+		}
+		c.wg.Add(1)
+		go c.readLoop(peer, conn)
+	}
+	return c, nil
+}
+
+func (c *TCPConn) readLoop(peer int, conn net.Conn) {
+	defer c.wg.Done()
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return // connection closed; pending receives fail on Close
+		}
+		tag := binary.LittleEndian.Uint32(hdr[0:4])
+		length := binary.LittleEndian.Uint32(hdr[4:8])
+		if length > maxFrame {
+			return
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		if err := c.box.put(peer, tag, payload); err != nil {
+			return
+		}
+	}
+}
+
+// Rank implements Conn.
+func (c *TCPConn) Rank() int { return c.rank }
+
+// Size implements Conn.
+func (c *TCPConn) Size() int { return c.size }
+
+// Send implements Conn.
+func (c *TCPConn) Send(to int, tag uint32, payload []byte) error {
+	if to < 0 || to >= c.size {
+		return fmt.Errorf("transport: send to rank %d out of range [0,%d)", to, c.size)
+	}
+	if to == c.rank {
+		return c.box.put(c.rank, tag, payload)
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("transport: payload %d exceeds frame limit", len(payload))
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], tag)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	c.sendM[to].Lock()
+	defer c.sendM[to].Unlock()
+	conn := c.peers[to]
+	if conn == nil {
+		return ErrClosed
+	}
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+// Recv implements Conn.
+func (c *TCPConn) Recv(from int, tag uint32) ([]byte, error) {
+	if from < 0 || from >= c.size {
+		return nil, fmt.Errorf("transport: recv from rank %d out of range [0,%d)", from, c.size)
+	}
+	return c.box.get(from, tag)
+}
+
+// RecvAny implements Conn.
+func (c *TCPConn) RecvAny(tag uint32) (int, []byte, error) {
+	return c.box.getAny(tag)
+}
+
+// Close implements Conn.
+func (c *TCPConn) Close() error {
+	c.once.Do(func() {
+		for i := range c.peers {
+			c.sendM[i].Lock()
+			if conn := c.peers[i]; conn != nil {
+				conn.Close()
+				c.peers[i] = nil
+			}
+			c.sendM[i].Unlock()
+		}
+		c.box.close()
+	})
+	c.wg.Wait()
+	return nil
+}

@@ -1,0 +1,158 @@
+// Package transport provides the message-passing fabric underneath the
+// MPI-style collectives (internal/cluster) and the distributed key-value
+// store (internal/dkv). Two interchangeable backends exist: an in-process
+// fabric built on shared mailboxes (the default for the simulated-cluster
+// experiments) and a TCP mesh for genuinely multi-process runs.
+//
+// The interface is deliberately minimal — tagged point-to-point messages with
+// blocking receives — because that is all the algorithm's phase structure
+// needs; everything else (barriers, reductions, one-sided reads) is layered
+// on top.
+package transport
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")
+
+// Conn is one rank's endpoint into the fabric.
+type Conn interface {
+	// Rank returns this endpoint's rank in [0, Size).
+	Rank() int
+	// Size returns the number of ranks in the fabric.
+	Size() int
+	// Send delivers payload to rank `to` under the given tag. The payload
+	// is owned by the transport after the call (callers must not reuse it).
+	// Sending to self is allowed.
+	Send(to int, tag uint32, payload []byte) error
+	// Recv blocks until a message from rank `from` with the given tag is
+	// available and returns its payload.
+	Recv(from int, tag uint32) ([]byte, error)
+	// RecvAny blocks until a message with the given tag arrives from any
+	// rank and returns the sender and payload.
+	RecvAny(tag uint32) (from int, payload []byte, err error)
+	// Close releases the endpoint. In-flight Recv calls return ErrClosed.
+	Close() error
+}
+
+// mailKey identifies a (sender, tag) queue within a mailbox.
+type mailKey struct {
+	from int
+	tag  uint32
+}
+
+// mailbox is a tag/sender-demultiplexed message queue shared by the inproc
+// and TCP backends.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[mailKey][][]byte
+	// anyOrder preserves global arrival order per tag for RecvAny.
+	anyOrder map[uint32][]mailKey
+	closed   bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{
+		queues:   make(map[mailKey][][]byte),
+		anyOrder: make(map[uint32][]mailKey),
+	}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(from int, tag uint32, payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	k := mailKey{from, tag}
+	m.queues[k] = append(m.queues[k], payload)
+	m.anyOrder[tag] = append(m.anyOrder[tag], k)
+	m.cond.Broadcast()
+	return nil
+}
+
+func (m *mailbox) get(from int, tag uint32) ([]byte, error) {
+	k := mailKey{from, tag}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if q := m.queues[k]; len(q) > 0 {
+			msg := q[0]
+			m.popQueue(k, q)
+			m.removeFromAnyOrder(k, tag)
+			return msg, nil
+		}
+		if m.closed {
+			return nil, ErrClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+// popQueue removes the head of queue k, releasing the payload reference and
+// deleting drained queues entirely. Collective tags are never reused, so a
+// retained empty slice (whose backing array still pins the last payload)
+// would leak every message ever delivered — megabytes per iteration in the
+// engine.
+func (m *mailbox) popQueue(k mailKey, q [][]byte) {
+	q[0] = nil
+	q = q[1:]
+	if len(q) == 0 {
+		delete(m.queues, k)
+		return
+	}
+	m.queues[k] = q
+}
+
+func (m *mailbox) getAny(tag uint32) (int, []byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		if order := m.anyOrder[tag]; len(order) > 0 {
+			k := order[0]
+			if len(order) == 1 {
+				delete(m.anyOrder, tag)
+			} else {
+				m.anyOrder[tag] = order[1:]
+			}
+			q := m.queues[k]
+			msg := q[0]
+			m.popQueue(k, q)
+			return k.from, msg, nil
+		}
+		if m.closed {
+			return 0, nil, ErrClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+// removeFromAnyOrder drops the oldest anyOrder entry matching k; called with
+// the lock held after a targeted get consumed a message.
+func (m *mailbox) removeFromAnyOrder(k mailKey, tag uint32) {
+	order := m.anyOrder[tag]
+	for i, e := range order {
+		if e == k {
+			order = append(order[:i], order[i+1:]...)
+			if len(order) == 0 {
+				delete(m.anyOrder, tag)
+			} else {
+				m.anyOrder[tag] = order
+			}
+			return
+		}
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

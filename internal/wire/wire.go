@@ -1,0 +1,110 @@
+// Package wire provides the binary encoding helpers shared by the cluster
+// collectives and the distributed key-value store. Everything is
+// little-endian and length-unprefixed: framing is the transport's job, and
+// the callers always know the element counts from protocol context.
+package wire
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// AppendUint32 appends v to buf.
+func AppendUint32(buf []byte, v uint32) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], v)
+	return append(buf, tmp[:]...)
+}
+
+// Uint32At reads a uint32 at byte offset off.
+func Uint32At(buf []byte, off int) uint32 {
+	return binary.LittleEndian.Uint32(buf[off:])
+}
+
+// AppendUint64 appends v to buf.
+func AppendUint64(buf []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(buf, tmp[:]...)
+}
+
+// Uint64At reads a uint64 at byte offset off.
+func Uint64At(buf []byte, off int) uint64 {
+	return binary.LittleEndian.Uint64(buf[off:])
+}
+
+// AppendFloat64s appends the IEEE-754 encoding of each value.
+func AppendFloat64s(buf []byte, vals []float64) []byte {
+	for _, v := range vals {
+		buf = AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// Float64s decodes count float64 values starting at byte offset off into
+// dst, which must have length >= count. It returns the offset past the data.
+func Float64s(buf []byte, off, count int, dst []float64) int {
+	for i := 0; i < count; i++ {
+		dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+		off += 8
+	}
+	return off
+}
+
+// AppendFloat32s appends the IEEE-754 encoding of each value.
+func AppendFloat32s(buf []byte, vals []float32) []byte {
+	for _, v := range vals {
+		buf = AppendUint32(buf, math.Float32bits(v))
+	}
+	return buf
+}
+
+// Float32s decodes count float32 values starting at offset off into dst and
+// returns the offset past the data.
+func Float32s(buf []byte, off, count int, dst []float32) int {
+	for i := 0; i < count; i++ {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	return off
+}
+
+// AppendInt32s appends each value as a uint32.
+func AppendInt32s(buf []byte, vals []int32) []byte {
+	for _, v := range vals {
+		buf = AppendUint32(buf, uint32(v))
+	}
+	return buf
+}
+
+// Int32s decodes count int32 values starting at offset off into dst and
+// returns the offset past the data.
+func Int32s(buf []byte, off, count int, dst []int32) int {
+	for i := 0; i < count; i++ {
+		dst[i] = int32(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+	}
+	return off
+}
+
+// AppendBools appends each value as one byte.
+func AppendBools(buf []byte, vals []bool) []byte {
+	for _, v := range vals {
+		b := byte(0)
+		if v {
+			b = 1
+		}
+		buf = append(buf, b)
+	}
+	return buf
+}
+
+// Bools decodes count bools starting at offset off into dst and returns the
+// offset past the data.
+func Bools(buf []byte, off, count int, dst []bool) int {
+	for i := 0; i < count; i++ {
+		dst[i] = buf[off] != 0
+		off++
+	}
+	return off
+}

@@ -1,0 +1,145 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUint32RoundTrip(t *testing.T) {
+	f := func(vals []uint32) bool {
+		var buf []byte
+		for _, v := range vals {
+			buf = AppendUint32(buf, v)
+		}
+		for i, v := range vals {
+			if Uint32At(buf, 4*i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64RoundTrip(t *testing.T) {
+	f := func(vals []uint64) bool {
+		var buf []byte
+		for _, v := range vals {
+			buf = AppendUint64(buf, v)
+		}
+		for i, v := range vals {
+			if Uint64At(buf, 8*i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat64RoundTripQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		buf := AppendFloat64s(nil, vals)
+		out := make([]float64, len(vals))
+		if off := Float64s(buf, 0, len(vals), out); off != len(buf) {
+			return false
+		}
+		for i, v := range vals {
+			// NaN compares unequal to itself; compare bit patterns.
+			if math.Float64bits(out[i]) != math.Float64bits(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFloat32RoundTripQuick(t *testing.T) {
+	f := func(vals []float32) bool {
+		buf := AppendFloat32s(nil, vals)
+		out := make([]float32, len(vals))
+		Float32s(buf, 0, len(vals), out)
+		for i, v := range vals {
+			if math.Float32bits(out[i]) != math.Float32bits(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt32RoundTripQuick(t *testing.T) {
+	f := func(vals []int32) bool {
+		buf := AppendInt32s(nil, vals)
+		out := make([]int32, len(vals))
+		Int32s(buf, 0, len(vals), out)
+		for i, v := range vals {
+			if out[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolsRoundTripQuick(t *testing.T) {
+	f := func(vals []bool) bool {
+		buf := AppendBools(nil, vals)
+		out := make([]bool, len(vals))
+		Bools(buf, 0, len(vals), out)
+		for i, v := range vals {
+			if out[i] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixedLayout(t *testing.T) {
+	// A frame mixing all types, decoded field by field as the protocols do.
+	buf := AppendUint32(nil, 7)
+	buf = AppendInt32s(buf, []int32{-1, 2})
+	buf = AppendFloat64s(buf, []float64{3.5})
+	buf = AppendBools(buf, []bool{true})
+	buf = AppendUint64(buf, 1<<40)
+
+	if Uint32At(buf, 0) != 7 {
+		t.Fatal("uint32 field wrong")
+	}
+	ints := make([]int32, 2)
+	off := Int32s(buf, 4, 2, ints)
+	if ints[0] != -1 || ints[1] != 2 {
+		t.Fatal("int32 fields wrong")
+	}
+	f64 := make([]float64, 1)
+	off = Float64s(buf, off, 1, f64)
+	if f64[0] != 3.5 {
+		t.Fatal("float64 field wrong")
+	}
+	bools := make([]bool, 1)
+	off = Bools(buf, off, 1, bools)
+	if !bools[0] {
+		t.Fatal("bool field wrong")
+	}
+	if Uint64At(buf, off) != 1<<40 {
+		t.Fatal("uint64 field wrong")
+	}
+}
