@@ -1,0 +1,21 @@
+GO ?= go
+
+DIST_PKGS = ./internal/transport/... ./internal/cluster/... ./internal/dkv/... ./internal/dist/...
+
+.PHONY: build vet test race check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the distribution-stack packages under the race detector —
+# the failure-propagation tests are only meaningful with it on.
+race:
+	$(GO) test -race $(DIST_PKGS)
+
+check: vet build race test

@@ -33,6 +33,8 @@ func main() {
 		heldDiv  = flag.Int("heldout-div", 50, "held-out links = |E| / this")
 		mb       = flag.Int("minibatch", 256, "minibatch size in vertex pairs")
 		neigh    = flag.Int("neighbors", 32, "neighbor sample size |V_n|")
+		failRank = flag.Int("fail-rank", -1, "fault injection: rank to crash (-1 = none)")
+		failIter = flag.Int("fail-iter", 0, "fault injection: iteration at which -fail-rank crashes")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -51,11 +53,20 @@ func main() {
 
 	cfg := core.DefaultConfig(*k, *seed)
 	cfg.Alpha = 1 / float64(*k)
-	res, err := dist.Run(cfg, train, held, dist.Options{
+	opts := dist.Options{
 		Ranks: *ranks, Threads: *threads, Iterations: *iters,
 		EvalEvery: *evalEach, Pipeline: *pipeline,
 		MinibatchPairs: *mb, NeighborCount: *neigh,
-	})
+	}
+	if *failRank >= 0 {
+		opts.FaultHook = func(rank, iter int) error {
+			if rank == *failRank && iter == *failIter {
+				return fmt.Errorf("injected fault (-fail-rank %d -fail-iter %d)", rank, iter)
+			}
+			return nil
+		}
+	}
+	res, err := dist.Run(cfg, train, held, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -4,6 +4,19 @@
 // the right trade for the ≤ 65-rank clusters of the paper and keeps the
 // reduction order deterministic — partial results are always folded in rank
 // order, so a distributed sum equals the sequential sum of the same parts.
+//
+// # Abort protocol
+//
+// The paper's collectives assume every rank stays healthy; ours do not. A
+// rank that hits an unrecoverable error calls Comm.Abort, which broadcasts
+// an abort control message on the transport's reserved tag and poisons the
+// fabric. Every collective a peer is blocked in — Barrier, Bcast, Scatter,
+// Gather, Reduce — then returns an error wrapping *AbortError (check with
+// errors.As or transport.AsAbort) that names the failing rank and its cause,
+// instead of blocking forever on a message that will never come. Aborting is
+// one-way: a poisoned communicator stays dead, which is the right semantics
+// for SG-MCMC — the caller restarts the run from a checkpoint rather than
+// patching a half-finished iteration.
 package cluster
 
 import (
@@ -22,6 +35,12 @@ const (
 	// TagUserBase is the first tag value available to application protocols.
 	TagUserBase uint32 = 0x40000000
 )
+
+// AbortError is the typed error every collective returns (wrapped; unwrap
+// with errors.As) once the fabric has been aborted: Rank is the rank that
+// called Abort, and Msg/Cause carry why. It is an alias for the transport's
+// abort type so the error is the same object all the way down the stack.
+type AbortError = transport.AbortError
 
 // Comm is a communicator: a Conn plus collective sequencing.
 type Comm struct {
@@ -46,6 +65,15 @@ func (c *Comm) Conn() transport.Conn { return c.conn }
 func (c *Comm) nextTag() uint32 {
 	c.seq++
 	return c.seq & tagCollectiveMask
+}
+
+// Abort declares this rank failed: the cause is broadcast on the reserved
+// abort tag and the fabric is poisoned, so every peer blocked in (or later
+// entering) a collective or receive returns an *AbortError naming this rank
+// within bounded time instead of deadlocking. Safe to call multiple times;
+// the first abort to reach each endpoint wins.
+func (c *Comm) Abort(cause error) {
+	c.conn.Poison(cause)
 }
 
 // Barrier blocks until every rank has entered it.
@@ -74,7 +102,10 @@ func (c *Comm) Barrier() error {
 }
 
 // Bcast distributes root's data to every rank and returns it. Non-root
-// callers pass nil.
+// callers pass nil. The same data slice is handed to every Send — safe
+// because the transport's ownership contract guarantees each receiver gets
+// a private copy (see the transport package docs); receivers may mutate
+// their result freely.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	tag := c.nextTag()
 	if c.Rank() == root {

@@ -57,6 +57,13 @@ type Options struct {
 	// iterations (requires a held-out set).
 	EvalEvery  int
 	Iterations int
+
+	// FaultHook, when non-nil, is called by every rank at the top of each
+	// iteration; a non-nil return makes that rank fail exactly as if the
+	// iteration itself had errored, triggering the fabric-wide abort. It
+	// exists for the failure-injection test suites and the -fail-rank /
+	// -fail-iter flags of cmd/ocd-cluster; production runs leave it nil.
+	FaultHook func(rank, iter int) error
 }
 
 func (o *Options) setDefaults() {
@@ -245,10 +252,27 @@ func RunOnTransport(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Op
 	for i := 0; i < opt.Ranks; i++ {
 		<-done
 	}
+	// Every rank returns within bounded time even on failure: the failing
+	// rank broadcasts an abort (node.run's deferred Comm.Abort), so its
+	// peers surface AbortErrors rather than blocking. Report the originating
+	// rank's own error when it is local; peers' abort echoes name the same
+	// rank inside the AbortError, so a multi-process driver gets the rank
+	// too.
+	var abortErr error
 	for r, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("dist: rank %d: %w", r, err)
+		if err == nil {
+			continue
 		}
+		if _, isAbort := transport.AsAbort(err); isAbort {
+			if abortErr == nil {
+				abortErr = fmt.Errorf("dist: rank %d: %w", r, err)
+			}
+			continue
+		}
+		return nil, fmt.Errorf("dist: rank %d: %w", r, err)
+	}
+	if abortErr != nil {
+		return nil, abortErr
 	}
 	return assembleResult(nodes), nil
 }
@@ -316,9 +340,22 @@ func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, h
 	return nd, nil
 }
 
-// run is one rank's SPMD main.
-func (nd *node) run() error {
+// run is one rank's SPMD main. Any error is converted into a fabric-wide
+// abort before returning, so no peer can deadlock waiting for a message
+// this rank will never send — the engine's bounded-time failure guarantee.
+func (nd *node) run() (err error) {
 	defer nd.store.Close()
+	defer func() {
+		if err == nil {
+			return
+		}
+		// If we are merely reacting to someone else's abort, the fabric is
+		// already poisoned; re-broadcasting would overwrite nothing (first
+		// cause wins) but would waste frames on a dying mesh.
+		if _, isAbort := transport.AsAbort(err); !isAbort {
+			nd.comm.Abort(fmt.Errorf("rank %d: %w", nd.rank, err))
+		}
+	}()
 	nd.start = time.Now()
 
 	// Populate the owned π shard from the shared deterministic init.
@@ -336,6 +373,11 @@ func (nd *node) run() error {
 
 	totalTimer := nd.phases.Timer(PhaseTotal)
 	for t := 0; t < nd.opt.Iterations; t++ {
+		if hook := nd.opt.FaultHook; hook != nil {
+			if herr := hook(nd.rank, t); herr != nil {
+				return fmt.Errorf("iteration %d: injected fault: %w", t, herr)
+			}
+		}
 		if err := nd.iterate(t); err != nil {
 			return fmt.Errorf("iteration %d: %w", t, err)
 		}

@@ -1,7 +1,6 @@
 package dist
 
 import (
-	"net"
 	"sync"
 	"testing"
 
@@ -24,19 +23,7 @@ func TestTCPTransportMatchesInproc(t *testing.T) {
 	}
 
 	// Reserve loopback ports.
-	addrs := make([]string, ranks)
-	listeners := make([]net.Listener, ranks)
-	for i := range addrs {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			t.Fatal(err)
-		}
-		listeners[i] = ln
-		addrs[i] = ln.Addr().String()
-	}
-	for _, ln := range listeners {
-		ln.Close()
-	}
+	addrs := freeLoopbackAddrs(t, ranks)
 
 	conns := make([]transport.Conn, ranks)
 	var wg sync.WaitGroup

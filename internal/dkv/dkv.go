@@ -10,9 +10,33 @@
 // rank, a batch write one request/ack. Local keys short-circuit to memory,
 // which reproduces the paper's observation that a rank must fetch (C-1)/C of
 // a random batch over the network.
+//
+// # Failure semantics
+//
+// The server goroutine exits as soon as its transport is closed or poisoned,
+// so a fabric-wide abort drains every rank's server. Misrouted keys (outside
+// the serving rank's shard) no longer panic the server: the request is
+// answered with a typed error response that surfaces client-side as a
+// *KeyRangeError. When a Future's receive fails (abort, deadline, closed
+// endpoint), Wait records the response tags that may still arrive in a
+// quarantine set so they can never be matched against a later request, then
+// keeps draining the remaining pending responses and reports every error it
+// saw (errors.Join).
+//
+// # Request-id discipline
+//
+// Response tags are tagRespBase plus a per-peer sequence number modulo
+// respWindow (2^22). Tags are demultiplexed per (sender, tag), so two peers
+// reusing the same id never collide; a collision would need respWindow
+// requests to a single peer to be issued while an old one is still in
+// flight. The engine keeps at most a handful of futures outstanding and
+// every Future must eventually be waited (ReadBatchAsync's contract), so
+// wraparound is harmless — the regression test in failure_test.go pins the
+// 16-bit version of this bug.
 package dkv
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -28,7 +52,11 @@ import (
 const (
 	tagRequest  = cluster.TagUserBase + 0x100
 	tagRespBase = cluster.TagUserBase + 0x10000
-	respIDMask  = 0xffff
+	// respWindow is the per-peer request-id space; ids wrap modulo this.
+	// 2^22 tags keep the response range well below transport.TagAbort while
+	// making an in-flight collision require four million outstanding
+	// requests to one peer.
+	respWindow = 1 << 22
 )
 
 // Request opcodes.
@@ -37,6 +65,29 @@ const (
 	opWrite = 2
 	opStop  = 3
 )
+
+// Response status codes (first uint32 of every response payload).
+const (
+	respOK        uint32 = 0
+	respKeyRange  uint32 = 1
+	respMalformed uint32 = 2
+)
+
+// reqHeaderBytes is the fixed [op][id][count] request prefix.
+const reqHeaderBytes = 12
+
+// KeyRangeError is the typed error a DKV server returns when a request
+// names a key outside the shard it owns — a misrouted key is a protocol bug
+// on the client, and the server must survive it rather than panic.
+type KeyRangeError struct {
+	Rank int   // serving rank that rejected the request
+	Key  int32 // offending key
+}
+
+// Error implements error.
+func (e *KeyRangeError) Error() string {
+	return fmt.Sprintf("dkv: rank %d rejected key %d outside its owned shard", e.Rank, e.Key)
+}
 
 // Stats counts the traffic a rank generated as a DKV client.
 type Stats struct {
@@ -57,7 +108,12 @@ type Store struct {
 	lo, hi   int // owned key range [lo, hi)
 	shard    []byte
 
-	reqID   atomic.Uint32
+	// reqMu guards the per-peer request-id sequences and the quarantine set
+	// of tags whose responses were abandoned by a failed Wait.
+	reqMu sync.Mutex
+	seq   []uint32
+	lost  map[uint64]struct{}
+
 	stats   Stats
 	serveWG sync.WaitGroup
 }
@@ -90,6 +146,8 @@ func New(conn transport.Conn, n, valBytes int) (*Store, error) {
 		lo:       lo,
 		hi:       hi,
 		shard:    make([]byte, (hi-lo)*valBytes),
+		seq:      make([]uint32, size),
+		lost:     make(map[uint64]struct{}),
 	}
 	s.serveWG.Add(1)
 	go s.serve()
@@ -114,6 +172,9 @@ func (s *Store) localValue(k int) []byte {
 	return s.shard[off : off+s.valBytes]
 }
 
+// ownsKey reports whether k falls inside this rank's shard.
+func (s *Store) ownsKey(k int32) bool { return int(k) >= s.lo && int(k) < s.hi }
+
 // WriteLocal stores a value for an owned key without any messaging; used for
 // initial population. It panics on non-owned keys.
 func (s *Store) WriteLocal(k int, val []byte) {
@@ -134,14 +195,26 @@ func (s *Store) ReadLocal(k int, dst []byte) {
 	copy(dst, s.localValue(k))
 }
 
+// errResp encodes an error response: [status][offending key].
+func errResp(status uint32, key int32) []byte {
+	b := wire.AppendUint32(nil, status)
+	return wire.AppendUint32(b, uint32(key))
+}
+
 // serve answers read and write requests until an opStop message arrives from
-// this rank itself.
+// this rank itself, the transport closes, or the fabric is poisoned — the
+// latter two drain the server so a dying cluster never leaves the goroutine
+// behind.
 func (s *Store) serve() {
 	defer s.serveWG.Done()
 	for {
 		from, req, err := s.conn.RecvAny(tagRequest)
 		if err != nil {
-			return // transport closed
+			return // transport closed or poisoned
+		}
+		if len(req) < reqHeaderBytes {
+			// No request id to respond under; drop the frame.
+			continue
 		}
 		op := wire.Uint32At(req, 0)
 		id := wire.Uint32At(req, 4)
@@ -150,26 +223,63 @@ func (s *Store) serve() {
 		case opStop:
 			return
 		case opRead:
+			if count < 0 || len(req) < reqHeaderBytes+4*count {
+				if err := s.conn.Send(from, tagRespBase+id, errResp(respMalformed, -1)); err != nil {
+					return
+				}
+				continue
+			}
 			keys := make([]int32, count)
-			wire.Int32s(req, 12, count, keys)
-			resp := make([]byte, count*s.valBytes)
+			wire.Int32s(req, reqHeaderBytes, count, keys)
+			if bad, ok := s.findMisroutedKey(keys); !ok {
+				if err := s.conn.Send(from, tagRespBase+id, errResp(respKeyRange, bad)); err != nil {
+					return
+				}
+				continue
+			}
+			resp := make([]byte, 4+count*s.valBytes)
+			// status respOK is the zero value; values start at offset 4.
 			for i, k := range keys {
-				copy(resp[i*s.valBytes:], s.localValue(int(k)))
+				copy(resp[4+i*s.valBytes:], s.localValue(int(k)))
 			}
 			if err := s.conn.Send(from, tagRespBase+id, resp); err != nil {
 				return
 			}
 		case opWrite:
+			if count < 0 || len(req) < reqHeaderBytes+count*(4+s.valBytes) {
+				if err := s.conn.Send(from, tagRespBase+id, errResp(respMalformed, -1)); err != nil {
+					return
+				}
+				continue
+			}
 			keys := make([]int32, count)
-			off := wire.Int32s(req, 12, count, keys)
+			off := wire.Int32s(req, reqHeaderBytes, count, keys)
+			// Validate before applying so a bad batch is all-or-nothing.
+			if bad, ok := s.findMisroutedKey(keys); !ok {
+				if err := s.conn.Send(from, tagRespBase+id, errResp(respKeyRange, bad)); err != nil {
+					return
+				}
+				continue
+			}
 			for i, k := range keys {
 				copy(s.localValue(int(k)), req[off+i*s.valBytes:off+(i+1)*s.valBytes])
 			}
-			if err := s.conn.Send(from, tagRespBase+id, nil); err != nil {
+			if err := s.conn.Send(from, tagRespBase+id, wire.AppendUint32(nil, respOK)); err != nil {
 				return
 			}
 		}
 	}
+}
+
+// findMisroutedKey returns (key, false) for the first key outside this
+// rank's shard, or (0, true) when every key is owned.
+func (s *Store) findMisroutedKey(keys []int32) (int32, bool) {
+	for _, k := range keys {
+		if !s.ownsKey(k) {
+			return k, false
+		}
+	}
+	return 0, true
 }
 
 // Close stops the server goroutine. The underlying transport stays open.
@@ -178,12 +288,62 @@ func (s *Store) Close() error {
 	req = wire.AppendUint32(req, 0)
 	req = wire.AppendUint32(req, 0)
 	if err := s.conn.Send(s.conn.Rank(), tagRequest, req); err != nil {
-		// Transport already closed; the server loop has exited.
+		// Transport already closed or poisoned; the server loop has exited.
 		s.serveWG.Wait()
 		return nil
 	}
 	s.serveWG.Wait()
 	return nil
+}
+
+// nextID allocates the next request id for a peer, skipping ids whose
+// responses were abandoned by a failed Wait — a quarantined tag may still
+// receive its stale response and must never be reused.
+func (s *Store) nextID(rank int) uint32 {
+	s.reqMu.Lock()
+	defer s.reqMu.Unlock()
+	for {
+		s.seq[rank] = (s.seq[rank] + 1) % respWindow
+		id := s.seq[rank]
+		if _, quarantined := s.lost[lostKey(rank, id)]; !quarantined {
+			return id
+		}
+	}
+}
+
+// noteLost quarantines a (rank, id) pair whose response may still arrive.
+func (s *Store) noteLost(rank int, id uint32) {
+	s.reqMu.Lock()
+	s.lost[lostKey(rank, id)] = struct{}{}
+	s.reqMu.Unlock()
+}
+
+func lostKey(rank int, id uint32) uint64 {
+	return uint64(rank)<<32 | uint64(id)
+}
+
+// decodeResp validates a response's status header and returns its payload.
+func decodeResp(rank int, resp []byte, wantBytes int) ([]byte, error) {
+	if len(resp) < 4 {
+		return nil, fmt.Errorf("dkv: short response (%d bytes) from rank %d", len(resp), rank)
+	}
+	switch status := wire.Uint32At(resp, 0); status {
+	case respOK:
+		if len(resp)-4 != wantBytes {
+			return nil, fmt.Errorf("dkv: response from rank %d has %d payload bytes, want %d",
+				rank, len(resp)-4, wantBytes)
+		}
+		return resp[4:], nil
+	case respKeyRange:
+		if len(resp) < 8 {
+			return nil, fmt.Errorf("dkv: truncated key-range error from rank %d", rank)
+		}
+		return nil, &KeyRangeError{Rank: rank, Key: int32(wire.Uint32At(resp, 4))}
+	case respMalformed:
+		return nil, fmt.Errorf("dkv: rank %d rejected malformed request", rank)
+	default:
+		return nil, fmt.Errorf("dkv: unknown response status %d from rank %d", status, rank)
+	}
 }
 
 // perRankBatch groups a key batch by owning rank, remembering each key's
@@ -227,7 +387,10 @@ type pendingResp struct {
 }
 
 // Wait blocks until every response has arrived and been scattered into the
-// destination buffer. It is idempotent.
+// destination buffer. It is idempotent. On failure it still attempts every
+// remaining pending response — so one slow error does not strand the others
+// in the transport queues — quarantines the tags of responses that never
+// came, and returns every distinct error it observed (errors.Join).
 func (f *Future) Wait() error {
 	if f.done {
 		return f.err
@@ -236,22 +399,32 @@ func (f *Future) Wait() error {
 	for _, p := range f.pending {
 		resp, err := f.store.conn.Recv(p.rank, tagRespBase+p.id)
 		if err != nil {
-			f.err = err
+			// The response may still arrive later; make sure its tag can
+			// never be matched against a future request.
+			f.store.noteLost(p.rank, p.id)
+			f.err = errors.Join(f.err, err)
 			continue
 		}
 		vb := f.store.valBytes
-		for i, pos := range p.g.pos {
-			copy(f.dst[pos*vb:(pos+1)*vb], resp[i*vb:(i+1)*vb])
+		payload, err := decodeResp(p.rank, resp, len(p.g.keys)*vb)
+		if err != nil {
+			f.err = errors.Join(f.err, err)
+			continue
 		}
-		f.store.stats.BytesRead.Add(int64(len(resp)))
+		for i, pos := range p.g.pos {
+			copy(f.dst[pos*vb:(pos+1)*vb], payload[i*vb:(i+1)*vb])
+		}
+		f.store.stats.BytesRead.Add(int64(len(payload)))
 	}
 	return f.err
 }
 
 // ReadBatchAsync issues the reads for a key batch and returns a Future; the
 // local portion is served immediately. dst must have len(keys)*ValueBytes
-// bytes and must stay untouched until Wait returns. This is the prefetch
-// primitive behind the paper's double-buffered pipeline.
+// bytes and must stay untouched until Wait returns. Every Future must
+// eventually be waited, even after an error — Wait is what keeps the
+// response tag space clean. This is the prefetch primitive behind the
+// paper's double-buffered pipeline.
 func (s *Store) ReadBatchAsync(keys []int32, dst []byte) (*Future, error) {
 	if len(dst) != len(keys)*s.valBytes {
 		return nil, fmt.Errorf("dkv: dst has %d bytes, want %d", len(dst), len(keys)*s.valBytes)
@@ -265,12 +438,19 @@ func (s *Store) ReadBatchAsync(keys []int32, dst []byte) (*Future, error) {
 			s.stats.LocalKeys.Add(int64(len(g.keys)))
 			continue
 		}
-		id := s.reqID.Add(1) & respIDMask
+		id := s.nextID(rank)
 		req := wire.AppendUint32(nil, opRead)
 		req = wire.AppendUint32(req, id)
 		req = wire.AppendUint32(req, uint32(len(g.keys)))
 		req = wire.AppendInt32s(req, g.keys)
 		if err := s.conn.Send(rank, tagRequest, req); err != nil {
+			// Sends that never left cannot produce responses; only the
+			// already-issued pendings need draining, which Wait does.
+			f.err = err
+			f.done = true
+			for _, p := range f.pending {
+				s.noteLost(p.rank, p.id)
+			}
 			return nil, err
 		}
 		s.stats.RemoteKeys.Add(int64(len(g.keys)))
@@ -293,6 +473,9 @@ func (s *Store) ReadBatch(keys []int32, dst []byte) error {
 // their keys and waits for every owner's acknowledgement, so that a
 // subsequent cluster barrier orders these writes before any later read —
 // exactly the write-then-barrier-then-read discipline of the paper's phases.
+// Like Future.Wait, a failed acknowledgement does not strand the others:
+// every ack is awaited, missing ones are quarantined, and all errors are
+// reported.
 func (s *Store) WriteBatch(keys []int32, values []byte) error {
 	if len(values) != len(keys)*s.valBytes {
 		return fmt.Errorf("dkv: values have %d bytes, want %d", len(values), len(keys)*s.valBytes)
@@ -310,7 +493,7 @@ func (s *Store) WriteBatch(keys []int32, values []byte) error {
 			s.stats.LocalKeys.Add(int64(len(g.keys)))
 			continue
 		}
-		id := s.reqID.Add(1) & respIDMask
+		id := s.nextID(rank)
 		req := wire.AppendUint32(nil, opWrite)
 		req = wire.AppendUint32(req, id)
 		req = wire.AppendUint32(req, uint32(len(g.keys)))
@@ -319,6 +502,9 @@ func (s *Store) WriteBatch(keys []int32, values []byte) error {
 			req = append(req, values[pos*s.valBytes:(pos+1)*s.valBytes]...)
 		}
 		if err := s.conn.Send(rank, tagRequest, req); err != nil {
+			for _, a := range acks {
+				s.noteLost(a.rank, a.id)
+			}
 			return err
 		}
 		s.stats.RemoteKeys.Add(int64(len(g.keys)))
@@ -326,10 +512,17 @@ func (s *Store) WriteBatch(keys []int32, values []byte) error {
 		s.stats.BytesWritten.Add(int64(len(g.keys) * s.valBytes))
 		acks = append(acks, ack{rank, id})
 	}
+	var errAll error
 	for _, a := range acks {
-		if _, err := s.conn.Recv(a.rank, tagRespBase+a.id); err != nil {
-			return err
+		resp, err := s.conn.Recv(a.rank, tagRespBase+a.id)
+		if err != nil {
+			s.noteLost(a.rank, a.id)
+			errAll = errors.Join(errAll, err)
+			continue
+		}
+		if _, err := decodeResp(a.rank, resp, 0); err != nil {
+			errAll = errors.Join(errAll, err)
 		}
 	}
-	return nil
+	return errAll
 }

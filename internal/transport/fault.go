@@ -1,0 +1,45 @@
+package transport
+
+import "time"
+
+// FaultConn wraps a Conn with deterministic fault injection for the failure
+// test suites: messages can be dropped, delayed or failed on the send side
+// without the receiver's cooperation. The zero hooks make it a transparent
+// passthrough.
+//
+// Hooks must be installed before the conn is shared between goroutines and
+// are read-only afterwards; they may themselves be stateful (e.g. count
+// calls) but must then be internally synchronised, since Send can be called
+// concurrently.
+type FaultConn struct {
+	Conn
+
+	// DropSend, when non-nil and returning true, silently discards the
+	// message — it is never delivered, as if the wire lost it.
+	DropSend func(to int, tag uint32) bool
+	// DelaySend, when non-nil, sleeps the returned duration before the
+	// message is handed to the underlying transport.
+	DelaySend func(to int, tag uint32) time.Duration
+	// FailSend, when non-nil and returning a non-nil error, fails the Send
+	// call with that error — as if the local NIC rejected it.
+	FailSend func(to int, tag uint32) error
+}
+
+// Send implements Conn with the configured faults applied in order:
+// fail, drop, delay, then the real send.
+func (f *FaultConn) Send(to int, tag uint32, payload []byte) error {
+	if f.FailSend != nil {
+		if err := f.FailSend(to, tag); err != nil {
+			return err
+		}
+	}
+	if f.DropSend != nil && f.DropSend(to, tag) {
+		return nil
+	}
+	if f.DelaySend != nil {
+		if d := f.DelaySend(to, tag); d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return f.Conn.Send(to, tag, payload)
+}

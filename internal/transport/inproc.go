@@ -1,6 +1,9 @@
 package transport
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // Fabric is an in-process transport connecting `size` ranks that live as
 // goroutines in one address space. It stands in for the paper's InfiniBand
@@ -58,7 +61,13 @@ func (c *inprocConn) Send(to int, tag uint32, payload []byte) error {
 	if to < 0 || to >= c.Size() {
 		return fmt.Errorf("transport: send to rank %d out of range [0,%d)", to, c.Size())
 	}
-	return c.fabric.boxes[to].put(c.rank, tag, payload)
+	if tag == TagAbort {
+		return fmt.Errorf("transport: tag %#x is reserved for the abort protocol", tag)
+	}
+	// Copy on send: the receiver owns its slice, so a broadcast of one
+	// buffer to many ranks never aliases (see the package ownership
+	// contract).
+	return c.fabric.boxes[to].put(c.rank, tag, clonePayload(payload))
 }
 
 func (c *inprocConn) Recv(from int, tag uint32) ([]byte, error) {
@@ -70,6 +79,22 @@ func (c *inprocConn) Recv(from int, tag uint32) ([]byte, error) {
 
 func (c *inprocConn) RecvAny(tag uint32) (int, []byte, error) {
 	return c.fabric.boxes[c.rank].getAny(tag)
+}
+
+// SetDeadline implements Conn; it bounds receives on this rank's inbox.
+func (c *inprocConn) SetDeadline(t time.Time) error {
+	c.fabric.boxes[c.rank].setDeadline(t)
+	return nil
+}
+
+// Poison implements Conn. The fabric shares one address space, so the abort
+// reaches every rank's mailbox synchronously — the in-proc analogue of the
+// TCP backend's abort control frames.
+func (c *inprocConn) Poison(cause error) {
+	ae := &AbortError{Rank: c.rank, Msg: cause.Error(), Cause: cause}
+	for _, b := range c.fabric.boxes {
+		b.poison(ae)
+	}
 }
 
 func (c *inprocConn) Close() error {

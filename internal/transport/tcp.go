@@ -155,29 +155,22 @@ func (c *TCPConn) readLoop(peer int, conn net.Conn) {
 		if _, err := io.ReadFull(conn, payload); err != nil {
 			return
 		}
+		if tag == TagAbort {
+			// Abort control frame: the payload is the poisoning rank's
+			// rendered cause. Poison the local mailbox so every blocked
+			// receive fails, then keep reading (Close still drains us).
+			c.box.poison(&AbortError{Rank: peer, Msg: string(payload)})
+			continue
+		}
 		if err := c.box.put(peer, tag, payload); err != nil {
 			return
 		}
 	}
 }
 
-// Rank implements Conn.
-func (c *TCPConn) Rank() int { return c.rank }
-
-// Size implements Conn.
-func (c *TCPConn) Size() int { return c.size }
-
-// Send implements Conn.
-func (c *TCPConn) Send(to int, tag uint32, payload []byte) error {
-	if to < 0 || to >= c.size {
-		return fmt.Errorf("transport: send to rank %d out of range [0,%d)", to, c.size)
-	}
-	if to == c.rank {
-		return c.box.put(c.rank, tag, payload)
-	}
-	if len(payload) > maxFrame {
-		return fmt.Errorf("transport: payload %d exceeds frame limit", len(payload))
-	}
+// writeFrame sends one framed message to a peer, serialising writers per
+// connection.
+func (c *TCPConn) writeFrame(to int, tag uint32, payload []byte) error {
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], tag)
 	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
@@ -192,6 +185,52 @@ func (c *TCPConn) Send(to int, tag uint32, payload []byte) error {
 	}
 	_, err := conn.Write(payload)
 	return err
+}
+
+// Rank implements Conn.
+func (c *TCPConn) Rank() int { return c.rank }
+
+// Size implements Conn.
+func (c *TCPConn) Size() int { return c.size }
+
+// Send implements Conn.
+func (c *TCPConn) Send(to int, tag uint32, payload []byte) error {
+	if to < 0 || to >= c.size {
+		return fmt.Errorf("transport: send to rank %d out of range [0,%d)", to, c.size)
+	}
+	if tag == TagAbort {
+		return fmt.Errorf("transport: tag %#x is reserved for the abort protocol", tag)
+	}
+	if to == c.rank {
+		// Self-delivery skips the wire; clone so the receiver owns its
+		// slice, matching the remote path's serialisation copy.
+		return c.box.put(c.rank, tag, clonePayload(payload))
+	}
+	if len(payload) > maxFrame {
+		return fmt.Errorf("transport: payload %d exceeds frame limit", len(payload))
+	}
+	return c.writeFrame(to, tag, payload)
+}
+
+// SetDeadline implements Conn; it bounds receives on this rank's mailbox.
+func (c *TCPConn) SetDeadline(t time.Time) error {
+	c.box.setDeadline(t)
+	return nil
+}
+
+// Poison implements Conn: an abort control frame is sent to every peer
+// (best effort — a dead peer's frame is dropped, which is fine because a
+// dead peer is not blocked on us) and the local mailbox is poisoned with
+// the full cause.
+func (c *TCPConn) Poison(cause error) {
+	msg := []byte(cause.Error())
+	for to := range c.peers {
+		if to == c.rank {
+			continue
+		}
+		_ = c.writeFrame(to, TagAbort, msg)
+	}
+	c.box.poison(&AbortError{Rank: c.rank, Msg: cause.Error(), Cause: cause})
 }
 
 // Recv implements Conn.
