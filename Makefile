@@ -1,11 +1,15 @@
 GO ?= go
 
-DIST_PKGS = ./internal/transport/... ./internal/cluster/... ./internal/dkv/... ./internal/dist/...
+DIST_PKGS = ./internal/transport/... ./internal/cluster/... ./internal/dkv/... ./internal/store/... ./internal/engine/... ./internal/dist/...
 
-.PHONY: build vet test race check
+.PHONY: build fmt vet test race bench-dist check
 
 build:
 	$(GO) build ./...
+
+# fmt fails if any file is not gofmt-clean (prints the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -14,8 +18,13 @@ test:
 	$(GO) test ./...
 
 # race runs the distribution-stack packages under the race detector —
-# the failure-propagation tests are only meaningful with it on.
+# the failure-propagation and seed-parity tests are only meaningful with
+# it on (the parity test exercises the pipelined load/compute overlap).
 race:
 	$(GO) test -race $(DIST_PKGS)
 
-check: vet build race test
+# bench-dist refreshes the BENCH_dist.json perf snapshot.
+bench-dist:
+	scripts/bench_dist.sh
+
+check: fmt vet build race test

@@ -33,6 +33,7 @@ func main() {
 		heldDiv  = flag.Int("heldout-div", 50, "held-out links = |E| / this")
 		mb       = flag.Int("minibatch", 256, "minibatch size in vertex pairs")
 		neigh    = flag.Int("neighbors", 32, "neighbor sample size |V_n|")
+		hotCache = flag.Int("hot-cache", 0, "per-rank hot-row cache size in π rows (0 = off; result is bit-identical either way)")
 		failRank = flag.Int("fail-rank", -1, "fault injection: rank to crash (-1 = none)")
 		failIter = flag.Int("fail-iter", 0, "fault injection: iteration at which -fail-rank crashes")
 	)
@@ -57,6 +58,7 @@ func main() {
 		Ranks: *ranks, Threads: *threads, Iterations: *iters,
 		EvalEvery: *evalEach, Pipeline: *pipeline,
 		MinibatchPairs: *mb, NeighborCount: *neigh,
+		HotRowCache: *hotCache,
 	}
 	if *failRank >= 0 {
 		opts.FaultHook = func(rank, iter int) error {
@@ -80,6 +82,9 @@ func main() {
 	fmt.Printf("\nDKV traffic: %d local keys, %d remote keys (%.1f%% remote), %d requests, %.1f MB read, %.1f MB written\n",
 		res.DKV.LocalKeys, res.DKV.RemoteKeys, 100*res.RemoteFrac, res.DKV.Requests,
 		float64(res.DKV.BytesRead)/1e6, float64(res.DKV.BytesWritten)/1e6)
+	if *hotCache > 0 {
+		fmt.Printf("hot-row cache: %d hits across ranks (cap %d rows/rank)\n", res.DKV.CacheHits, *hotCache)
+	}
 	fmt.Printf("total wall time: %.2fs for %d iterations (%.1f ms/iteration)\n",
 		res.Elapsed.Seconds(), *iters, res.Elapsed.Seconds()*1000/float64(*iters))
 }

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+	"repro/internal/par"
+	"repro/internal/sampling"
+	"repro/internal/store"
+	"repro/internal/trace"
+)
+
+// This file is the shared algorithm core: each phase of the paper's
+// iteration (Table III) implemented once against the store.PiStore
+// abstraction. The local sampler wires these to a store.LocalStore, the
+// distributed engine to a store.DKVStore — so a Ranks=1 distributed run is
+// the single-process sampler by construction, and scaling work (caching,
+// batching, alternative backends) lands in one place.
+
+// DrawMinibatch samples iteration t's edge minibatch from the deterministic
+// per-iteration RNG stream (the draw_minibatch phase; master-only in the
+// distributed engine).
+func DrawMinibatch(cfg *Config, edges sampling.EdgeStrategy, t int, dst *sampling.Batch) {
+	edges.Sample(mathx.NewStream(cfg.Seed, StreamMinibatch(t)), dst)
+}
+
+// PhiStage is the dominant update_phi phase: for each minibatch vertex,
+// sample its neighbor set, load the π rows through the store, and compute
+// the staged φ row. Vertices are processed in chunks of ChunkNodes; chunks
+// run either serially (load, compute, load, compute, ...) or with the
+// paper's double buffering, where chunk c+1's π rows stream in while chunk c
+// computes. Loads and computes are timed into Trace under the
+// update_phi.load_pi / update_phi.compute sub-phases.
+type PhiStage struct {
+	Cfg     *Config
+	Store   store.PiStore
+	Neigh   sampling.NeighborStrategy
+	Threads int
+	// ChunkNodes is the pipeline chunk size in minibatch vertices; <= 0
+	// processes the whole minibatch as one chunk (no pipelining benefit,
+	// right for in-memory stores).
+	ChunkNodes int
+	// Pipelined selects double buffering over the serial schedule.
+	Pipelined bool
+	Trace     *trace.Phases
+}
+
+// phiChunk is one chunk's staging buffers, reused across chunks per slot.
+type phiChunk struct {
+	lo, hi  int
+	rngs    []*mathx.RNG
+	samples []sampling.NeighborSample
+	keys    []int32
+	nodeOff []int // index into keys/rows where vertex i's rows begin
+	rows    store.Rows
+}
+
+// Run computes newPhi (len(nodes)·K, row-major, caller-sized) for iteration
+// t. Every vertex's RNG stream is keyed by (t, vertex), so the result is
+// independent of chunking, threading, and backend.
+func (p *PhiStage) Run(t int, eps float64, nodes []int32, beta []float64, newPhi []float64) error {
+	if len(nodes) == 0 {
+		return nil
+	}
+	k := p.Cfg.K
+	chunkN := p.ChunkNodes
+	if chunkN <= 0 {
+		chunkN = len(nodes)
+	}
+	nChunks := (len(nodes) + chunkN - 1) / chunkN
+
+	var bufs [2]phiChunk
+	// errVal is shared between the pipeline's load goroutine and the compute
+	// caller; guard it with a mutex rather than relying on ordering.
+	var errMu sync.Mutex
+	var errVal error
+	setErr := func(err error) {
+		errMu.Lock()
+		if errVal == nil {
+			errVal = err
+		}
+		errMu.Unlock()
+	}
+	hasErr := func() bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return errVal != nil
+	}
+
+	load := func(c, slot int) {
+		if hasErr() {
+			return
+		}
+		stop := p.Trace.Timer(engine.PhaseLoadPi)
+		defer stop()
+		b := &bufs[slot]
+		b.lo = c * chunkN
+		b.hi = min(b.lo+chunkN, len(nodes))
+		cnt := b.hi - b.lo
+		b.rngs = b.rngs[:0]
+		b.keys = b.keys[:0]
+		b.nodeOff = b.nodeOff[:0]
+		if cap(b.samples) < cnt {
+			b.samples = make([]sampling.NeighborSample, cnt)
+		}
+		b.samples = b.samples[:cnt]
+		for i := 0; i < cnt; i++ {
+			a := nodes[b.lo+i]
+			rng := mathx.NewStream(p.Cfg.Seed, StreamVertex(t, int(a)))
+			p.Neigh.Sample(a, rng, &b.samples[i])
+			b.rngs = append(b.rngs, rng)
+			b.nodeOff = append(b.nodeOff, len(b.keys))
+			b.keys = append(b.keys, a)
+			b.keys = append(b.keys, b.samples[i].Nodes...)
+		}
+		pend, err := p.Store.ReadRowsAsync(b.keys, &b.rows)
+		if err != nil {
+			setErr(err)
+			return
+		}
+		if err := pend.Wait(); err != nil {
+			setErr(err)
+		}
+	}
+
+	compute := func(c, slot int) {
+		if hasErr() {
+			return
+		}
+		stop := p.Trace.Timer(engine.PhaseComputePhi)
+		defer stop()
+		b := &bufs[slot]
+		par.For(b.hi-b.lo, p.Threads, func(wLo, wHi int) {
+			sc := NewPhiScratch(k)
+			var rows [][]float32
+			for i := wLo; i < wHi; i++ {
+				ns := &b.samples[i]
+				base := b.nodeOff[i]
+				rows = rows[:0]
+				for j := range ns.Nodes {
+					rows = append(rows, b.rows.PiRow(base+1+j))
+				}
+				idx := b.lo + i
+				UpdatePhi(p.Cfg, eps, b.rows.PiRow(base), b.rows.PhiSum[base],
+					rows, ns.Linked, ns.Scale, beta, b.rngs[i],
+					newPhi[idx*k:(idx+1)*k], sc)
+			}
+		})
+	}
+
+	if p.Pipelined {
+		par.Pipeline(nChunks, load, compute)
+	} else {
+		par.Serial(nChunks, load, compute)
+	}
+	errMu.Lock()
+	defer errMu.Unlock()
+	return errVal
+}
+
+// ThetaPartials is the gradient half of the update_beta_theta phase: it
+// reads the (fresh, post-update_pi) π rows of the given pairs through the
+// store and accumulates the θ-gradient per ThetaChunk-sized chunk, returning
+// the per-chunk partial vectors flattened as nChunks·2K float64s. The chunks
+// fold in chunk order (FoldThetaPartials), so the summation order — and the
+// trained model — is identical across thread counts, rank counts, and
+// backends, as long as rank partitions are ThetaChunk-aligned.
+func ThetaPartials(cfg *Config, ps store.PiStore, pairs []graph.Edge, link []bool, theta, beta []float64, threads int) ([]float64, error) {
+	k := cfg.K
+	nChunks := (len(pairs) + ThetaChunk - 1) / ThetaChunk
+	partials := make([]float64, nChunks*2*k)
+	if len(pairs) == 0 {
+		return partials, nil
+	}
+	keys := make([]int32, 0, 2*len(pairs))
+	for _, e := range pairs {
+		keys = append(keys, e.A, e.B)
+	}
+	var rows store.Rows
+	if err := ps.ReadRows(keys, &rows); err != nil {
+		return nil, err
+	}
+	par.ForEach(nChunks, threads, func(c int) {
+		lo := c * ThetaChunk
+		hi := min(lo+ThetaChunk, len(pairs))
+		acc := partials[c*2*k : (c+1)*2*k]
+		sc := NewThetaScratch(k)
+		for i := lo; i < hi; i++ {
+			AccumulateThetaGrad(rows.PiRow(2*i), rows.PiRow(2*i+1),
+				theta, beta, cfg.Delta, link[i], acc, sc)
+		}
+	})
+	return partials, nil
+}
+
+// FoldThetaPartials folds chunk partial vectors (concatenated 2K-wide
+// chunks, as returned by ThetaPartials) into grad in chunk order. The
+// distributed master calls it once per rank in rank order, which — with
+// chunk-aligned rank partitions — reproduces the sequential fold exactly.
+func FoldThetaPartials(grad, partials []float64, k int) {
+	w := 2 * k
+	for off := 0; off < len(partials); off += w {
+		chunk := partials[off : off+w]
+		for i, v := range chunk {
+			grad[i] += v
+		}
+	}
+}
+
+// HeldOutEval is the store-backed held-out perplexity evaluator (Eqn 7,
+// the perplexity phase): it keeps the running posterior-mean probability of
+// each held-out pair in a shard [Lo, Hi) and folds one posterior sample per
+// call. The local sampler owns the full range; each distributed rank owns a
+// PerplexityChunk-aligned shard and the master sums the returned per-chunk
+// log partials across ranks in rank order — the same fold order as the
+// sequential ChunkedReduce.
+type HeldOutEval struct {
+	Held   *graph.HeldOut
+	Delta  float64
+	Lo, Hi int // pair index shard, PerplexityChunk-aligned
+	Avg    []float64
+	T      int // posterior samples folded so far
+}
+
+// NewHeldOutEval creates an evaluator for shard [lo, hi) of held.
+func NewHeldOutEval(held *graph.HeldOut, delta float64, lo, hi int) *HeldOutEval {
+	return &HeldOutEval{Held: held, Delta: delta, Lo: lo, Hi: hi, Avg: make([]float64, hi-lo)}
+}
+
+// Fold folds the current π (read through ps) and β in as one posterior
+// sample and returns the shard's per-chunk Σlog(avg) partials.
+func (h *HeldOutEval) Fold(ps store.PiStore, beta []float64, threads int) ([]float64, error) {
+	h.T++
+	tInv := 1 / float64(h.T)
+	nLocal := h.Hi - h.Lo
+	nChunks := (nLocal + PerplexityChunk - 1) / PerplexityChunk
+	partials := make([]float64, nChunks)
+	if nLocal == 0 {
+		return partials, nil
+	}
+	keys := make([]int32, 0, 2*nLocal)
+	for i := h.Lo; i < h.Hi; i++ {
+		e := h.Held.Pairs[i]
+		keys = append(keys, e.A, e.B)
+	}
+	var rows store.Rows
+	if err := ps.ReadRows(keys, &rows); err != nil {
+		return nil, err
+	}
+	par.ForEach(nChunks, threads, func(c int) {
+		lo := c * PerplexityChunk
+		hi := min(lo+PerplexityChunk, nLocal)
+		var logSum float64
+		for i := lo; i < hi; i++ {
+			prob := EdgeProbability(rows.PiRow(2*i), rows.PiRow(2*i+1), beta, h.Delta, h.Held.Linked[h.Lo+i])
+			h.Avg[i] += (prob - h.Avg[i]) * tInv
+			v := h.Avg[i]
+			if v < 1e-300 {
+				v = 1e-300
+			}
+			logSum += math.Log(v)
+		}
+		partials[c] = logSum
+	})
+	return partials, nil
+}
+
+// PerplexityFromLogSum turns a summed Σlog(avg) over n held-out pairs into
+// the averaged perplexity of Eqn (7).
+func PerplexityFromLogSum(logSum float64, n int) float64 {
+	return math.Exp(-logSum / float64(n))
+}

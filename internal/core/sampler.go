@@ -3,10 +3,12 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/mathx"
-	"repro/internal/par"
 	"repro/internal/sampling"
+	"repro/internal/store"
+	"repro/internal/trace"
 )
 
 // ThetaChunk is the fixed chunk size for the θ-gradient reduction and
@@ -22,7 +24,10 @@ const (
 )
 
 // Sampler runs Algorithm 1 on a single node, sequentially (Threads = 1) or
-// with OpenMP-style thread parallelism over the minibatch vertices.
+// with OpenMP-style thread parallelism over the minibatch vertices. It is
+// built from the same stage layer as the distributed engine (phases.go),
+// wired to a store.LocalStore over its State — the Ranks=1 degenerate case
+// of the distributed sampler.
 type Sampler struct {
 	Cfg       Config
 	Graph     *graph.Graph
@@ -32,9 +37,14 @@ type Sampler struct {
 	Neighbors sampling.NeighborStrategy
 	Threads   int
 
+	// Phases accumulates per-stage wall-clock time under the same Table III
+	// stage names the distributed engine reports.
+	Phases *trace.Phases
+
 	t     int
 	batch sampling.Batch
-	ppx   *PerplexityAverager
+	loop  *engine.Loop
+	eval  *HeldOutEval
 
 	// staging area for the φ phase: newPhi[i] is the pending row for
 	// batch.Nodes[i]; committed only after every row is computed.
@@ -125,11 +135,90 @@ func NewSampler(cfg Config, g *graph.Graph, held *graph.HeldOut, opt SamplerOpti
 		Edges:     edges,
 		Neighbors: neigh,
 		Threads:   opt.Threads,
+		Phases:    trace.NewPhases(),
 	}
 	if held != nil {
-		s.ppx = NewPerplexityAverager(held, cfg.Delta)
+		s.eval = NewHeldOutEval(held, cfg.Delta, 0, held.Len())
+	}
+	s.loop = s.buildLoop()
+	if err := s.loop.Validate([]string{"graph", "pi", "theta", "beta"}); err != nil {
+		return nil, err
 	}
 	return s, nil
+}
+
+// pistore views the current State as a PiStore. Built per use so a Resume
+// that swaps the State can never leave a stale view behind.
+func (s *Sampler) pistore() *store.LocalStore {
+	return store.NewLocal(s.State.Pi, s.State.PhiSum, s.Cfg.K, s.Threads)
+}
+
+// buildLoop assembles the iteration from the shared stages. The stage list
+// is the local specialisation of the paper's Table III: no deploy/collective
+// stages, and the in-memory store makes every load local.
+func (s *Sampler) buildLoop() *engine.Loop {
+	return &engine.Loop{
+		Trace: s.Phases,
+		Stages: []engine.Stage{
+			{
+				Name:   engine.PhaseDrawMinibatch,
+				Reads:  []string{"graph"},
+				Writes: []string{"batch"},
+				Run: func(t int) error {
+					DrawMinibatch(&s.Cfg, s.Edges, t, &s.batch)
+					return nil
+				},
+			},
+			{
+				Name:   engine.PhaseUpdatePhi,
+				Reads:  []string{"batch", "pi", "beta"},
+				Writes: []string{"new_phi"},
+				Run: func(t int) error {
+					k := s.Cfg.K
+					n := len(s.batch.Nodes)
+					if cap(s.newPhi) < n*k {
+						s.newPhi = make([]float64, n*k)
+					}
+					s.newPhi = s.newPhi[:n*k]
+					phi := &PhiStage{
+						Cfg:     &s.Cfg,
+						Store:   s.pistore(),
+						Neigh:   s.Neighbors,
+						Threads: s.Threads,
+						Trace:   s.Phases,
+					}
+					return phi.Run(t, s.Cfg.StepSize(t), s.batch.Nodes, s.State.Beta, s.newPhi)
+				},
+			},
+			{
+				Name:   engine.PhaseUpdatePi,
+				Reads:  []string{"batch", "new_phi"},
+				Writes: []string{"pi"},
+				Run: func(t int) error {
+					return s.pistore().WriteRows(s.batch.Nodes, s.newPhi)
+				},
+			},
+			{
+				Name:   engine.PhaseUpdateBetaTheta,
+				Reads:  []string{"batch", "pi", "theta"},
+				Writes: []string{"theta", "beta"},
+				Run: func(t int) error {
+					k := s.Cfg.K
+					partials, err := ThetaPartials(&s.Cfg, s.pistore(), s.batch.Pairs, s.batch.Linked,
+						s.State.Theta, s.State.Beta, s.Threads)
+					if err != nil {
+						return err
+					}
+					grad := make([]float64, 2*k)
+					FoldThetaPartials(grad, partials, k)
+					ApplyThetaUpdate(&s.Cfg, s.Cfg.StepSize(t), s.batch.Scale, grad, s.State.Theta,
+						mathx.NewStream(s.Cfg.Seed, StreamTheta(t)))
+					s.State.RefreshBeta()
+					return nil
+				},
+			},
+		},
+	}
 }
 
 // Iteration returns the number of completed iterations.
@@ -138,62 +227,11 @@ func (s *Sampler) Iteration() int { return s.t }
 // Step executes one iteration of Algorithm 1: sample E_n; update φ and π for
 // every vertex in the minibatch; update θ and β from the minibatch pairs.
 func (s *Sampler) Step() {
-	t := s.t
-	eps := s.Cfg.StepSize(t)
-
-	// Stage 1: minibatch selection (master work in the distributed engine).
-	mbRNG := mathx.NewStream(s.Cfg.Seed, StreamMinibatch(t))
-	s.Edges.Sample(mbRNG, &s.batch)
-
-	// Stage 2: update_phi — data parallel over minibatch vertices, reading
-	// the pre-update π/Σφ state only.
-	nodes := s.batch.Nodes
-	k := s.Cfg.K
-	if cap(s.newPhi) < len(nodes)*k {
-		s.newPhi = make([]float64, len(nodes)*k)
+	// The in-memory store cannot fail; a stage error here is a programming
+	// bug, not a runtime condition the caller could handle.
+	if err := s.loop.RunIteration(s.t); err != nil {
+		panic(fmt.Sprintf("core: iteration %d: %v", s.t, err))
 	}
-	s.newPhi = s.newPhi[:len(nodes)*k]
-	par.For(len(nodes), s.Threads, func(lo, hi int) {
-		sc := NewPhiScratch(k)
-		var ns sampling.NeighborSample
-		var rows [][]float32
-		for i := lo; i < hi; i++ {
-			a := nodes[i]
-			rng := mathx.NewStream(s.Cfg.Seed, StreamVertex(t, int(a)))
-			s.Neighbors.Sample(a, rng, &ns)
-			rows = rows[:0]
-			for _, b := range ns.Nodes {
-				rows = append(rows, s.State.PiRow(int(b)))
-			}
-			UpdatePhi(&s.Cfg, eps, s.State.PiRow(int(a)), s.State.PhiSum[int(a)],
-				rows, ns.Linked, ns.Scale, s.State.Beta, rng,
-				s.newPhi[i*k:(i+1)*k], sc)
-		}
-	})
-
-	// Stage 3: update_pi — commit the staged φ rows (the barrier between
-	// stages 2 and 3 is implicit in par.For's completion).
-	par.For(len(nodes), s.Threads, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s.State.SetPhiRow(int(nodes[i]), s.newPhi[i*k:(i+1)*k])
-		}
-	})
-
-	// Stage 4: update_beta/theta — chunked gradient accumulation over the
-	// minibatch pairs, then one global SGRLD step at the "master".
-	grad := par.ChunkedReduceVec(len(s.batch.Pairs), ThetaChunk, s.Threads, 2*k,
-		func(lo, hi int, acc []float64) {
-			sc := NewThetaScratch(k)
-			for i := lo; i < hi; i++ {
-				e := s.batch.Pairs[i]
-				AccumulateThetaGrad(s.State.PiRow(int(e.A)), s.State.PiRow(int(e.B)),
-					s.State.Theta, s.State.Beta, s.Cfg.Delta, s.batch.Linked[i], acc, sc)
-			}
-		})
-	thetaRNG := mathx.NewStream(s.Cfg.Seed, StreamTheta(t))
-	ApplyThetaUpdate(&s.Cfg, eps, s.batch.Scale, grad, s.State.Theta, thetaRNG)
-	s.State.RefreshBeta()
-
 	s.t++
 }
 
@@ -208,10 +246,19 @@ func (s *Sampler) Run(n int) {
 // and returns the averaged perplexity (Eqn 7). It panics if the sampler was
 // built without a held-out set.
 func (s *Sampler) EvalPerplexity() float64 {
-	if s.ppx == nil {
+	if s.eval == nil {
 		panic("core: sampler has no held-out set")
 	}
-	return s.ppx.Update(s.State, s.Threads)
+	defer s.Phases.Timer(engine.PhasePerplexity)()
+	partials, err := s.eval.Fold(s.pistore(), s.State.Beta, s.Threads)
+	if err != nil {
+		panic(fmt.Sprintf("core: perplexity: %v", err))
+	}
+	var logSum float64
+	for _, v := range partials {
+		logSum += v
+	}
+	return PerplexityFromLogSum(logSum, s.Held.Len())
 }
 
 // LastBatch exposes the most recent minibatch; used by diagnostics and the

@@ -1,0 +1,65 @@
+package dist
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mathx"
+)
+
+// benchOptions is the shared configuration of BenchmarkDistIteration: an
+// in-process 2-rank fabric, realistic minibatch sizes, no perplexity
+// evaluation (the iteration loop is what is being measured). The pipelined
+// and serial variants differ only in the Section III-D double buffering, so
+// their ratio is the pipelining speedup — scripts/bench_dist.sh snapshots
+// both into BENCH_dist.json.
+func benchOptions(iters int, pipelined bool) Options {
+	return Options{
+		Ranks:          2,
+		Threads:        2,
+		Iterations:     iters,
+		Pipeline:       pipelined,
+		PhiChunkNodes:  16,
+		MinibatchPairs: 512,
+		NeighborCount:  32,
+	}
+}
+
+func benchFixture(b *testing.B) (*graph.Graph, *graph.HeldOut) {
+	b.Helper()
+	g, _, err := gen.Planted(gen.DefaultPlanted(2000, 8, 16000, 61))
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, held, err := graph.Split(g, g.NumEdges()/10, mathx.NewRNG(62))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return train, held
+}
+
+func benchmarkDistIteration(b *testing.B, pipelined bool) {
+	train, held := benchFixture(b)
+	cfg := core.DefaultConfig(8, 7)
+	const itersPerRun = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, train, held, benchOptions(itersPerRun, pipelined))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.State == nil {
+			b.Fatal("no state")
+		}
+	}
+}
+
+// BenchmarkDistIteration/serial and /pipelined measure the full 2-rank
+// iteration loop (deploy → update_phi → update_pi → update_beta_theta) with
+// double buffering off and on.
+func BenchmarkDistIteration(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkDistIteration(b, false) })
+	b.Run("pipelined", func(b *testing.B) { benchmarkDistIteration(b, true) })
+}

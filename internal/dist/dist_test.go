@@ -216,44 +216,6 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
-func TestSplitHelpers(t *testing.T) {
-	// splitEven covers [0, n) exactly once across parts.
-	for _, n := range []int{0, 1, 7, 100} {
-		for _, parts := range []int{1, 3, 8} {
-			covered := 0
-			prevHi := 0
-			for r := 0; r < parts; r++ {
-				lo, hi := splitEven(n, parts, r)
-				if lo != prevHi {
-					t.Fatalf("splitEven(%d,%d) rank %d: lo %d != prev hi %d", n, parts, r, lo, prevHi)
-				}
-				covered += hi - lo
-				prevHi = hi
-			}
-			if covered != n || prevHi != n {
-				t.Fatalf("splitEven(%d,%d) covered %d", n, parts, covered)
-			}
-		}
-	}
-	// splitChunkAligned boundaries are multiples of chunk and cover [0, n).
-	for _, n := range []int{0, 63, 64, 65, 1000} {
-		prevHi := 0
-		for r := 0; r < 4; r++ {
-			lo, hi := splitChunkAligned(n, 64, 4, r)
-			if lo != prevHi {
-				t.Fatalf("chunk split gap at rank %d", r)
-			}
-			if lo%64 != 0 && lo != n {
-				t.Fatalf("lo %d not chunk aligned", lo)
-			}
-			prevHi = hi
-		}
-		if prevHi != n {
-			t.Fatalf("chunk split covered %d of %d", prevHi, n)
-		}
-	}
-}
-
 func TestDeploymentRoundTrip(t *testing.T) {
 	d := &deployment{
 		iter:    42,
@@ -279,28 +241,6 @@ func TestDeploymentRoundTrip(t *testing.T) {
 	}
 	if got.pairs[1] != (graph.Edge{A: 3, B: 9}) || got.link[0] != true || got.link[1] != false {
 		t.Fatalf("pairs wrong: %v %v", got.pairs, got.link)
-	}
-}
-
-func TestRowCodecRoundTrip(t *testing.T) {
-	const k = 7
-	phi := []float64{0.5, 1.25, 3, 0.125, 2, 0.75, 1}
-	buf := make([]byte, rowBytes(k))
-	encodeRow(buf, phi)
-	pi := make([]float32, k)
-	sum := decodeRow(buf, pi)
-	var wantSum float64
-	for _, v := range phi {
-		wantSum += v
-	}
-	if sum != wantSum {
-		t.Fatalf("Σφ = %v, want %v", sum, wantSum)
-	}
-	for i, v := range phi {
-		want := float32(v / wantSum)
-		if pi[i] != want {
-			t.Fatalf("π[%d] = %v, want %v", i, pi[i], want)
-		}
 	}
 }
 
@@ -403,5 +343,83 @@ func TestDeploymentRoundTripQuick(t *testing.T) {
 func TestDecodeDeploymentRejectsShortBuffer(t *testing.T) {
 	if _, err := decodeDeployment([]byte{1, 2, 3}); err == nil {
 		t.Fatal("short buffer accepted")
+	}
+}
+
+// TestSeedParityTrajectory is the Ranks=1 regression anchor for the shared
+// stage layer: a single-rank, single-thread distributed run must reproduce
+// the sequential sampler's φ/θ trajectory bit for bit at EVERY iteration,
+// not just at the end — the distributed engine is the same stage list with
+// collectives wired in, so any divergence is a refactoring bug, caught at
+// the first iteration it appears.
+func TestSeedParityTrajectory(t *testing.T) {
+	train, held := fixture(t, 150, 4, 700, 59)
+	cfg := core.DefaultConfig(4, 4242)
+	const iters = 6
+
+	seq, err := core.NewSampler(cfg, train, held, core.SamplerOptions{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 1; it <= iters; it++ {
+		seq.Step()
+		res, err := Run(cfg, train, held, Options{Ranks: 1, Threads: 1, Iterations: it})
+		if err != nil {
+			t.Fatalf("iteration %d: %v", it, err)
+		}
+		for i, v := range seq.State.Pi {
+			if math.Float32bits(v) != math.Float32bits(res.State.Pi[i]) {
+				t.Fatalf("iteration %d: π[%d] = %v (dist) vs %v (seq); trajectories must be bit-identical", it, i, res.State.Pi[i], v)
+			}
+		}
+		for i, v := range seq.State.PhiSum {
+			if math.Float64bits(v) != math.Float64bits(res.State.PhiSum[i]) {
+				t.Fatalf("iteration %d: Σφ[%d] diverged", it, i)
+			}
+		}
+		for i, v := range seq.State.Theta {
+			if math.Float64bits(v) != math.Float64bits(res.State.Theta[i]) {
+				t.Fatalf("iteration %d: θ[%d] = %v (dist) vs %v (seq)", it, i, res.State.Theta[i], v)
+			}
+		}
+	}
+}
+
+// TestHotRowCacheIsTransparent verifies the two promises of the hot-row
+// cache: the trained model is byte-identical with the cache on or off
+// (within a phase the algorithm never reads a row it writes, and the cache
+// is invalidated at every barrier), and remote DKV traffic goes down.
+func TestHotRowCacheIsTransparent(t *testing.T) {
+	train, held := fixture(t, 200, 4, 1000, 53)
+	cfg := core.DefaultConfig(4, 99)
+	const iters = 8
+	plain, err := Run(cfg, train, held, Options{Ranks: 3, Iterations: iters, EvalEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := Run(cfg, train, held, Options{Ranks: 3, Iterations: iters, EvalEvery: 4, HotRowCache: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mathx.MaxAbsDiff32(plain.State.Pi, cached.State.Pi); d != 0 {
+		t.Fatalf("hot-row cache changed π by %v; must be bit-identical", d)
+	}
+	if d := mathx.MaxAbsDiff(plain.State.Theta, cached.State.Theta); d != 0 {
+		t.Fatalf("hot-row cache changed θ by %v; must be bit-identical", d)
+	}
+	for i := range plain.Perplexity {
+		if plain.Perplexity[i].Value != cached.Perplexity[i].Value {
+			t.Fatalf("hot-row cache changed perplexity at iter %d", plain.Perplexity[i].Iter)
+		}
+	}
+	if cached.DKV.CacheHits == 0 {
+		t.Fatal("cache recorded no hits on a 3-rank run")
+	}
+	if cached.DKV.RemoteKeys >= plain.DKV.RemoteKeys {
+		t.Fatalf("remote keys with cache %d >= without %d; cache saved no traffic",
+			cached.DKV.RemoteKeys, plain.DKV.RemoteKeys)
+	}
+	if plain.DKV.CacheHits != 0 {
+		t.Fatalf("cache-off run reported %d hits", plain.DKV.CacheHits)
 	}
 }

@@ -2,120 +2,25 @@ package dist
 
 import (
 	"fmt"
-	"math"
-	"sync"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
-	"repro/internal/dkv"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/mathx"
-	"repro/internal/par"
 	"repro/internal/sampling"
+	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
 
-// Phase names used in traces; the Table III harness keys off these.
-const (
-	PhaseDrawMinibatch   = "draw_minibatch"
-	PhaseDeployMinibatch = "deploy_minibatch"
-	PhaseUpdatePhi       = "update_phi"
-	PhaseLoadPi          = "update_phi.load_pi"
-	PhaseComputePhi      = "update_phi.compute"
-	PhaseUpdatePi        = "update_pi"
-	PhaseUpdateBetaTheta = "update_beta_theta"
-	PhasePerplexity      = "perplexity"
-	PhaseTotal           = "total"
-)
-
-// Options configures a distributed run.
-type Options struct {
-	Ranks   int // simulated cluster size (master is rank 0 and also computes)
-	Threads int // OpenMP-style threads per rank; 0 = GOMAXPROCS
-
-	// Pipeline enables both pipelining schemes of Section III-D: the master
-	// samples iteration t+1's minibatch while computing t, and each rank
-	// double-buffers π loading against the update_phi compute.
-	Pipeline bool
-	// PhiChunkNodes is the pipeline chunk size in minibatch vertices;
-	// 0 defaults to 16.
-	PhiChunkNodes int
-
-	// Minibatch and neighbor strategy parameters, mirroring
-	// core.SamplerOptions.
-	MinibatchPairs   int
-	Stratified       bool
-	LinkProb         float64
-	NonLinkCount     int
-	NeighborCount    int
-	UniformNeighbors bool
-
-	// EvalEvery > 0 evaluates the averaged perplexity every that many
-	// iterations (requires a held-out set).
-	EvalEvery  int
-	Iterations int
-
-	// FaultHook, when non-nil, is called by every rank at the top of each
-	// iteration; a non-nil return makes that rank fail exactly as if the
-	// iteration itself had errored, triggering the fabric-wide abort. It
-	// exists for the failure-injection test suites and the -fail-rank /
-	// -fail-iter flags of cmd/ocd-cluster; production runs leave it nil.
-	FaultHook func(rank, iter int) error
-}
-
-func (o *Options) setDefaults() {
-	if o.Ranks == 0 {
-		o.Ranks = 2
-	}
-	if o.PhiChunkNodes == 0 {
-		o.PhiChunkNodes = 16
-	}
-	if o.MinibatchPairs == 0 {
-		o.MinibatchPairs = 128
-	}
-	if o.LinkProb == 0 {
-		o.LinkProb = 0.5
-	}
-	if o.NonLinkCount == 0 {
-		o.NonLinkCount = 32
-	}
-	if o.NeighborCount == 0 {
-		o.NeighborCount = 32
-	}
-}
-
-// PerpPoint is one perplexity evaluation during a run.
-type PerpPoint struct {
-	Iter    int
-	Value   float64
-	Elapsed time.Duration
-}
-
-// DKVTotals aggregates the DKV traffic of all ranks.
-type DKVTotals struct {
-	LocalKeys    int64
-	RemoteKeys   int64
-	Requests     int64
-	BytesRead    int64
-	BytesWritten int64
-}
-
-// Result is what a distributed run returns.
-type Result struct {
-	State      *core.State // fully assembled π/Σφ/θ/β
-	Perplexity []PerpPoint
-	Phases     *trace.Phases // per-phase totals, max across ranks
-	RankPhases []map[string]time.Duration
-	DKV        DKVTotals
-	Iterations int
-	Elapsed    time.Duration
-	RemoteFrac float64 // fraction of DKV keys served remotely
-}
-
-// node is one rank's engine instance.
+// node is one rank's engine instance: the wiring — topology, deployments
+// and collectives — around the shared stage layer of internal/core, which
+// holds all phase math. The stages read and write π through a
+// store.DKVStore, the same PiStore contract the local sampler satisfies
+// with a store.LocalStore.
 type node struct {
 	cfg  core.Config
 	opt  Options
@@ -123,158 +28,32 @@ type node struct {
 	rank int
 	size int
 
-	store *dkv.Store
+	store *store.DKVStore
 	n, k  int
 
 	// master-only
-	g     *graph.Graph
-	edges sampling.EdgeStrategy
-	// prefetch channel for pipelined minibatch sampling
-	prefetch chan *sampling.Batch
+	g        *graph.Graph
+	edges    sampling.EdgeStrategy
+	prefetch *engine.Prefetcher[*sampling.Batch]
 
 	// all ranks
-	held      *graph.HeldOut
-	heldSet   *graph.EdgeSet
-	heldTouch []int32
-	view      *workerView
-	neigh     sampling.NeighborStrategy
-	theta     []float64
-	beta      []float64
-	phases    *trace.Phases
+	held   *graph.HeldOut
+	view   *workerView
+	neigh  sampling.NeighborStrategy
+	theta  []float64
+	beta   []float64
+	phases *trace.Phases
+	phi    *core.PhiStage
+	eval   *core.HeldOutEval // held-out shard, PerplexityChunk-aligned
+	loop   *engine.Loop
 
-	// held-out shard (pair indices, PerplexityChunk-aligned)
-	hLo, hHi int
-	avg      []float64
-	ppxT     int
+	// per-iteration dataflow between stages
+	dep    *deployment
+	newPhi []float64
 
 	perp       []PerpPoint
 	start      time.Time
 	finalState *core.State // master only, set at the end
-}
-
-// tag for the θ broadcast payload is unnecessary — collectives sequence
-// themselves; this file only defines helpers beyond protocol.go.
-
-// splitEven returns the [lo, hi) slice bounds of part r when splitting n
-// items into `parts` contiguous groups as evenly as possible.
-func splitEven(n, parts, r int) (int, int) {
-	base := n / parts
-	rem := n % parts
-	lo := r*base + min(r, rem)
-	hi := lo + base
-	if r < rem {
-		hi++
-	}
-	return lo, hi
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// splitChunkAligned partitions n items into `parts` contiguous ranges whose
-// boundaries are multiples of chunk, so the distributed fold order matches
-// the sequential ChunkedReduce order.
-func splitChunkAligned(n, chunk, parts, r int) (int, int) {
-	nChunks := (n + chunk - 1) / chunk
-	cLo, cHi := splitEven(nChunks, parts, r)
-	lo := cLo * chunk
-	hi := cHi * chunk
-	if lo > n {
-		lo = n
-	}
-	if hi > n {
-		hi = n
-	}
-	return lo, hi
-}
-
-// Run executes a distributed training run over an in-process fabric with
-// opt.Ranks simulated cluster nodes. The graph lives only at the master
-// (rank 0), matching the paper's data distribution; the held-out set is
-// replicated (it is small and every rank needs it for exclusion checks).
-func Run(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Options) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	opt.setDefaults()
-	if opt.Iterations < 1 {
-		return nil, fmt.Errorf("dist: Iterations = %d, need at least 1", opt.Iterations)
-	}
-	if opt.EvalEvery > 0 && held == nil {
-		return nil, fmt.Errorf("dist: EvalEvery set but no held-out set given")
-	}
-	fabric, err := transport.NewFabric(opt.Ranks)
-	if err != nil {
-		return nil, err
-	}
-	defer fabric.Close()
-	return RunOnTransport(cfg, g, held, opt, fabric.Endpoints())
-}
-
-// RunOnTransport is Run over caller-provided endpoints — one per rank, all
-// in this process. It exists so the engine can be exercised over the TCP
-// mesh (or any other transport.Conn implementation) with the exact same
-// protocol; cmd/ocd-cluster and the TCP fidelity tests use it.
-func RunOnTransport(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Options, conns []transport.Conn) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	opt.setDefaults()
-	opt.Ranks = len(conns)
-	if opt.Iterations < 1 {
-		return nil, fmt.Errorf("dist: Iterations = %d, need at least 1", opt.Iterations)
-	}
-	if opt.EvalEvery > 0 && held == nil {
-		return nil, fmt.Errorf("dist: EvalEvery set but no held-out set given")
-	}
-
-	nodes := make([]*node, opt.Ranks)
-	for r := 0; r < opt.Ranks; r++ {
-		nd, err := newNode(cfg, opt, cluster.New(conns[r]), g, held)
-		if err != nil {
-			return nil, err
-		}
-		nodes[r] = nd
-	}
-
-	errs := make([]error, opt.Ranks)
-	done := make(chan int, opt.Ranks)
-	for r := 0; r < opt.Ranks; r++ {
-		go func(r int) {
-			errs[r] = nodes[r].run()
-			done <- r
-		}(r)
-	}
-	for i := 0; i < opt.Ranks; i++ {
-		<-done
-	}
-	// Every rank returns within bounded time even on failure: the failing
-	// rank broadcasts an abort (node.run's deferred Comm.Abort), so its
-	// peers surface AbortErrors rather than blocking. Report the originating
-	// rank's own error when it is local; peers' abort echoes name the same
-	// rank inside the AbortError, so a multi-process driver gets the rank
-	// too.
-	var abortErr error
-	for r, err := range errs {
-		if err == nil {
-			continue
-		}
-		if _, isAbort := transport.AsAbort(err); isAbort {
-			if abortErr == nil {
-				abortErr = fmt.Errorf("dist: rank %d: %w", r, err)
-			}
-			continue
-		}
-		return nil, fmt.Errorf("dist: rank %d: %w", r, err)
-	}
-	if abortErr != nil {
-		return nil, abortErr
-	}
-	return assembleResult(nodes), nil
 }
 
 func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, held *graph.HeldOut) (*node, error) {
@@ -291,25 +70,24 @@ func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, h
 		theta:  core.InitTheta(cfg),
 		beta:   make([]float64, cfg.K),
 	}
-	for k := 0; k < cfg.K; k++ {
-		nd.beta[k] = nd.theta[k*2+1] / (nd.theta[k*2] + nd.theta[k*2+1])
-	}
+	nd.refreshBeta()
 
+	var heldSet *graph.EdgeSet
+	var heldTouch []int32
 	if held != nil {
 		set := graph.NewEdgeSet(held.Len())
-		touch := make([]int32, nd.n)
+		heldTouch = make([]int32, nd.n)
 		for _, e := range held.Pairs {
 			set.Add(e)
-			touch[e.A]++
-			touch[e.B]++
+			heldTouch[e.A]++
+			heldTouch[e.B]++
 		}
-		nd.heldSet = &set
-		nd.heldTouch = touch
-		nd.hLo, nd.hHi = splitChunkAligned(held.Len(), core.PerplexityChunk, nd.size, nd.rank)
-		nd.avg = make([]float64, nd.hHi-nd.hLo)
+		heldSet = &set
+		hLo, hHi := engine.SplitChunkAligned(held.Len(), core.PerplexityChunk, nd.size, nd.rank)
+		nd.eval = core.NewHeldOutEval(held, cfg.Delta, hLo, hHi)
 	}
 
-	nd.view = newWorkerView(nd.n, nd.heldSet, nd.heldTouch)
+	nd.view = newWorkerView(nd.n, heldSet, heldTouch)
 	var err error
 	if opt.UniformNeighbors {
 		nd.neigh, err = sampling.NewUniformNeighbors(nd.view, opt.NeighborCount)
@@ -323,21 +101,90 @@ func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, h
 	if nd.rank == 0 {
 		nd.g = g
 		if opt.Stratified {
-			nd.edges, err = sampling.NewStratifiedNode(g, nd.heldSet, opt.LinkProb, opt.NonLinkCount)
+			nd.edges, err = sampling.NewStratifiedNode(g, heldSet, opt.LinkProb, opt.NonLinkCount)
 		} else {
-			nd.edges, err = sampling.NewRandomPair(g, nd.heldSet, opt.MinibatchPairs)
+			nd.edges, err = sampling.NewRandomPair(g, heldSet, opt.MinibatchPairs)
 		}
 		if err != nil {
 			return nil, err
 		}
-		nd.prefetch = make(chan *sampling.Batch, 1)
+		// The master-side pipeline of Section III-D: iteration t+1's
+		// minibatch is drawn while iteration t computes.
+		nd.prefetch = engine.NewPrefetcher(func(t int) *sampling.Batch {
+			stop := nd.phases.Timer(PhaseDrawMinibatch)
+			defer stop()
+			batch := &sampling.Batch{}
+			core.DrawMinibatch(&nd.cfg, nd.edges, t, batch)
+			return batch
+		})
 	}
 
-	nd.store, err = dkv.New(comm.Conn(), nd.n, rowBytes(cfg.K))
+	nd.store, err = store.NewDKV(comm.Conn(), nd.n, cfg.K, opt.Threads, opt.HotRowCache)
 	if err != nil {
 		return nil, err
 	}
+	nd.phi = &core.PhiStage{
+		Cfg:        &nd.cfg,
+		Store:      nd.store,
+		Neigh:      nd.neigh,
+		Threads:    opt.Threads,
+		ChunkNodes: opt.PhiChunkNodes,
+		Pipelined:  opt.Pipeline,
+		Trace:      nd.phases,
+	}
+	nd.loop = nd.buildLoop()
+	if err := nd.loop.Validate([]string{"graph", "pi", "theta", "beta"}); err != nil {
+		return nil, err
+	}
 	return nd, nil
+}
+
+func (nd *node) refreshBeta() {
+	for k := 0; k < nd.k; k++ {
+		nd.beta[k] = nd.theta[k*2+1] / (nd.theta[k*2] + nd.theta[k*2+1])
+	}
+}
+
+// buildLoop assembles the distributed iteration: the shared stages of
+// internal/core wrapped in this engine's scatter/gather/broadcast wiring,
+// with an unnamed (untimed) barrier+flush between phases whose read and
+// write sets would otherwise overlap.
+func (nd *node) buildLoop() *engine.Loop {
+	loop := &engine.Loop{
+		Trace: nd.phases,
+		Stages: []engine.Stage{
+			{
+				Name:   PhaseDeployMinibatch,
+				Reads:  []string{"graph"},
+				Writes: []string{"batch"},
+				Run:    nd.deployStage,
+			},
+			{
+				Name:   PhaseUpdatePhi,
+				Reads:  []string{"batch", "pi", "beta"},
+				Writes: []string{"new_phi"},
+				Run:    nd.phiStage,
+			},
+			{Run: nd.barrierStage}, // update_phi reads old π; fence before overwriting
+			{
+				Name:   PhaseUpdatePi,
+				Reads:  []string{"batch", "new_phi"},
+				Writes: []string{"pi"},
+				Run:    nd.piStage,
+			},
+			{Run: nd.barrierStage}, // update_beta_theta reads the new π everywhere
+			{
+				Name:   PhaseUpdateBetaTheta,
+				Reads:  []string{"batch", "pi", "theta"},
+				Writes: []string{"theta", "beta"},
+				Run:    nd.thetaStage,
+			},
+		},
+	}
+	if hook := nd.opt.FaultHook; hook != nil {
+		loop.FaultHook = func(t int) error { return hook(nd.rank, t) }
+	}
+	return loop
 }
 
 // run is one rank's SPMD main. Any error is converted into a fabric-wide
@@ -359,26 +206,16 @@ func (nd *node) run() (err error) {
 	nd.start = time.Now()
 
 	// Populate the owned π shard from the shared deterministic init.
-	lo, hi := nd.store.OwnedRange()
-	row := make([]byte, rowBytes(nd.k))
-	pi := make([]float32, nd.k)
-	for a := lo; a < hi; a++ {
-		phiSum := core.InitPiRow(nd.cfg, a, pi)
-		encodeRowPi(row, pi, phiSum)
-		nd.store.WriteLocal(a, row)
-	}
+	nd.store.InitOwned(func(a int, pi []float32) float64 {
+		return core.InitPiRow(nd.cfg, a, pi)
+	})
 	if err := nd.comm.Barrier(); err != nil {
 		return err
 	}
 
 	totalTimer := nd.phases.Timer(PhaseTotal)
 	for t := 0; t < nd.opt.Iterations; t++ {
-		if hook := nd.opt.FaultHook; hook != nil {
-			if herr := hook(nd.rank, t); herr != nil {
-				return fmt.Errorf("iteration %d: injected fault: %w", t, herr)
-			}
-		}
-		if err := nd.iterate(t); err != nil {
+		if err := nd.loop.RunIteration(t); err != nil {
 			return fmt.Errorf("iteration %d: %w", t, err)
 		}
 		if nd.opt.EvalEvery > 0 && (t+1)%nd.opt.EvalEvery == 0 {
@@ -402,43 +239,18 @@ func (nd *node) run() (err error) {
 	return nd.comm.Barrier()
 }
 
-// nextBatch returns iteration t's minibatch at the master, via the prefetch
-// pipeline when enabled.
-func (nd *node) nextBatch(t int) *sampling.Batch {
-	if nd.opt.Pipeline && t > 0 {
-		return <-nd.prefetch // sampled during the previous iteration
-	}
-	stop := nd.phases.Timer(PhaseDrawMinibatch)
-	batch := &sampling.Batch{}
-	nd.edges.Sample(mathx.NewStream(nd.cfg.Seed, core.StreamMinibatch(t)), batch)
-	stop()
-	return batch
-}
-
-// startPrefetch samples iteration t's minibatch concurrently with the
-// current iteration's compute (the master-side pipeline of Section III-D).
-func (nd *node) startPrefetch(t int) {
-	go func() {
-		stop := nd.phases.Timer(PhaseDrawMinibatch)
-		batch := &sampling.Batch{}
-		nd.edges.Sample(mathx.NewStream(nd.cfg.Seed, core.StreamMinibatch(t)), batch)
-		stop()
-		nd.prefetch <- batch
-	}()
-}
-
-func (nd *node) iterate(t int) error {
-	eps := nd.cfg.StepSize(t)
-
-	// Stage 1: minibatch deployment.
-	stopDeploy := nd.phases.Timer(PhaseDeployMinibatch)
+// deployStage is the minibatch deployment: the master draws (or collects
+// the prefetched) minibatch, partitions it, and scatters each rank's share;
+// every rank decodes its deployment and loads the scattered adjacency into
+// its sampling view.
+func (nd *node) deployStage(t int) error {
 	var mine []byte
 	var err error
 	if nd.rank == 0 {
-		batch := nd.nextBatch(t)
+		batch := nd.prefetch.Next(t)
 		parts := nd.buildDeployments(t, batch)
 		if nd.opt.Pipeline && t+1 < nd.opt.Iterations {
-			nd.startPrefetch(t + 1)
+			nd.prefetch.Start(t + 1)
 		}
 		mine, err = nd.comm.Scatter(0, parts)
 	} else {
@@ -451,35 +263,70 @@ func (nd *node) iterate(t int) error {
 	if err != nil {
 		return err
 	}
+	nd.dep = dep
 	nd.view.load(dep)
-	stopDeploy()
+	return nil
+}
 
-	// Stage 2: update_phi (reads old π only).
-	stopPhi := nd.phases.Timer(PhaseUpdatePhi)
-	newPhi, err := nd.updatePhi(t, eps, dep)
+// phiStage runs the shared update_phi stage (reads old π only) over this
+// rank's deployment.
+func (nd *node) phiStage(t int) error {
+	n := len(nd.dep.nodes) * nd.k
+	if cap(nd.newPhi) < n {
+		nd.newPhi = make([]float64, n)
+	}
+	nd.newPhi = nd.newPhi[:n]
+	return nd.phi.Run(t, nd.cfg.StepSize(t), nd.dep.nodes, nd.beta, nd.newPhi)
+}
+
+// piStage commits the staged φ rows through the DKV store (update_pi).
+func (nd *node) piStage(t int) error {
+	return nd.store.WriteRows(nd.dep.nodes, nd.newPhi)
+}
+
+// barrierStage fences the phases whose read/write sets would otherwise
+// overlap, and marks the store's phase barrier (hot-row cache invalidation).
+func (nd *node) barrierStage(int) error {
+	if err := nd.comm.Barrier(); err != nil {
+		return err
+	}
+	return nd.store.Flush()
+}
+
+// thetaStage computes this rank's per-chunk θ-gradient partials through the
+// shared stage, gathers them at the master (which folds them in global
+// chunk order, applies Eqn 3) and broadcasts the new θ.
+func (nd *node) thetaStage(t int) error {
+	k := nd.k
+	partials, err := core.ThetaPartials(&nd.cfg, nd.store, nd.dep.pairs, nd.dep.link,
+		nd.theta, nd.beta, nd.opt.Threads)
 	if err != nil {
 		return err
 	}
-	stopPhi()
-	if err := nd.comm.Barrier(); err != nil {
+	gathered, err := nd.comm.Gather(0, wire.AppendFloat64s(nil, partials))
+	if err != nil {
 		return err
 	}
-
-	// Stage 3: update_pi — write the new rows through the DKV store.
-	stopPi := nd.phases.Timer(PhaseUpdatePi)
-	if err := nd.writeRows(dep.nodes, newPhi); err != nil {
+	var thetaBytes []byte
+	if nd.rank == 0 {
+		grad := make([]float64, 2*k)
+		for r := 0; r < nd.size; r++ {
+			buf := gathered[r]
+			vals := make([]float64, len(buf)/8)
+			wire.Float64s(buf, 0, len(vals), vals)
+			core.FoldThetaPartials(grad, vals, k)
+		}
+		core.ApplyThetaUpdate(&nd.cfg, nd.cfg.StepSize(t), nd.dep.scale, grad, nd.theta,
+			mathx.NewStream(nd.cfg.Seed, core.StreamTheta(t)))
+		thetaBytes = wire.AppendFloat64s(nil, nd.theta)
+	}
+	thetaBytes, err = nd.comm.Bcast(0, thetaBytes)
+	if err != nil {
 		return err
 	}
-	stopPi()
-	if err := nd.comm.Barrier(); err != nil {
-		return err
-	}
-
-	// Stage 4: update_beta_theta.
-	stopTheta := nd.phases.Timer(PhaseUpdateBetaTheta)
-	err = nd.updateBetaTheta(t, eps, dep)
-	stopTheta()
-	return err
+	wire.Float64s(thetaBytes, 0, 2*k, nd.theta)
+	nd.refreshBeta()
+	return nil
 }
 
 // buildDeployments partitions the batch across ranks: vertices split evenly
@@ -489,8 +336,8 @@ func (nd *node) iterate(t int) error {
 func (nd *node) buildDeployments(t int, batch *sampling.Batch) [][]byte {
 	parts := make([][]byte, nd.size)
 	for r := 0; r < nd.size; r++ {
-		nLo, nHi := splitEven(len(batch.Nodes), nd.size, r)
-		pLo, pHi := splitChunkAligned(len(batch.Pairs), core.ThetaChunk, nd.size, r)
+		nLo, nHi := engine.SplitEven(len(batch.Nodes), nd.size, r)
+		pLo, pHi := engine.SplitChunkAligned(len(batch.Pairs), core.ThetaChunk, nd.size, r)
 		d := &deployment{
 			iter:    t,
 			nodes:   batch.Nodes[nLo:nHi],
@@ -506,341 +353,4 @@ func (nd *node) buildDeployments(t int, batch *sampling.Batch) [][]byte {
 		parts[r] = encodeDeployment(d)
 	}
 	return parts
-}
-
-// updatePhi runs the dominant stage: for each owned minibatch vertex, sample
-// its neighbor set, load the π rows from the DKV store, and compute the new
-// φ row. Chunks of vertices are either processed serially (load, compute,
-// load, compute...) or with the paper's double buffering, where chunk c+1's
-// π rows stream in while chunk c computes.
-func (nd *node) updatePhi(t int, eps float64, dep *deployment) ([]float64, error) {
-	nodes := dep.nodes
-	k := nd.k
-	newPhi := make([]float64, len(nodes)*k)
-	if len(nodes) == 0 {
-		return newPhi, nil
-	}
-	chunkN := nd.opt.PhiChunkNodes
-	nChunks := (len(nodes) + chunkN - 1) / chunkN
-
-	type chunkBuf struct {
-		lo, hi  int
-		rngs    []*mathx.RNG
-		samples []sampling.NeighborSample
-		keys    []int32
-		nodeOff []int // row index where node i's rows begin
-		data    []byte
-	}
-	var bufs [2]chunkBuf
-	// errVal is shared between the pipeline's load goroutine and the compute
-	// caller; guard it with a mutex rather than relying on ordering.
-	var errMu sync.Mutex
-	var errVal error
-	setErr := func(err error) {
-		errMu.Lock()
-		if errVal == nil {
-			errVal = err
-		}
-		errMu.Unlock()
-	}
-	hasErr := func() bool {
-		errMu.Lock()
-		defer errMu.Unlock()
-		return errVal != nil
-	}
-
-	load := func(c, slot int) {
-		if hasErr() {
-			return
-		}
-		stop := nd.phases.Timer(PhaseLoadPi)
-		defer stop()
-		b := &bufs[slot]
-		b.lo = c * chunkN
-		b.hi = min(b.lo+chunkN, len(nodes))
-		cnt := b.hi - b.lo
-		b.rngs = b.rngs[:0]
-		b.keys = b.keys[:0]
-		b.nodeOff = b.nodeOff[:0]
-		if cap(b.samples) < cnt {
-			b.samples = make([]sampling.NeighborSample, cnt)
-		}
-		b.samples = b.samples[:cnt]
-		for i := 0; i < cnt; i++ {
-			a := nodes[b.lo+i]
-			rng := mathx.NewStream(nd.cfg.Seed, core.StreamVertex(t, int(a)))
-			nd.neigh.Sample(a, rng, &b.samples[i])
-			b.rngs = append(b.rngs, rng)
-			b.nodeOff = append(b.nodeOff, len(b.keys))
-			b.keys = append(b.keys, a)
-			b.keys = append(b.keys, b.samples[i].Nodes...)
-		}
-		need := len(b.keys) * rowBytes(k)
-		if cap(b.data) < need {
-			b.data = make([]byte, need)
-		}
-		b.data = b.data[:need]
-		fut, err := nd.store.ReadBatchAsync(b.keys, b.data)
-		if err != nil {
-			setErr(err)
-			return
-		}
-		if err := fut.Wait(); err != nil {
-			setErr(err)
-		}
-	}
-
-	compute := func(c, slot int) {
-		if hasErr() {
-			return
-		}
-		stop := nd.phases.Timer(PhaseComputePhi)
-		defer stop()
-		b := &bufs[slot]
-		rb := rowBytes(k)
-		par.For(b.hi-b.lo, nd.opt.Threads, func(wLo, wHi int) {
-			sc := core.NewPhiScratch(k)
-			piA := make([]float32, k)
-			var rowStore []float32
-			var rows [][]float32
-			for i := wLo; i < wHi; i++ {
-				ns := &b.samples[i]
-				base := b.nodeOff[i]
-				phiSumA := decodeRow(b.data[base*rb:(base+1)*rb], piA)
-				if cap(rowStore) < len(ns.Nodes)*k {
-					rowStore = make([]float32, len(ns.Nodes)*k)
-				}
-				rows = rows[:0]
-				for j := range ns.Nodes {
-					dst := rowStore[j*k : (j+1)*k]
-					decodeRow(b.data[(base+1+j)*rb:(base+2+j)*rb], dst)
-					rows = append(rows, dst)
-				}
-				idx := b.lo + i
-				core.UpdatePhi(&nd.cfg, eps, piA, phiSumA, rows, ns.Linked, ns.Scale,
-					nd.beta, b.rngs[i], newPhi[idx*k:(idx+1)*k], sc)
-			}
-		})
-	}
-
-	if nd.opt.Pipeline {
-		par.Pipeline(nChunks, load, compute)
-	} else {
-		par.Serial(nChunks, load, compute)
-	}
-	errMu.Lock()
-	defer errMu.Unlock()
-	return newPhi, errVal
-}
-
-// writeRows commits the staged φ rows through the DKV store (update_pi).
-func (nd *node) writeRows(nodes []int32, newPhi []float64) error {
-	if len(nodes) == 0 {
-		return nil
-	}
-	k := nd.k
-	rb := rowBytes(k)
-	values := make([]byte, len(nodes)*rb)
-	par.For(len(nodes), nd.opt.Threads, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			encodeRow(values[i*rb:(i+1)*rb], newPhi[i*k:(i+1)*k])
-		}
-	})
-	return nd.store.WriteBatch(nodes, values)
-}
-
-// updateBetaTheta computes this rank's per-chunk θ-gradient partials from
-// freshly read π rows, gathers them at the master (which folds them in
-// global chunk order, applies Eqn 3 and broadcasts the new θ).
-func (nd *node) updateBetaTheta(t int, eps float64, dep *deployment) error {
-	k := nd.k
-	rb := rowBytes(k)
-	nLocalChunks := (len(dep.pairs) + core.ThetaChunk - 1) / core.ThetaChunk
-	partials := make([]float64, nLocalChunks*2*k)
-
-	if len(dep.pairs) > 0 {
-		keys := make([]int32, 0, 2*len(dep.pairs))
-		for _, e := range dep.pairs {
-			keys = append(keys, e.A, e.B)
-		}
-		data := make([]byte, len(keys)*rb)
-		if err := nd.store.ReadBatch(keys, data); err != nil {
-			return err
-		}
-		par.ForEach(nLocalChunks, nd.opt.Threads, func(c int) {
-			lo := c * core.ThetaChunk
-			hi := min(lo+core.ThetaChunk, len(dep.pairs))
-			acc := partials[c*2*k : (c+1)*2*k]
-			sc := core.NewThetaScratch(k)
-			piA := make([]float32, k)
-			piB := make([]float32, k)
-			for i := lo; i < hi; i++ {
-				decodeRow(data[(2*i)*rb:(2*i+1)*rb], piA)
-				decodeRow(data[(2*i+1)*rb:(2*i+2)*rb], piB)
-				core.AccumulateThetaGrad(piA, piB, nd.theta, nd.beta, nd.cfg.Delta, dep.link[i], acc, sc)
-			}
-		})
-	}
-
-	gathered, err := nd.comm.Gather(0, wire.AppendFloat64s(nil, partials))
-	if err != nil {
-		return err
-	}
-	var thetaBytes []byte
-	if nd.rank == 0 {
-		grad := make([]float64, 2*k)
-		chunk := make([]float64, 2*k)
-		for r := 0; r < nd.size; r++ {
-			buf := gathered[r]
-			nChunks := len(buf) / (8 * 2 * k)
-			for c := 0; c < nChunks; c++ {
-				wire.Float64s(buf, c*2*k*8, 2*k, chunk)
-				for i, v := range chunk {
-					grad[i] += v
-				}
-			}
-		}
-		core.ApplyThetaUpdate(&nd.cfg, eps, dep.scale, grad, nd.theta, mathx.NewStream(nd.cfg.Seed, core.StreamTheta(t)))
-		thetaBytes = wire.AppendFloat64s(nil, nd.theta)
-	}
-	thetaBytes, err = nd.comm.Bcast(0, thetaBytes)
-	if err != nil {
-		return err
-	}
-	wire.Float64s(thetaBytes, 0, 2*k, nd.theta)
-	for kk := 0; kk < k; kk++ {
-		nd.beta[kk] = nd.theta[kk*2+1] / (nd.theta[kk*2] + nd.theta[kk*2+1])
-	}
-	return nil
-}
-
-// evalPerplexity folds the current state into the running posterior average
-// over this rank's held-out shard and reduces the global averaged perplexity
-// (Eqn 7) at the master; the value is broadcast so every rank returns it.
-func (nd *node) evalPerplexity() (float64, error) {
-	defer nd.phases.Timer(PhasePerplexity)()
-	k := nd.k
-	rb := rowBytes(k)
-	nd.ppxT++
-	tInv := 1 / float64(nd.ppxT)
-
-	nLocal := nd.hHi - nd.hLo
-	nChunks := (nLocal + core.PerplexityChunk - 1) / core.PerplexityChunk
-	partials := make([]float64, nChunks)
-
-	if nLocal > 0 {
-		keys := make([]int32, 0, 2*nLocal)
-		for i := nd.hLo; i < nd.hHi; i++ {
-			e := nd.held.Pairs[i]
-			keys = append(keys, e.A, e.B)
-		}
-		data := make([]byte, len(keys)*rb)
-		if err := nd.store.ReadBatch(keys, data); err != nil {
-			return 0, err
-		}
-		par.ForEach(nChunks, nd.opt.Threads, func(c int) {
-			lo := c * core.PerplexityChunk
-			hi := min(lo+core.PerplexityChunk, nLocal)
-			piA := make([]float32, k)
-			piB := make([]float32, k)
-			var logSum float64
-			for i := lo; i < hi; i++ {
-				decodeRow(data[(2*i)*rb:(2*i+1)*rb], piA)
-				decodeRow(data[(2*i+1)*rb:(2*i+2)*rb], piB)
-				prob := core.EdgeProbability(piA, piB, nd.beta, nd.cfg.Delta, nd.held.Linked[nd.hLo+i])
-				nd.avg[i] += (prob - nd.avg[i]) * tInv
-				v := nd.avg[i]
-				if v < 1e-300 {
-					v = 1e-300
-				}
-				logSum += math.Log(v)
-			}
-			partials[c] = logSum
-		})
-	}
-
-	gathered, err := nd.comm.Gather(0, wire.AppendFloat64s(nil, partials))
-	if err != nil {
-		return 0, err
-	}
-	var out []byte
-	if nd.rank == 0 {
-		var logSum float64
-		for r := 0; r < nd.size; r++ {
-			buf := gathered[r]
-			cnt := len(buf) / 8
-			vals := make([]float64, cnt)
-			wire.Float64s(buf, 0, cnt, vals)
-			for _, v := range vals {
-				logSum += v
-			}
-		}
-		out = wire.AppendUint64(nil, math.Float64bits(math.Exp(-logSum/float64(nd.held.Len()))))
-	}
-	out, err = nd.comm.Bcast(0, out)
-	if err != nil {
-		return 0, err
-	}
-	return math.Float64frombits(wire.Uint64At(out, 0)), nil
-}
-
-// collectState reads the whole π matrix back out of the DKV store into a
-// core.State; master-only, used for final reporting and the equivalence
-// tests.
-func (nd *node) collectState() (*core.State, error) {
-	st := &core.State{
-		N:      nd.n,
-		K:      nd.k,
-		Pi:     make([]float32, nd.n*nd.k),
-		PhiSum: make([]float64, nd.n),
-		Theta:  append([]float64(nil), nd.theta...),
-		Beta:   append([]float64(nil), nd.beta...),
-	}
-	rb := rowBytes(nd.k)
-	const batchKeys = 4096
-	keys := make([]int32, 0, batchKeys)
-	data := make([]byte, batchKeys*rb)
-	for base := 0; base < nd.n; base += batchKeys {
-		hi := min(base+batchKeys, nd.n)
-		keys = keys[:0]
-		for a := base; a < hi; a++ {
-			keys = append(keys, int32(a))
-		}
-		buf := data[:len(keys)*rb]
-		if err := nd.store.ReadBatch(keys, buf); err != nil {
-			return nil, err
-		}
-		for i, a := range keys {
-			st.PhiSum[a] = decodeRow(buf[i*rb:(i+1)*rb], st.PiRow(int(a)))
-		}
-	}
-	return st, nil
-}
-
-func assembleResult(nodes []*node) *Result {
-	master := nodes[0]
-	res := &Result{
-		State:      master.finalState,
-		Perplexity: master.perp,
-		Phases:     trace.NewPhases(),
-		Iterations: master.opt.Iterations,
-		Elapsed:    master.phases.Total(PhaseTotal),
-	}
-	var totalKeys int64
-	for _, nd := range nodes {
-		snap := nd.phases.Snapshot()
-		res.RankPhases = append(res.RankPhases, snap)
-		res.Phases.Merge(snap)
-		s := nd.store.Stats()
-		res.DKV.LocalKeys += s.LocalKeys.Load()
-		res.DKV.RemoteKeys += s.RemoteKeys.Load()
-		res.DKV.Requests += s.Requests.Load()
-		res.DKV.BytesRead += s.BytesRead.Load()
-		res.DKV.BytesWritten += s.BytesWritten.Load()
-	}
-	totalKeys = res.DKV.LocalKeys + res.DKV.RemoteKeys
-	if totalKeys > 0 {
-		res.RemoteFrac = float64(res.DKV.RemoteKeys) / float64(totalKeys)
-	}
-	return res
 }

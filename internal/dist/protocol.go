@@ -21,76 +21,9 @@ import (
 	"repro/internal/wire"
 )
 
-// rowBytes is the DKV value size for one vertex: K float32 π entries plus
-// the float64 Σφ, exactly the paper's "π[i] + Σφ[i] is the value for key i".
-func rowBytes(k int) int { return 4*k + 8 }
-
-// encodeRow writes π (derived from phi) and Σφ into dst (rowBytes long).
-// It mirrors core.State.SetPhiRow's arithmetic so both engines quantise to
-// float32 identically.
-func encodeRow(dst []byte, phi []float64) {
-	var sum float64
-	for _, v := range phi {
-		sum += v
-	}
-	inv := 1 / sum
-	off := 0
-	for _, v := range phi {
-		putF32(dst[off:], float32(v*inv))
-		off += 4
-	}
-	putF64(dst[off:], sum)
-}
-
-// encodeRowPi writes an already-normalised π row plus Σφ; used for initial
-// population from core.InitPiRow.
-func encodeRowPi(dst []byte, pi []float32, phiSum float64) {
-	off := 0
-	for _, v := range pi {
-		putF32(dst[off:], v)
-		off += 4
-	}
-	putF64(dst[off:], phiSum)
-}
-
-// decodeRow splits a fetched value into its π row (into pi, length K) and
-// returns Σφ.
-func decodeRow(src []byte, pi []float32) float64 {
-	off := 0
-	for i := range pi {
-		pi[i] = getF32(src[off:])
-		off += 4
-	}
-	return getF64(src[off:])
-}
-
-func putF32(b []byte, v float32) {
-	u := math.Float32bits(v)
-	b[0] = byte(u)
-	b[1] = byte(u >> 8)
-	b[2] = byte(u >> 16)
-	b[3] = byte(u >> 24)
-}
-
-func getF32(b []byte) float32 {
-	u := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
-	return math.Float32frombits(u)
-}
-
-func putF64(b []byte, v float64) {
-	u := math.Float64bits(v)
-	for i := 0; i < 8; i++ {
-		b[i] = byte(u >> (8 * i))
-	}
-}
-
-func getF64(b []byte) float64 {
-	var u uint64
-	for i := 0; i < 8; i++ {
-		u |= uint64(b[i]) << (8 * i)
-	}
-	return math.Float64frombits(u)
-}
+// The π-row wire codec (rowBytes / encodeRow / decodeRow) lives in
+// internal/store, next to the PiStore backends that speak it; this file
+// keeps only the minibatch deployment protocol, which is dist-specific.
 
 // deployment is one rank's share of an iteration's minibatch.
 type deployment struct {

@@ -1,0 +1,300 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/graph"
+	"repro/internal/store"
+	"repro/internal/trace"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Phase names used in traces; the Table III harness keys off these. They
+// are re-exported from the shared stage layer so existing callers
+// (experiments, examples) keep compiling against dist.
+const (
+	PhaseDrawMinibatch   = engine.PhaseDrawMinibatch
+	PhaseDeployMinibatch = engine.PhaseDeployMinibatch
+	PhaseUpdatePhi       = engine.PhaseUpdatePhi
+	PhaseLoadPi          = engine.PhaseLoadPi
+	PhaseComputePhi      = engine.PhaseComputePhi
+	PhaseUpdatePi        = engine.PhaseUpdatePi
+	PhaseUpdateBetaTheta = engine.PhaseUpdateBetaTheta
+	PhasePerplexity      = engine.PhasePerplexity
+	PhaseTotal           = engine.PhaseTotal
+)
+
+// Options configures a distributed run.
+type Options struct {
+	Ranks   int // simulated cluster size (master is rank 0 and also computes)
+	Threads int // OpenMP-style threads per rank; 0 = GOMAXPROCS
+
+	// Pipeline enables both pipelining schemes of Section III-D: the master
+	// samples iteration t+1's minibatch while computing t, and each rank
+	// double-buffers π loading against the update_phi compute.
+	Pipeline bool
+	// PhiChunkNodes is the pipeline chunk size in minibatch vertices;
+	// 0 defaults to 16.
+	PhiChunkNodes int
+
+	// HotRowCache bounds the per-rank DKV hot-row cache in rows; 0 disables
+	// it. Cached remote rows are invalidated at every phase barrier, so the
+	// trained model is byte-identical with the cache on or off — only the
+	// remote traffic changes.
+	HotRowCache int
+
+	// Minibatch and neighbor strategy parameters, mirroring
+	// core.SamplerOptions.
+	MinibatchPairs   int
+	Stratified       bool
+	LinkProb         float64
+	NonLinkCount     int
+	NeighborCount    int
+	UniformNeighbors bool
+
+	// EvalEvery > 0 evaluates the averaged perplexity every that many
+	// iterations (requires a held-out set).
+	EvalEvery  int
+	Iterations int
+
+	// FaultHook, when non-nil, is called by every rank at the top of each
+	// iteration; a non-nil return makes that rank fail exactly as if the
+	// iteration itself had errored, triggering the fabric-wide abort. It
+	// exists for the failure-injection test suites and the -fail-rank /
+	// -fail-iter flags of cmd/ocd-cluster; production runs leave it nil.
+	FaultHook func(rank, iter int) error
+}
+
+func (o *Options) setDefaults() {
+	if o.Ranks == 0 {
+		o.Ranks = 2
+	}
+	if o.PhiChunkNodes == 0 {
+		o.PhiChunkNodes = 16
+	}
+	if o.MinibatchPairs == 0 {
+		o.MinibatchPairs = 128
+	}
+	if o.LinkProb == 0 {
+		o.LinkProb = 0.5
+	}
+	if o.NonLinkCount == 0 {
+		o.NonLinkCount = 32
+	}
+	if o.NeighborCount == 0 {
+		o.NeighborCount = 32
+	}
+}
+
+// PerpPoint is one perplexity evaluation during a run.
+type PerpPoint struct {
+	Iter    int
+	Value   float64
+	Elapsed time.Duration
+}
+
+// DKVTotals aggregates the DKV traffic of all ranks.
+type DKVTotals struct {
+	LocalKeys    int64
+	RemoteKeys   int64
+	Requests     int64
+	BytesRead    int64
+	BytesWritten int64
+	CacheHits    int64 // hot-row cache hits (0 unless Options.HotRowCache > 0)
+}
+
+// Result is what a distributed run returns.
+type Result struct {
+	State      *core.State // fully assembled π/Σφ/θ/β
+	Perplexity []PerpPoint
+	Phases     *trace.Phases // per-phase totals, max across ranks
+	RankPhases []map[string]time.Duration
+	DKV        DKVTotals
+	Iterations int
+	Elapsed    time.Duration
+	RemoteFrac float64 // fraction of DKV keys served remotely
+}
+
+// Run executes a distributed training run over an in-process fabric with
+// opt.Ranks simulated cluster nodes. The graph lives only at the master
+// (rank 0), matching the paper's data distribution; the held-out set is
+// replicated (it is small and every rank needs it for exclusion checks).
+func Run(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Options) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opt.setDefaults()
+	if opt.Iterations < 1 {
+		return nil, fmt.Errorf("dist: Iterations = %d, need at least 1", opt.Iterations)
+	}
+	if opt.EvalEvery > 0 && held == nil {
+		return nil, fmt.Errorf("dist: EvalEvery set but no held-out set given")
+	}
+	fabric, err := transport.NewFabric(opt.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	defer fabric.Close()
+	return RunOnTransport(cfg, g, held, opt, fabric.Endpoints())
+}
+
+// RunOnTransport is Run over caller-provided endpoints — one per rank, all
+// in this process. It exists so the engine can be exercised over the TCP
+// mesh (or any other transport.Conn implementation) with the exact same
+// protocol; cmd/ocd-cluster and the TCP fidelity tests use it.
+func RunOnTransport(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Options, conns []transport.Conn) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	opt.setDefaults()
+	opt.Ranks = len(conns)
+	if opt.Iterations < 1 {
+		return nil, fmt.Errorf("dist: Iterations = %d, need at least 1", opt.Iterations)
+	}
+	if opt.EvalEvery > 0 && held == nil {
+		return nil, fmt.Errorf("dist: EvalEvery set but no held-out set given")
+	}
+
+	nodes := make([]*node, opt.Ranks)
+	for r := 0; r < opt.Ranks; r++ {
+		nd, err := newNode(cfg, opt, cluster.New(conns[r]), g, held)
+		if err != nil {
+			return nil, err
+		}
+		nodes[r] = nd
+	}
+
+	errs := make([]error, opt.Ranks)
+	done := make(chan int, opt.Ranks)
+	for r := 0; r < opt.Ranks; r++ {
+		go func(r int) {
+			errs[r] = nodes[r].run()
+			done <- r
+		}(r)
+	}
+	for i := 0; i < opt.Ranks; i++ {
+		<-done
+	}
+	// Every rank returns within bounded time even on failure: the failing
+	// rank broadcasts an abort (node.run's deferred Comm.Abort), so its
+	// peers surface AbortErrors rather than blocking. Report the originating
+	// rank's own error when it is local; peers' abort echoes name the same
+	// rank inside the AbortError, so a multi-process driver gets the rank
+	// too.
+	var abortErr error
+	for r, err := range errs {
+		if err == nil {
+			continue
+		}
+		if _, isAbort := transport.AsAbort(err); isAbort {
+			if abortErr == nil {
+				abortErr = fmt.Errorf("dist: rank %d: %w", r, err)
+			}
+			continue
+		}
+		return nil, fmt.Errorf("dist: rank %d: %w", r, err)
+	}
+	if abortErr != nil {
+		return nil, abortErr
+	}
+	return assembleResult(nodes), nil
+}
+
+func assembleResult(nodes []*node) *Result {
+	master := nodes[0]
+	res := &Result{
+		State:      master.finalState,
+		Perplexity: master.perp,
+		Phases:     trace.NewPhases(),
+		Iterations: master.opt.Iterations,
+		Elapsed:    master.phases.Total(PhaseTotal),
+	}
+	for _, nd := range nodes {
+		snap := nd.phases.Snapshot()
+		res.RankPhases = append(res.RankPhases, snap)
+		res.Phases.Merge(snap)
+		s := nd.store.Stats()
+		res.DKV.LocalKeys += s.LocalKeys.Load()
+		res.DKV.RemoteKeys += s.RemoteKeys.Load()
+		res.DKV.Requests += s.Requests.Load()
+		res.DKV.BytesRead += s.BytesRead.Load()
+		res.DKV.BytesWritten += s.BytesWritten.Load()
+		res.DKV.CacheHits += nd.store.CacheStats().Hits
+	}
+	if totalKeys := res.DKV.LocalKeys + res.DKV.RemoteKeys; totalKeys > 0 {
+		res.RemoteFrac = float64(res.DKV.RemoteKeys) / float64(totalKeys)
+	}
+	return res
+}
+
+// evalPerplexity folds the current state into the running posterior average
+// over this rank's held-out shard (the shared HeldOutEval stage) and
+// reduces the global averaged perplexity (Eqn 7) at the master; the value
+// is broadcast so every rank returns it.
+func (nd *node) evalPerplexity() (float64, error) {
+	defer nd.phases.Timer(PhasePerplexity)()
+	partials, err := nd.eval.Fold(nd.store, nd.beta, nd.opt.Threads)
+	if err != nil {
+		return 0, err
+	}
+	gathered, err := nd.comm.Gather(0, wire.AppendFloat64s(nil, partials))
+	if err != nil {
+		return 0, err
+	}
+	var out []byte
+	if nd.rank == 0 {
+		var logSum float64
+		for r := 0; r < nd.size; r++ {
+			buf := gathered[r]
+			vals := make([]float64, len(buf)/8)
+			wire.Float64s(buf, 0, len(vals), vals)
+			for _, v := range vals {
+				logSum += v
+			}
+		}
+		out = wire.AppendUint64(nil, math.Float64bits(core.PerplexityFromLogSum(logSum, nd.held.Len())))
+	}
+	out, err = nd.comm.Bcast(0, out)
+	if err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(wire.Uint64At(out, 0)), nil
+}
+
+// collectState reads the whole π matrix back out of the DKV store into a
+// core.State; master-only, used for final reporting and the equivalence
+// tests.
+func (nd *node) collectState() (*core.State, error) {
+	st := &core.State{
+		N:      nd.n,
+		K:      nd.k,
+		Pi:     make([]float32, nd.n*nd.k),
+		PhiSum: make([]float64, nd.n),
+		Theta:  append([]float64(nil), nd.theta...),
+		Beta:   append([]float64(nil), nd.beta...),
+	}
+	const batchKeys = 4096
+	keys := make([]int32, 0, batchKeys)
+	var rows store.Rows
+	for base := 0; base < nd.n; base += batchKeys {
+		hi := min(base+batchKeys, nd.n)
+		keys = keys[:0]
+		for a := base; a < hi; a++ {
+			keys = append(keys, int32(a))
+		}
+		if err := nd.store.ReadRows(keys, &rows); err != nil {
+			return nil, err
+		}
+		for i, a := range keys {
+			copy(st.PiRow(int(a)), rows.PiRow(i))
+			st.PhiSum[a] = rows.PhiSum[i]
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,148 @@
+// Package engine provides the stage-based iteration machinery shared by the
+// local (core.Sampler) and distributed (dist.Run) samplers: the canonical
+// phase names of the paper's Table III, a Stage/Loop scheduler that attaches
+// per-stage timing and fault injection uniformly, the single-slot Prefetcher
+// behind the master's minibatch pipelining (Section III-D), and the
+// chunk-aligned partition helpers both engines split work with.
+//
+// The package is deliberately a leaf — it knows nothing about the model —
+// so that internal/core can build its sampler on it while internal/dist
+// reuses the exact same scheduler around its collectives.
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Phase names used in traces; the Table III harness keys off these.
+const (
+	PhaseDrawMinibatch   = "draw_minibatch"
+	PhaseDeployMinibatch = "deploy_minibatch"
+	PhaseUpdatePhi       = "update_phi"
+	PhaseLoadPi          = "update_phi.load_pi"
+	PhaseComputePhi      = "update_phi.compute"
+	PhaseUpdatePi        = "update_pi"
+	PhaseUpdateBetaTheta = "update_beta_theta"
+	PhasePerplexity      = "perplexity"
+	PhaseTotal           = "total"
+)
+
+// Stage is one named phase of an iteration. Reads and Writes declare the
+// dataflow (resource names such as "batch", "pi", "theta"); Loop.Validate
+// checks that every stage's inputs are produced before it runs, which is how
+// the barrier discipline ("update_phi reads only pre-phase π") is made
+// explicit instead of being a comment.
+type Stage struct {
+	// Name keys the per-stage trace timer. An empty Name marks untimed
+	// wiring (e.g. the distributed engine's barriers), which runs but does
+	// not appear in the phase table.
+	Name   string
+	Reads  []string
+	Writes []string
+	Run    func(t int) error
+}
+
+// Loop runs a fixed stage list once per iteration, timing each named stage
+// into Trace and giving FaultHook one uniform injection point per iteration.
+type Loop struct {
+	Stages []Stage
+	Trace  *trace.Phases
+	// FaultHook, when non-nil, runs at the top of every iteration; a non-nil
+	// return fails the iteration exactly as if a stage had errored.
+	FaultHook func(t int) error
+}
+
+// RunIteration executes iteration t: the fault hook, then every stage in
+// order, stopping at the first error.
+func (l *Loop) RunIteration(t int) error {
+	if l.FaultHook != nil {
+		if err := l.FaultHook(t); err != nil {
+			return fmt.Errorf("injected fault: %w", err)
+		}
+	}
+	for i := range l.Stages {
+		st := &l.Stages[i]
+		var stop func()
+		if st.Name != "" && l.Trace != nil {
+			stop = l.Trace.Timer(st.Name)
+		}
+		err := st.Run(t)
+		if stop != nil {
+			stop()
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run executes iterations [0, n).
+func (l *Loop) Run(n int) error {
+	for t := 0; t < n; t++ {
+		if err := l.RunIteration(t); err != nil {
+			return fmt.Errorf("iteration %d: %w", t, err)
+		}
+	}
+	return nil
+}
+
+// Validate checks the declared dataflow: walking the stages in order, every
+// Read must name a resource provided initially or written by an earlier
+// stage (a resource written by a later stage only is exactly the read-own-
+// write hazard the phase barriers exist to prevent).
+func (l *Loop) Validate(initial []string) error {
+	have := make(map[string]bool, len(initial))
+	for _, r := range initial {
+		have[r] = true
+	}
+	for _, st := range l.Stages {
+		for _, r := range st.Reads {
+			if !have[r] {
+				return fmt.Errorf("engine: stage %q reads %q before any stage writes it", st.Name, r)
+			}
+		}
+		for _, w := range st.Writes {
+			have[w] = true
+		}
+	}
+	return nil
+}
+
+// Prefetcher overlaps producing iteration t+1's value with iteration t's
+// compute — the generalised form of the master-side minibatch pipelining of
+// Section III-D. Start(t) launches produce(t) concurrently; Next(t) returns
+// the prefetched value if one is in flight, or produces synchronously.
+// Start and Next must be called from one goroutine (the stage loop).
+type Prefetcher[T any] struct {
+	produce  func(t int) T
+	ch       chan T
+	inflight bool
+}
+
+// NewPrefetcher wraps a producer function.
+func NewPrefetcher[T any](produce func(t int) T) *Prefetcher[T] {
+	return &Prefetcher[T]{produce: produce, ch: make(chan T, 1)}
+}
+
+// Start begins producing iteration t's value concurrently. At most one
+// production may be in flight; starting a second panics (a scheduling bug).
+func (p *Prefetcher[T]) Start(t int) {
+	if p.inflight {
+		panic("engine: Prefetcher.Start with a production already in flight")
+	}
+	p.inflight = true
+	go func() { p.ch <- p.produce(t) }()
+}
+
+// Next returns iteration t's value: the in-flight production if Start was
+// called, otherwise a synchronous produce(t).
+func (p *Prefetcher[T]) Next(t int) T {
+	if p.inflight {
+		p.inflight = false
+		return <-p.ch
+	}
+	return p.produce(t)
+}

@@ -1,0 +1,136 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestLoopRunsStagesInOrderWithTiming(t *testing.T) {
+	ph := trace.NewPhases()
+	var order []string
+	mk := func(name string) Stage {
+		return Stage{Name: name, Run: func(int) error {
+			order = append(order, name)
+			return nil
+		}}
+	}
+	l := &Loop{
+		Trace: ph,
+		Stages: []Stage{
+			mk("a"),
+			{Run: func(int) error { order = append(order, "barrier"); return nil }},
+			mk("b"),
+		},
+	}
+	if err := l.Run(3); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "barrier", "b", "a", "barrier", "b", "a", "barrier", "b"}
+	if fmt.Sprint(order) != fmt.Sprint(want) {
+		t.Fatalf("stage order %v, want %v", order, want)
+	}
+	if ph.Count("a") != 3 || ph.Count("b") != 3 {
+		t.Fatalf("timed counts a=%d b=%d, want 3 each", ph.Count("a"), ph.Count("b"))
+	}
+	// The unnamed barrier stage must not appear in the trace.
+	for _, name := range ph.Names() {
+		if name == "" {
+			t.Fatal("unnamed stage leaked into the trace")
+		}
+	}
+}
+
+func TestLoopStopsAtFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []string
+	l := &Loop{Stages: []Stage{
+		{Name: "ok", Run: func(int) error { ran = append(ran, "ok"); return nil }},
+		{Name: "bad", Run: func(int) error { return boom }},
+		{Name: "never", Run: func(int) error { ran = append(ran, "never"); return nil }},
+	}}
+	err := l.Run(5)
+	if !errors.Is(err, boom) {
+		t.Fatalf("error chain lost: %v", err)
+	}
+	if got := fmt.Sprint(ran); got != "[ok]" {
+		t.Fatalf("stages after the failure ran: %v", ran)
+	}
+	// Run wraps with the iteration number.
+	if want := "iteration 0:"; err == nil || len(err.Error()) < len(want) || err.Error()[:len(want)] != want {
+		t.Fatalf("error %q does not carry the iteration", err)
+	}
+}
+
+func TestLoopFaultHook(t *testing.T) {
+	injected := errors.New("injected")
+	var stageRan bool
+	l := &Loop{
+		FaultHook: func(t int) error {
+			if t == 2 {
+				return injected
+			}
+			return nil
+		},
+		Stages: []Stage{{Name: "s", Run: func(int) error { stageRan = true; return nil }}},
+	}
+	if err := l.RunIteration(0); err != nil || !stageRan {
+		t.Fatalf("clean iteration failed: %v (stage ran: %v)", err, stageRan)
+	}
+	err := l.RunIteration(2)
+	if !errors.Is(err, injected) {
+		t.Fatalf("fault hook error chain lost: %v", err)
+	}
+}
+
+func TestLoopValidate(t *testing.T) {
+	ok := &Loop{Stages: []Stage{
+		{Name: "draw", Reads: []string{"graph"}, Writes: []string{"batch"}},
+		{Name: "phi", Reads: []string{"batch", "pi"}, Writes: []string{"new_phi"}},
+		{Name: "pi", Reads: []string{"new_phi"}, Writes: []string{"pi"}},
+	}}
+	if err := ok.Validate([]string{"graph", "pi"}); err != nil {
+		t.Fatalf("valid dataflow rejected: %v", err)
+	}
+	bad := &Loop{Stages: []Stage{
+		{Name: "phi", Reads: []string{"batch"}, Writes: []string{"new_phi"}},
+		{Name: "draw", Reads: []string{"graph"}, Writes: []string{"batch"}},
+	}}
+	if err := bad.Validate([]string{"graph"}); err == nil {
+		t.Fatal("read-before-write dataflow accepted")
+	}
+}
+
+func TestPrefetcher(t *testing.T) {
+	var produced []int
+	p := NewPrefetcher(func(t int) int {
+		produced = append(produced, t)
+		return t * 10
+	})
+	// Synchronous path: nothing in flight.
+	if got := p.Next(0); got != 0 {
+		t.Fatalf("Next(0) = %d", got)
+	}
+	// Prefetched path.
+	p.Start(1)
+	if got := p.Next(1); got != 10 {
+		t.Fatalf("Next(1) = %d", got)
+	}
+	// After draining, the next call is synchronous again.
+	if got := p.Next(2); got != 20 {
+		t.Fatalf("Next(2) = %d", got)
+	}
+	if fmt.Sprint(produced) != "[0 1 2]" {
+		t.Fatalf("producer calls %v", produced)
+	}
+	// Double Start is a scheduling bug and must panic.
+	p.Start(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Start did not panic")
+		}
+	}()
+	p.Start(4)
+}

@@ -1,0 +1,27 @@
+package engine
+
+// SplitEven returns the [lo, hi) bounds of part r when splitting n items
+// into `parts` contiguous groups as evenly as possible: the first n%parts
+// parts get one extra item, and the parts tile [0, n) without gaps.
+func SplitEven(n, parts, r int) (int, int) {
+	base := n / parts
+	rem := n % parts
+	lo := r*base + min(r, rem)
+	hi := lo + base
+	if r < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// SplitChunkAligned partitions n items into `parts` contiguous ranges whose
+// boundaries are multiples of chunk, so a distributed fold over the parts in
+// rank order visits chunks in exactly the sequential ChunkedReduce order —
+// the property the bit-identical equivalence between the engines rests on.
+func SplitChunkAligned(n, chunk, parts, r int) (int, int) {
+	nChunks := (n + chunk - 1) / chunk
+	cLo, cHi := SplitEven(nChunks, parts, r)
+	lo := min(cLo*chunk, n)
+	hi := min(cHi*chunk, n)
+	return lo, hi
+}

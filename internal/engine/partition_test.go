@@ -1,0 +1,85 @@
+package engine
+
+import "testing"
+
+func TestSplitEven(t *testing.T) {
+	cases := []struct {
+		name     string
+		n, parts int
+	}{
+		{"n=0", 0, 3},
+		{"single item", 1, 3},
+		{"parts > n", 4, 8},
+		{"parts = n", 5, 5},
+		{"uneven", 7, 3},
+		{"one part", 100, 1},
+		{"large", 1000, 7},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prevHi := 0
+			for r := 0; r < tc.parts; r++ {
+				lo, hi := SplitEven(tc.n, tc.parts, r)
+				if lo != prevHi {
+					t.Fatalf("rank %d: lo %d != previous hi %d (gap or overlap)", r, lo, prevHi)
+				}
+				if hi < lo {
+					t.Fatalf("rank %d: hi %d < lo %d", r, hi, lo)
+				}
+				if hi-lo > tc.n/tc.parts+1 {
+					t.Fatalf("rank %d: part size %d too uneven for n=%d parts=%d", r, hi-lo, tc.n, tc.parts)
+				}
+				prevHi = hi
+			}
+			if prevHi != tc.n {
+				t.Fatalf("parts tile [0,%d) but end at %d", tc.n, prevHi)
+			}
+		})
+	}
+}
+
+func TestSplitChunkAligned(t *testing.T) {
+	cases := []struct {
+		name            string
+		n, chunk, parts int
+	}{
+		{"n=0", 0, 64, 4},
+		{"n < chunk", 63, 64, 4},
+		{"n = chunk", 64, 64, 4},
+		{"chunk not dividing n", 65, 64, 4},
+		{"parts > chunks", 100, 64, 8},
+		{"many chunks", 1000, 64, 4},
+		{"chunk=1 degenerates to SplitEven", 17, 1, 3},
+		{"exact multiple", 256, 64, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			prevHi := 0
+			for r := 0; r < tc.parts; r++ {
+				lo, hi := SplitChunkAligned(tc.n, tc.chunk, tc.parts, r)
+				if lo != prevHi {
+					t.Fatalf("rank %d: lo %d != previous hi %d (ranges must tile [0,n))", r, lo, prevHi)
+				}
+				if lo%tc.chunk != 0 && lo != tc.n {
+					t.Fatalf("rank %d: lo %d not a chunk boundary", r, lo)
+				}
+				if hi%tc.chunk != 0 && hi != tc.n {
+					t.Fatalf("rank %d: hi %d not a chunk boundary", r, hi)
+				}
+				prevHi = hi
+			}
+			if prevHi != tc.n {
+				t.Fatalf("ranges cover [0,%d) but end at %d", tc.n, prevHi)
+			}
+		})
+	}
+
+	// chunk=1 must agree with SplitEven exactly.
+	for r := 0; r < 3; r++ {
+		elo, ehi := SplitEven(17, 3, r)
+		clo, chi := SplitChunkAligned(17, 1, 3, r)
+		if elo != clo || ehi != chi {
+			t.Fatalf("rank %d: chunk=1 split (%d,%d) != SplitEven (%d,%d)", r, clo, chi, elo, ehi)
+		}
+	}
+}

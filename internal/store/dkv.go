@@ -1,0 +1,258 @@
+package store
+
+import (
+	"sync"
+
+	"repro/internal/dkv"
+	"repro/internal/par"
+	"repro/internal/transport"
+)
+
+// CacheStats counts hot-row cache traffic.
+type CacheStats struct {
+	Hits      int64 // rows served from the cache instead of the network
+	Misses    int64 // remote rows that had to be fetched
+	Evictions int64 // rows displaced by the FIFO bound
+}
+
+// DKVStore implements PiStore over the distributed key-value store: every
+// read is grouped by owning rank and issued as one request per peer, and
+// ReadRowsAsync exposes the DKV futures that the double-buffered update_phi
+// pipeline overlaps with compute.
+//
+// When cacheRows > 0, a bounded FIFO cache holds the wire bytes of recently
+// fetched REMOTE rows. Within a phase the algorithm never reads a row it
+// writes, so a cached row is bit-identical to a re-fetched one until the
+// next phase barrier; Flush (called at each barrier) invalidates the cache,
+// which keeps the result trajectory byte-for-byte independent of the cache
+// configuration while cutting repeat fetches of hot rows (high-degree
+// vertices recur across neighbor samples).
+type DKVStore struct {
+	kv      *dkv.Store
+	n, k    int
+	threads int
+
+	mu       sync.Mutex
+	cacheCap int
+	cache    map[int32][]byte
+	fifo     []int32
+	stats    CacheStats
+}
+
+// NewDKV creates the store (and its server goroutine) for this rank.
+// cacheRows bounds the hot-row cache; 0 disables it.
+func NewDKV(conn transport.Conn, n, k, threads, cacheRows int) (*DKVStore, error) {
+	kv, err := dkv.New(conn, n, RowBytes(k))
+	if err != nil {
+		return nil, err
+	}
+	s := &DKVStore{kv: kv, n: n, k: k, threads: threads, cacheCap: cacheRows}
+	if cacheRows > 0 {
+		s.cache = make(map[int32][]byte, cacheRows)
+		s.fifo = make([]int32, 0, cacheRows)
+	}
+	return s, nil
+}
+
+// NumRows implements PiStore.
+func (s *DKVStore) NumRows() int { return s.n }
+
+// K implements PiStore.
+func (s *DKVStore) K() int { return s.k }
+
+// OwnedRange returns this rank's key shard [lo, hi).
+func (s *DKVStore) OwnedRange() (lo, hi int) { return s.kv.OwnedRange() }
+
+// Stats exposes the underlying DKV traffic counters.
+func (s *DKVStore) Stats() *dkv.Stats { return s.kv.Stats() }
+
+// CacheStats returns a snapshot of the hot-row cache counters.
+func (s *DKVStore) CacheStats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Close stops the server goroutine; the underlying transport stays open.
+func (s *DKVStore) Close() error { return s.kv.Close() }
+
+// InitOwned populates this rank's shard from a deterministic row
+// initialiser: initRow fills pi (length K) for vertex a and returns Σφ_a.
+func (s *DKVStore) InitOwned(initRow func(a int, pi []float32) float64) {
+	lo, hi := s.kv.OwnedRange()
+	row := make([]byte, RowBytes(s.k))
+	pi := make([]float32, s.k)
+	for a := lo; a < hi; a++ {
+		phiSum := initRow(a, pi)
+		EncodeRowPi(row, pi, phiSum)
+		s.kv.WriteLocal(a, row)
+	}
+}
+
+// owned reports whether id falls inside this rank's shard (a free read — the
+// cache only holds rows that would otherwise cross the network).
+func (s *DKVStore) owned(id int32) bool {
+	lo, hi := s.kv.OwnedRange()
+	return int(id) >= lo && int(id) < hi
+}
+
+// cacheLookup serves id from the cache into dst row i; reports whether it
+// hit. Only called when the cache is enabled.
+func (s *DKVStore) cacheLookup(id int32, dst *Rows, i int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raw, ok := s.cache[id]
+	if !ok {
+		s.stats.Misses++
+		return false
+	}
+	s.stats.Hits++
+	dst.PhiSum[i] = DecodeRow(raw, dst.PiRow(i))
+	return true
+}
+
+// cacheInsert copies a fetched remote row into the cache, evicting FIFO
+// when the bound is reached. A row already present is left as is (identical
+// bytes within a phase).
+func (s *DKVStore) cacheInsert(id int32, raw []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.cache[id]; ok {
+		return
+	}
+	if len(s.fifo) >= s.cacheCap {
+		old := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		delete(s.cache, old)
+		s.stats.Evictions++
+	}
+	s.cache[id] = append([]byte(nil), raw...)
+	s.fifo = append(s.fifo, id)
+}
+
+// dkvPending finishes an asynchronous read: waits for the DKV future, then
+// decodes the fetched wire rows into the destination buffer in parallel and
+// feeds the cache.
+type dkvPending struct {
+	store *DKVStore
+	fut   *dkv.Future
+	dst   *Rows
+	// missIDs[i] was fetched into raw row i and lands in dst row missPos[i];
+	// with the cache disabled missPos is nil and raw row i maps to dst row i.
+	missIDs []int32
+	missPos []int
+	done    bool
+	err     error
+}
+
+func (p *dkvPending) Wait() error {
+	if p.done {
+		return p.err
+	}
+	p.done = true
+	if p.err = p.fut.Wait(); p.err != nil {
+		return p.err
+	}
+	s := p.store
+	rb := RowBytes(s.k)
+	raw := p.dst.raw
+	par.For(len(p.missIDs), s.threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pos := i
+			if p.missPos != nil {
+				pos = p.missPos[i]
+			}
+			p.dst.PhiSum[pos] = DecodeRow(raw[i*rb:(i+1)*rb], p.dst.PiRow(pos))
+		}
+	})
+	if s.cacheCap > 0 {
+		for i, id := range p.missIDs {
+			if !s.owned(id) {
+				s.cacheInsert(id, raw[i*rb:(i+1)*rb])
+			}
+		}
+	}
+	return nil
+}
+
+// ReadRowsAsync implements PiStore. Cached rows are decoded immediately;
+// the rest go out as one batched DKV read whose future the returned Pending
+// wraps.
+func (s *DKVStore) ReadRowsAsync(ids []int32, dst *Rows) (Pending, error) {
+	dst.Reset(len(ids), s.k)
+	rb := RowBytes(s.k)
+
+	missIDs := ids
+	var missPos []int
+	if s.cacheCap > 0 {
+		missIDs = make([]int32, 0, len(ids))
+		missPos = make([]int, 0, len(ids))
+		for i, id := range ids {
+			if s.owned(id) || !s.cacheLookup(id, dst, i) {
+				missIDs = append(missIDs, id)
+				missPos = append(missPos, i)
+			}
+		}
+	}
+
+	need := len(missIDs) * rb
+	if cap(dst.raw) < need {
+		dst.raw = make([]byte, need)
+	}
+	dst.raw = dst.raw[:need]
+	fut, err := s.kv.ReadBatchAsync(missIDs, dst.raw)
+	if err != nil {
+		return nil, err
+	}
+	return &dkvPending{store: s, fut: fut, dst: dst, missIDs: missIDs, missPos: missPos}, nil
+}
+
+// ReadRows implements PiStore (the synchronous form).
+func (s *DKVStore) ReadRows(ids []int32, dst *Rows) error {
+	p, err := s.ReadRowsAsync(ids, dst)
+	if err != nil {
+		return err
+	}
+	return p.Wait()
+}
+
+// WriteRows implements PiStore: rows are encoded in parallel and committed
+// through one batched, acknowledged DKV write. Written keys are dropped from
+// the cache so a stale copy can never outlive the row.
+func (s *DKVStore) WriteRows(ids []int32, phi []float64) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	rb := RowBytes(s.k)
+	values := make([]byte, len(ids)*rb)
+	par.For(len(ids), s.threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			EncodeRow(values[i*rb:(i+1)*rb], phi[i*s.k:(i+1)*s.k])
+		}
+	})
+	if s.cacheCap > 0 {
+		s.mu.Lock()
+		for _, id := range ids {
+			delete(s.cache, id)
+		}
+		s.mu.Unlock()
+	}
+	return s.kv.WriteBatch(ids, values)
+}
+
+// Flush implements PiStore: called at every phase barrier, it invalidates
+// the hot-row cache (writes are already acknowledged by WriteRows; global
+// visibility is the caller's collective barrier, which this accompanies).
+func (s *DKVStore) Flush() error {
+	if s.cacheCap == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	clear(s.cache)
+	s.fifo = s.fifo[:0]
+	s.mu.Unlock()
+	return nil
+}
+
+// interface conformance
+var _ PiStore = (*DKVStore)(nil)

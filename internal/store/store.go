@@ -1,0 +1,262 @@
+// Package store defines the unified parameter-store abstraction both
+// samplers run against: a PiStore holds the per-vertex π rows and Σφ sums
+// (the paper's "π[i] + Σφ[i] is the value for key i") behind one batched
+// read/write contract, so the phase layer in internal/core is written once
+// and wired to either backend.
+//
+// Two backends implement the contract:
+//
+//   - LocalStore views a single-node core.State's backing slices. Reads and
+//     writes are plain memory copies; Flush is a no-op. It makes the
+//     single-process sampler the Ranks=1 degenerate case of the distributed
+//     one.
+//   - DKVStore (dkv.go) wraps internal/dkv: batched reads grouped by owning
+//     rank, asynchronous futures for the double-buffered π pipeline of
+//     Section III-D, and an optional bounded hot-row cache that is
+//     invalidated at every phase barrier.
+//
+// Bit-exactness contract: WriteRows on every backend performs the exact
+// normalisation arithmetic of core.State.SetPhiRow (sum in slice order,
+// inv = 1/sum, float32(v·inv)), and reads return float32/float64 values
+// unchanged, so the two backends produce bit-identical trajectories from
+// identical inputs.
+package store
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/par"
+)
+
+// Rows is the decoded destination buffer for a batched read: n π rows of K
+// float32 entries each, plus the matching Σφ sums. Buffers are reused across
+// Reset calls, which is what lets the double-buffered pipeline run without
+// per-chunk allocation.
+type Rows struct {
+	K      int
+	Pi     []float32 // row-major, Len()×K
+	PhiSum []float64 // one Σφ per row
+
+	raw []byte // backend scratch (wire bytes), reused between reads
+}
+
+// Reset sizes the buffer for n rows of width k, reusing capacity.
+func (r *Rows) Reset(n, k int) {
+	r.K = k
+	if cap(r.Pi) < n*k {
+		r.Pi = make([]float32, n*k)
+	}
+	r.Pi = r.Pi[:n*k]
+	if cap(r.PhiSum) < n {
+		r.PhiSum = make([]float64, n)
+	}
+	r.PhiSum = r.PhiSum[:n]
+}
+
+// Len returns the number of rows currently held.
+func (r *Rows) Len() int { return len(r.PhiSum) }
+
+// PiRow returns row i as a slice into the buffer.
+func (r *Rows) PiRow(i int) []float32 { return r.Pi[i*r.K : (i+1)*r.K] }
+
+// Pending is an in-flight asynchronous read. Wait blocks until the
+// destination Rows buffer is fully populated; it is idempotent, and the
+// buffer must not be touched before Wait returns.
+type Pending interface {
+	Wait() error
+}
+
+// PiStore is the parameter-store contract the shared phase layer is written
+// against. Keys are vertex ids in [0, NumRows).
+//
+// Consistency follows the paper's phase discipline: within a phase, read
+// sets and write sets never overlap, so no concurrency control is needed.
+// Flush marks a phase barrier — after Flush returns, rows written before it
+// are what subsequent reads observe, and any caching that spanned the phase
+// is invalidated. Callers that also require cross-rank visibility (the
+// distributed engine) pair Flush with their collective barrier.
+type PiStore interface {
+	// NumRows returns the total key count N.
+	NumRows() int
+	// K returns the row width.
+	K() int
+	// ReadRows fills dst with the current rows for ids.
+	ReadRows(ids []int32, dst *Rows) error
+	// ReadRowsAsync begins a batched read into dst and returns a Pending;
+	// dst must stay untouched until Wait returns. This is the prefetch
+	// primitive behind the double-buffered update_phi pipeline.
+	ReadRowsAsync(ids []int32, dst *Rows) (Pending, error)
+	// WriteRows stores the φ rows (len(ids)·K float64 values, row-major),
+	// normalising each to π/Σφ with SetPhiRow's exact arithmetic.
+	WriteRows(ids []int32, phi []float64) error
+	// Flush marks a phase barrier (see the interface comment).
+	Flush() error
+}
+
+// RowBytes is the wire size of one vertex's value: K float32 π entries plus
+// the float64 Σφ.
+func RowBytes(k int) int { return 4*k + 8 }
+
+// EncodeRow writes π (derived from phi) and Σφ into dst (RowBytes long),
+// mirroring core.State.SetPhiRow's arithmetic so all backends quantise to
+// float32 identically.
+func EncodeRow(dst []byte, phi []float64) {
+	var sum float64
+	for _, v := range phi {
+		sum += v
+	}
+	inv := 1 / sum
+	off := 0
+	for _, v := range phi {
+		putF32(dst[off:], float32(v*inv))
+		off += 4
+	}
+	putF64(dst[off:], sum)
+}
+
+// EncodeRowPi writes an already-normalised π row plus Σφ; used for initial
+// population from core.InitPiRow.
+func EncodeRowPi(dst []byte, pi []float32, phiSum float64) {
+	off := 0
+	for _, v := range pi {
+		putF32(dst[off:], v)
+		off += 4
+	}
+	putF64(dst[off:], phiSum)
+}
+
+// DecodeRow splits a wire value into its π row (into pi, length K) and
+// returns Σφ.
+func DecodeRow(src []byte, pi []float32) float64 {
+	off := 0
+	for i := range pi {
+		pi[i] = getF32(src[off:])
+		off += 4
+	}
+	return getF64(src[off:])
+}
+
+func putF32(b []byte, v float32) {
+	u := math.Float32bits(v)
+	b[0] = byte(u)
+	b[1] = byte(u >> 8)
+	b[2] = byte(u >> 16)
+	b[3] = byte(u >> 24)
+}
+
+func getF32(b []byte) float32 {
+	u := uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+	return math.Float32frombits(u)
+}
+
+func putF64(b []byte, v float64) {
+	u := math.Float64bits(v)
+	for i := 0; i < 8; i++ {
+		b[i] = byte(u >> (8 * i))
+	}
+}
+
+func getF64(b []byte) float64 {
+	var u uint64
+	for i := 0; i < 8; i++ {
+		u |= uint64(b[i]) << (8 * i)
+	}
+	return math.Float64frombits(u)
+}
+
+// LocalStore implements PiStore over the backing slices of a single-node
+// core.State. It is constructed per use (a cheap slice-header struct) so a
+// resumed sampler that swaps its State never reads through a stale view.
+type LocalStore struct {
+	k       int
+	pi      []float32
+	phiSum  []float64
+	threads int
+}
+
+// NewLocal views the given state slices as a PiStore. pi must be row-major
+// with len(phiSum) rows of width k.
+func NewLocal(pi []float32, phiSum []float64, k, threads int) *LocalStore {
+	return &LocalStore{k: k, pi: pi, phiSum: phiSum, threads: threads}
+}
+
+// NumRows implements PiStore.
+func (s *LocalStore) NumRows() int { return len(s.phiSum) }
+
+// K implements PiStore.
+func (s *LocalStore) K() int { return s.k }
+
+func (s *LocalStore) checkIDs(ids []int32) error {
+	n := len(s.phiSum)
+	for _, id := range ids {
+		if id < 0 || int(id) >= n {
+			return fmt.Errorf("store: key %d out of range [0,%d)", id, n)
+		}
+	}
+	return nil
+}
+
+// ReadRows implements PiStore with plain memory copies (float32/float64
+// copies are bit-exact).
+func (s *LocalStore) ReadRows(ids []int32, dst *Rows) error {
+	if err := s.checkIDs(ids); err != nil {
+		return err
+	}
+	dst.Reset(len(ids), s.k)
+	par.For(len(ids), s.threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := int(ids[i])
+			copy(dst.PiRow(i), s.pi[a*s.k:(a+1)*s.k])
+			dst.PhiSum[i] = s.phiSum[a]
+		}
+	})
+	return nil
+}
+
+// donePending is the immediately-complete Pending of a synchronous read.
+type donePending struct{ err error }
+
+func (p donePending) Wait() error { return p.err }
+
+// ReadRowsAsync implements PiStore; local reads complete immediately.
+func (s *LocalStore) ReadRowsAsync(ids []int32, dst *Rows) (Pending, error) {
+	err := s.ReadRows(ids, dst)
+	if err != nil {
+		return nil, err
+	}
+	return donePending{}, nil
+}
+
+// WriteRows implements PiStore with core.State.SetPhiRow's arithmetic.
+func (s *LocalStore) WriteRows(ids []int32, phi []float64) error {
+	if len(phi) != len(ids)*s.k {
+		return fmt.Errorf("store: phi has %d values, want %d", len(phi), len(ids)*s.k)
+	}
+	if err := s.checkIDs(ids); err != nil {
+		return err
+	}
+	par.For(len(ids), s.threads, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := phi[i*s.k : (i+1)*s.k]
+			var sum float64
+			for _, v := range row {
+				sum += v
+			}
+			a := int(ids[i])
+			s.phiSum[a] = sum
+			dst := s.pi[a*s.k : (a+1)*s.k]
+			inv := 1 / sum
+			for j, v := range row {
+				dst[j] = float32(v * inv)
+			}
+		}
+	})
+	return nil
+}
+
+// Flush implements PiStore; in-memory writes are immediately visible.
+func (s *LocalStore) Flush() error { return nil }
+
+// interface conformance
+var _ PiStore = (*LocalStore)(nil)

@@ -1,0 +1,290 @@
+package store
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/transport"
+)
+
+func TestRowCodecRoundTrip(t *testing.T) {
+	const k = 7
+	phi := []float64{0.5, 1.25, 3, 0.125, 2, 0.75, 1}
+	buf := make([]byte, RowBytes(k))
+	EncodeRow(buf, phi)
+	pi := make([]float32, k)
+	sum := DecodeRow(buf, pi)
+	var wantSum float64
+	for _, v := range phi {
+		wantSum += v
+	}
+	if sum != wantSum {
+		t.Fatalf("Σφ = %v, want %v", sum, wantSum)
+	}
+	for i, v := range phi {
+		want := float32(v / wantSum)
+		if pi[i] != want {
+			t.Fatalf("π[%d] = %v, want %v", i, pi[i], want)
+		}
+	}
+}
+
+func TestEncodeRowPiRoundTrip(t *testing.T) {
+	const k = 3
+	pi := []float32{0.25, 0.5, 0.25}
+	buf := make([]byte, RowBytes(k))
+	EncodeRowPi(buf, pi, 42.5)
+	got := make([]float32, k)
+	if sum := DecodeRow(buf, got); sum != 42.5 {
+		t.Fatalf("Σφ = %v, want 42.5", sum)
+	}
+	for i := range pi {
+		if got[i] != pi[i] {
+			t.Fatalf("π[%d] = %v, want %v", i, got[i], pi[i])
+		}
+	}
+}
+
+// refWrite is the reference SetPhiRow arithmetic every backend must match.
+func refWrite(phi []float64) ([]float32, float64) {
+	var sum float64
+	for _, v := range phi {
+		sum += v
+	}
+	inv := 1 / sum
+	pi := make([]float32, len(phi))
+	for i, v := range phi {
+		pi[i] = float32(v * inv)
+	}
+	return pi, sum
+}
+
+func TestLocalStoreReadWrite(t *testing.T) {
+	const n, k = 10, 4
+	ls := NewLocal(make([]float32, n*k), make([]float64, n), k, 1)
+	if ls.NumRows() != n || ls.K() != k {
+		t.Fatalf("dims %d×%d, want %d×%d", ls.NumRows(), ls.K(), n, k)
+	}
+
+	ids := []int32{3, 7, 0}
+	phi := []float64{
+		1, 2, 3, 4,
+		0.5, 0.25, 0.125, 0.0625,
+		10, 20, 30, 40,
+	}
+	if err := ls.WriteRows(ids, phi); err != nil {
+		t.Fatal(err)
+	}
+
+	var rows Rows
+	if err := ls.ReadRows(ids, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != len(ids) {
+		t.Fatalf("read %d rows, want %d", rows.Len(), len(ids))
+	}
+	for i := range ids {
+		wantPi, wantSum := refWrite(phi[i*k : (i+1)*k])
+		if rows.PhiSum[i] != wantSum {
+			t.Fatalf("row %d: Σφ = %v, want %v", i, rows.PhiSum[i], wantSum)
+		}
+		for j, w := range wantPi {
+			if rows.PiRow(i)[j] != w {
+				t.Fatalf("row %d: π[%d] = %v, want %v", i, j, rows.PiRow(i)[j], w)
+			}
+		}
+	}
+
+	// The async form must agree and complete immediately.
+	var rows2 Rows
+	pend, err := ls.ReadRowsAsync(ids, &rows2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pend.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if rows2.PhiSum[i] != rows.PhiSum[i] {
+			t.Fatalf("async read row %d disagrees", i)
+		}
+	}
+}
+
+func TestLocalStoreRejectsBadInput(t *testing.T) {
+	ls := NewLocal(make([]float32, 4*2), make([]float64, 4), 2, 1)
+	var rows Rows
+	if err := ls.ReadRows([]int32{4}, &rows); err == nil {
+		t.Fatal("out-of-range key accepted by ReadRows")
+	}
+	if err := ls.WriteRows([]int32{-1}, []float64{1, 2}); err == nil {
+		t.Fatal("negative key accepted by WriteRows")
+	}
+	if err := ls.WriteRows([]int32{0}, []float64{1}); err == nil {
+		t.Fatal("short phi accepted by WriteRows")
+	}
+}
+
+// twoRankStores builds a 2-rank fabric with one DKVStore per rank, both
+// initialised with a deterministic per-key row, and hands rank 0's store to
+// the body (rank 1's server goroutine answers in the background).
+func twoRankStores(t *testing.T, n, k, cacheRows int, body func(s0 *DKVStore)) {
+	t.Helper()
+	f, err := transport.NewFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	stores := make([]*DKVStore, 2)
+	for r := 0; r < 2; r++ {
+		st, err := NewDKV(f.Endpoint(r), n, k, 1, cacheRows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		stores[r] = st
+		st.InitOwned(func(a int, pi []float32) float64 {
+			for j := range pi {
+				pi[j] = float32(a*10 + j)
+			}
+			return float64(a)
+		})
+	}
+	body(stores[0])
+}
+
+func checkInitRow(t *testing.T, rows *Rows, i int, a int32, k int) {
+	t.Helper()
+	if rows.PhiSum[i] != float64(a) {
+		t.Fatalf("key %d: Σφ = %v, want %v", a, rows.PhiSum[i], float64(a))
+	}
+	for j := 0; j < k; j++ {
+		if want := float32(int(a)*10 + j); rows.PiRow(i)[j] != want {
+			t.Fatalf("key %d: π[%d] = %v, want %v", a, j, rows.PiRow(i)[j], want)
+		}
+	}
+}
+
+func TestDKVStoreReadWrite(t *testing.T) {
+	const n, k = 20, 3
+	twoRankStores(t, n, k, 0, func(s *DKVStore) {
+		// Mixed local and remote keys, with repeats.
+		ids := []int32{0, 15, 3, 19, 15}
+		var rows Rows
+		if err := s.ReadRows(ids, &rows); err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range ids {
+			checkInitRow(t, &rows, i, a, k)
+		}
+
+		// Write a remote and a local row, read them back.
+		phi := []float64{1, 2, 5, 3, 3, 2}
+		wids := []int32{18, 2}
+		if err := s.WriteRows(wids, phi); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ReadRows(wids, &rows); err != nil {
+			t.Fatal(err)
+		}
+		for i := range wids {
+			wantPi, wantSum := refWrite(phi[i*k : (i+1)*k])
+			if rows.PhiSum[i] != wantSum {
+				t.Fatalf("row %d: Σφ = %v, want %v", i, rows.PhiSum[i], wantSum)
+			}
+			for j, w := range wantPi {
+				if rows.PiRow(i)[j] != w {
+					t.Fatalf("row %d: π[%d] = %v, want %v", i, j, rows.PiRow(i)[j], w)
+				}
+			}
+		}
+	})
+}
+
+func TestDKVHotRowCache(t *testing.T) {
+	const n, k = 20, 3
+	twoRankStores(t, n, k, 8, func(s *DKVStore) {
+		remote := []int32{15, 16, 17} // owned by rank 1
+		var first, second Rows
+		if err := s.ReadRows(remote, &first); err != nil {
+			t.Fatal(err)
+		}
+		before := s.Stats().RemoteKeys.Load()
+		if err := s.ReadRows(remote, &second); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Stats().RemoteKeys.Load(); got != before {
+			t.Fatalf("second read fetched %d remote keys, want 0 (cache)", got-before)
+		}
+		cs := s.CacheStats()
+		if cs.Hits != int64(len(remote)) {
+			t.Fatalf("cache hits = %d, want %d", cs.Hits, len(remote))
+		}
+		for i, a := range remote {
+			checkInitRow(t, &second, i, a, k)
+			if math.Float64bits(first.PhiSum[i]) != math.Float64bits(second.PhiSum[i]) {
+				t.Fatalf("cached row %d not bit-identical", a)
+			}
+		}
+
+		// Writing a key must drop its cached copy.
+		if err := s.WriteRows([]int32{15}, []float64{1, 1, 2}); err != nil {
+			t.Fatal(err)
+		}
+		var rows Rows
+		if err := s.ReadRows([]int32{15}, &rows); err != nil {
+			t.Fatal(err)
+		}
+		wantPi, wantSum := refWrite([]float64{1, 1, 2})
+		if rows.PhiSum[0] != wantSum || rows.PiRow(0)[0] != wantPi[0] {
+			t.Fatalf("stale cached row after write: Σφ=%v π0=%v", rows.PhiSum[0], rows.PiRow(0)[0])
+		}
+
+		// Flush (the phase barrier) empties the cache entirely.
+		if err := s.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		before = s.Stats().RemoteKeys.Load()
+		if err := s.ReadRows(remote, &rows); err != nil {
+			t.Fatal(err)
+		}
+		if got := s.Stats().RemoteKeys.Load() - before; got != int64(len(remote)) {
+			t.Fatalf("post-Flush read fetched %d remote keys, want %d", got, len(remote))
+		}
+
+		// Local keys bypass the cache: reading an owned key twice never
+		// counts a hit beyond the remote ones already recorded.
+		hits := s.CacheStats().Hits
+		if err := s.ReadRows([]int32{1, 1}, &rows); err != nil {
+			t.Fatal(err)
+		}
+		if s.CacheStats().Hits != hits {
+			t.Fatal("owned key served from the hot-row cache")
+		}
+	})
+}
+
+func TestDKVCacheEviction(t *testing.T) {
+	const n, k = 20, 2
+	twoRankStores(t, n, k, 2, func(s *DKVStore) {
+		var rows Rows
+		// Three distinct remote rows through a 2-row cache.
+		for _, id := range []int32{15, 16, 17} {
+			if err := s.ReadRows([]int32{id}, &rows); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cs := s.CacheStats()
+		if cs.Evictions == 0 {
+			t.Fatalf("no evictions with cap 2 after 3 distinct rows: %+v", cs)
+		}
+		// Evicted row still reads correctly (it just refetches).
+		if err := s.ReadRows([]int32{15}, &rows); err != nil {
+			t.Fatal(err)
+		}
+		checkInitRow(t, &rows, 0, 15, k)
+	})
+}

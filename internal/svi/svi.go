@@ -23,6 +23,7 @@ package svi
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/core"
 	"repro/internal/graph"
@@ -97,7 +98,7 @@ type pairStats struct {
 // output slices must be length K.
 func pairResponsibilities(ea, eb, v []float64, out *pairStats) {
 	k := len(ea)
-	shiftA, shiftB := maxOf(ea), maxOf(eb)
+	shiftA, shiftB := slices.Max(ea), slices.Max(eb)
 	var sumA, sumB float64
 	for i := 0; i < k; i++ {
 		out.margA[i] = math.Exp(ea[i] - shiftA) // reuse as u_a
@@ -126,16 +127,6 @@ func pairResponsibilities(ea, eb, v []float64, out *pairStats) {
 		out.margA[i] = ua*(sumB-ub)*invZ + d
 		out.margB[i] = ub*(sumA-ua)*invZ + d
 	}
-}
-
-func maxOf(x []float64) float64 {
-	m := x[0]
-	for _, v := range x[1:] {
-		if v > m {
-			m = v
-		}
-	}
-	return m
 }
 
 // Sampler holds the variational state and runs the optimisation.

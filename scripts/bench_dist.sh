@@ -1,0 +1,38 @@
+#!/usr/bin/env sh
+# Snapshot BenchmarkDistIteration into BENCH_dist.json so the perf
+# trajectory of the distributed iteration loop is tracked in-repo.
+# Usage: scripts/bench_dist.sh [benchtime]   (default 20x)
+set -eu
+cd "$(dirname "$0")/.."
+BENCHTIME="${1:-20x}"
+
+out="$(go test ./internal/dist/ -run NONE -bench BenchmarkDistIteration \
+	-benchtime "$BENCHTIME" -count 1)"
+echo "$out"
+
+echo "$out" | awk -v benchtime="$BENCHTIME" '
+	/^BenchmarkDistIteration\// {
+		split($1, parts, "/")
+		sub(/-[0-9]+$/, "", parts[2])
+		name = parts[2]
+		ns[name] = $3
+		n[name] = $2
+	}
+	/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+	END {
+		printf "{\n"
+		printf "  \"benchmark\": \"BenchmarkDistIteration\",\n"
+		printf "  \"config\": {\"ranks\": 2, \"threads\": 2, \"iters_per_op\": 4},\n"
+		printf "  \"benchtime\": \"%s\",\n", benchtime
+		printf "  \"cpu\": \"%s\",\n", cpu
+		printf "  \"results\": {\n"
+		printf "    \"serial\":    {\"ns_per_op\": %s, \"runs\": %s},\n", ns["serial"], n["serial"]
+		printf "    \"pipelined\": {\"ns_per_op\": %s, \"runs\": %s}\n", ns["pipelined"], n["pipelined"]
+		printf "  },\n"
+		printf "  \"pipelined_speedup\": %.4f\n", ns["serial"] / ns["pipelined"]
+		printf "}\n"
+	}
+' > BENCH_dist.json
+
+echo "wrote BENCH_dist.json:"
+cat BENCH_dist.json
