@@ -5,28 +5,46 @@
 //	ocd-gen -preset com-dblp-sim -out g.txt -groundtruth
 //	ocd-train -graph g.txt -k 64 -iters 2000 -communities detected.txt
 //	ocd-analyze -graph g.txt -detected detected.txt -truth g.txt.gt
+//
+// It also digests the JSONL telemetry stream a run writes with -metrics-out:
+//
+//	ocd-analyze -events run.jsonl          # human-readable digest
+//	ocd-analyze -events run.jsonl -events-json  # machine-readable Summary
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/graph"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		path     = flag.String("graph", "", "input SNAP edge-list (required)")
-		detected = flag.String("detected", "", "detected communities file (one community per line)")
-		truth    = flag.String("truth", "", "ground-truth communities file")
-		ccSample = flag.Int("clustering-samples", 2000, "vertices sampled for the clustering coefficient")
+		path       = flag.String("graph", "", "input SNAP edge-list (required unless -events)")
+		detected   = flag.String("detected", "", "detected communities file (one community per line)")
+		truth      = flag.String("truth", "", "ground-truth communities file")
+		ccSample   = flag.Int("clustering-samples", 2000, "vertices sampled for the clustering coefficient")
+		events     = flag.String("events", "", "telemetry JSONL stream to digest (- = stdin)")
+		eventsJSON = flag.Bool("events-json", false, "emit the -events digest as one JSON Summary object")
 	)
 	flag.Parse()
+	if *events != "" {
+		if err := digestEvents(*events, *eventsJSON); err != nil {
+			fatal(err)
+		}
+		if *path == "" {
+			return
+		}
+	}
 	if *path == "" {
-		fatal(fmt.Errorf("-graph is required"))
+		fatal(fmt.Errorf("-graph is required (or -events)"))
 	}
 	g, _, err := graph.ReadSNAPFile(*path)
 	if err != nil {
@@ -74,6 +92,56 @@ func summarizeCover(name string, c *metrics.Cover, n int) {
 	}
 	fmt.Printf("\n%s: %d communities, %d memberships (%.2f per vertex), largest %d\n",
 		name, len(c.Members), total, float64(total)/float64(n), largest)
+}
+
+// digestEvents validates a JSONL telemetry stream and prints its Summary,
+// either as indented JSON (asJSON) or as a short human-readable digest.
+func digestEvents(path string, asJSON bool) error {
+	in := os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	evs, err := obs.ReadEvents(in)
+	if err != nil {
+		return err
+	}
+	sum, err := obs.Summarize(evs)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		buf, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(buf))
+		return nil
+	}
+	fmt.Printf("telemetry: %d events, %d ranks, %d iterations, %.2fs elapsed\n",
+		sum.Events, sum.Ranks, sum.Iterations, sum.ElapsedMS/1000)
+	if sum.FinalPerplexity > 0 {
+		fmt.Printf("final perplexity: %.4f\n", sum.FinalPerplexity)
+	}
+	stages := make([]string, 0, len(sum.StageMSPerIter))
+	for name := range sum.StageMSPerIter {
+		stages = append(stages, name)
+	}
+	sort.Strings(stages)
+	fmt.Printf("per-stage ms/iteration (max across ranks):\n")
+	for _, name := range stages {
+		fmt.Printf("  %-22s %10.3f\n", name, sum.StageMSPerIter[name])
+	}
+	if sum.DKV.Requests > 0 {
+		fmt.Printf("DKV traffic: %d local keys, %d remote keys, %d requests, %.1f MB read, %.1f MB written\n",
+			sum.DKV.LocalKeys, sum.DKV.RemoteKeys, sum.DKV.Requests,
+			float64(sum.DKV.BytesRead)/1e6, float64(sum.DKV.BytesWritten)/1e6)
+	}
+	return nil
 }
 
 func fatal(err error) {

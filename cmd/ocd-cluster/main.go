@@ -18,24 +18,28 @@ import (
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		path     = flag.String("graph", "", "input SNAP edge-list (required)")
-		ranks    = flag.Int("ranks", 4, "simulated cluster size")
-		threads  = flag.Int("threads", 2, "threads per rank")
-		k        = flag.Int("k", 32, "number of latent communities")
-		iters    = flag.Int("iters", 500, "training iterations")
-		evalEach = flag.Int("eval", 100, "perplexity evaluation interval (0 = never)")
-		pipeline = flag.Bool("pipeline", false, "enable double-buffered π loading and minibatch prefetch")
-		seed     = flag.Uint64("seed", 42, "random seed")
-		heldDiv  = flag.Int("heldout-div", 50, "held-out links = |E| / this")
-		mb       = flag.Int("minibatch", 256, "minibatch size in vertex pairs")
-		neigh    = flag.Int("neighbors", 32, "neighbor sample size |V_n|")
-		hotCache = flag.Int("hot-cache", 0, "per-rank hot-row cache size in π rows (0 = off; result is bit-identical either way)")
-		failRank = flag.Int("fail-rank", -1, "fault injection: rank to crash (-1 = none)")
-		failIter = flag.Int("fail-iter", 0, "fault injection: iteration at which -fail-rank crashes")
+		path      = flag.String("graph", "", "input SNAP edge-list (required)")
+		ranks     = flag.Int("ranks", 4, "simulated cluster size")
+		threads   = flag.Int("threads", 2, "threads per rank")
+		k         = flag.Int("k", 32, "number of latent communities")
+		iters     = flag.Int("iters", 500, "training iterations")
+		evalEach  = flag.Int("eval", 100, "perplexity evaluation interval (0 = never)")
+		pipeline  = flag.Bool("pipeline", false, "enable double-buffered π loading and minibatch prefetch")
+		seed      = flag.Uint64("seed", 42, "random seed")
+		heldDiv   = flag.Int("heldout-div", 50, "held-out links = |E| / this")
+		mb        = flag.Int("minibatch", 256, "minibatch size in vertex pairs")
+		neigh     = flag.Int("neighbors", 32, "neighbor sample size |V_n|")
+		hotCache  = flag.Int("hot-cache", 0, "per-rank hot-row cache size in π rows (0 = off; result is bit-identical either way)")
+		failRank  = flag.Int("fail-rank", -1, "fault injection: rank to crash (-1 = none)")
+		failIter  = flag.Int("fail-iter", 0, "fault injection: iteration at which -fail-rank crashes")
+		metrics   = flag.String("metrics-out", "", "write the JSONL telemetry event stream to this file (- = stdout)")
+		monitor   = flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. :6060 or 127.0.0.1:0)")
+		rankTable = flag.Bool("rank-table", false, "print the per-rank × per-stage time table after the run")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -68,9 +72,31 @@ func main() {
 			return nil
 		}
 	}
+	if *metrics != "" {
+		sink, err := openSink(*metrics)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Events = sink
+	}
+	if *monitor != "" {
+		mon := obs.NewMonitor(*monitor)
+		addr, err := mon.Start()
+		if err != nil {
+			fatal(err)
+		}
+		defer mon.Close()
+		fmt.Printf("monitor: http://%s/metrics\n", addr)
+		opts.Monitor = mon
+	}
 	res, err := dist.Run(cfg, train, held, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if opts.Events != nil {
+		if err := opts.Events.Close(); err != nil {
+			fatal(fmt.Errorf("flushing -metrics-out: %w", err))
+		}
 	}
 
 	fmt.Printf("\nperplexity trace:\n%10s %12s %14s\n", "iteration", "elapsed (s)", "perplexity")
@@ -79,6 +105,9 @@ func main() {
 	}
 
 	fmt.Printf("\nphase breakdown (max across %d ranks):\n%s", *ranks, res.Phases.Table(*iters))
+	if *rankTable {
+		fmt.Printf("\nper-rank breakdown:\n%s", dist.RankTable(res.RankPhases, *iters))
+	}
 	fmt.Printf("\nDKV traffic: %d local keys, %d remote keys (%.1f%% remote), %d requests, %.1f MB read, %.1f MB written\n",
 		res.DKV.LocalKeys, res.DKV.RemoteKeys, 100*res.RemoteFrac, res.DKV.Requests,
 		float64(res.DKV.BytesRead)/1e6, float64(res.DKV.BytesWritten)/1e6)
@@ -87,6 +116,20 @@ func main() {
 	}
 	fmt.Printf("total wall time: %.2fs for %d iterations (%.1f ms/iteration)\n",
 		res.Elapsed.Seconds(), *iters, res.Elapsed.Seconds()*1000/float64(*iters))
+}
+
+// openSink opens the -metrics-out destination: "-" streams to stdout (the
+// caller keeps ownership), anything else creates/truncates a file the sink
+// owns and closes.
+func openSink(path string) (*obs.Sink, error) {
+	if path == "-" {
+		return obs.NewSink(os.Stdout), nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewFileSink(f), nil
 }
 
 func fatal(err error) {

@@ -18,6 +18,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 		resume   = flag.String("resume", "", "resume training from this checkpoint")
 		avgTail  = flag.Int("posterior-samples", 0, "average this many chain samples (20 iterations apart) for the final estimate")
 		auc      = flag.Bool("auc", false, "also report held-out link-prediction AUC")
+		metricsO = flag.String("metrics-out", "", "write the JSONL telemetry event stream to this file (- = stdout)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -61,10 +63,23 @@ func main() {
 	} else {
 		cfg.Alpha = 1 / float64(*k)
 	}
-	s, err := core.NewSampler(cfg, train, held, core.SamplerOptions{
+	sopts := core.SamplerOptions{
 		MinibatchPairs: *mb, NeighborCount: *neigh, Threads: *threads,
 		UniformNeighbors: *uniform, Stratified: *strat,
-	})
+	}
+	// The local sampler has no parameter-store traffic, so the recorder runs
+	// without a registry: stage durations and perplexity only.
+	var rec *obs.RunRecorder
+	var sink *obs.Sink
+	if *metricsO != "" {
+		sink, err = openSink(*metricsO)
+		if err != nil {
+			fatal(err)
+		}
+		rec = obs.NewRunRecorder(sink, 0, nil)
+		sopts.Recorder = rec
+	}
+	s, err := core.NewSampler(cfg, train, held, sopts)
 	if err != nil {
 		fatal(err)
 	}
@@ -80,11 +95,20 @@ func main() {
 	}
 
 	start := time.Now()
+	if rec != nil {
+		rec.RunStart(1, *iters)
+	}
 	fmt.Printf("%10s %12s %14s\n", "iteration", "elapsed (s)", "perplexity")
 	for t := 0; t < *iters; t++ {
 		s.Step()
 		if *evalEach > 0 && (t+1)%*evalEach == 0 {
 			fmt.Printf("%10d %12.2f %14.4f\n", t+1, time.Since(start).Seconds(), s.EvalPerplexity())
+		}
+	}
+	if rec != nil {
+		rec.RunEnd(*iters)
+		if err := sink.Close(); err != nil {
+			fatal(fmt.Errorf("flushing -metrics-out: %w", err))
 		}
 	}
 	fmt.Printf("trained %d iterations in %.2fs\n", *iters, time.Since(start).Seconds())
@@ -122,6 +146,20 @@ func main() {
 		}
 		fmt.Printf("wrote %d detected communities to %s\n", len(cover.Members), *commOut)
 	}
+}
+
+// openSink opens the -metrics-out destination: "-" streams to stdout (the
+// caller keeps ownership), anything else creates/truncates a file the sink
+// owns and closes.
+func openSink(path string) (*obs.Sink, error) {
+	if path == "-" {
+		return obs.NewSink(os.Stdout), nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return obs.NewFileSink(f), nil
 }
 
 func fatal(err error) {

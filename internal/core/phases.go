@@ -3,10 +3,12 @@ package core
 import (
 	"math"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/sampling"
 	"repro/internal/store"
@@ -46,6 +48,11 @@ type PhiStage struct {
 	// Pipelined selects double buffering over the serial schedule.
 	Pipelined bool
 	Trace     *trace.Phases
+	// Rec, when non-nil, additionally receives the load_pi/compute
+	// sub-stage durations so per-iteration events carry the full Table III
+	// breakdown. With pipelining on, load and compute report concurrently —
+	// Recorder implementations are safe for that.
+	Rec obs.Recorder
 }
 
 // phiChunk is one chunk's staging buffers, reused across chunks per slot.
@@ -90,12 +97,23 @@ func (p *PhiStage) Run(t int, eps float64, nodes []int32, beta []float64, newPhi
 		return errVal != nil
 	}
 
+	// record times one sub-stage interval into Trace and, when attached,
+	// the live Recorder.
+	record := func(name string, start time.Time) {
+		d := time.Since(start)
+		if p.Trace != nil {
+			p.Trace.Add(name, d)
+		}
+		if p.Rec != nil {
+			p.Rec.StageDone(t, name, d)
+		}
+	}
+
 	load := func(c, slot int) {
 		if hasErr() {
 			return
 		}
-		stop := p.Trace.Timer(engine.PhaseLoadPi)
-		defer stop()
+		defer record(engine.PhaseLoadPi, time.Now())
 		b := &bufs[slot]
 		b.lo = c * chunkN
 		b.hi = min(b.lo+chunkN, len(nodes))
@@ -130,8 +148,7 @@ func (p *PhiStage) Run(t int, eps float64, nodes []int32, beta []float64, newPhi
 		if hasErr() {
 			return
 		}
-		stop := p.Trace.Timer(engine.PhaseComputePhi)
-		defer stop()
+		defer record(engine.PhaseComputePhi, time.Now())
 		b := &bufs[slot]
 		par.For(b.hi-b.lo, p.Threads, func(wLo, wHi int) {
 			sc := NewPhiScratch(k)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/sampling"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -41,6 +42,11 @@ type Sampler struct {
 	// stage names the distributed engine reports.
 	Phases *trace.Phases
 
+	// rec is the optional live telemetry recorder (SamplerOptions.Recorder):
+	// per-stage durations and one event per iteration, same schema as the
+	// distributed engine's rank events.
+	rec obs.Recorder
+
 	t     int
 	batch sampling.Batch
 	loop  *engine.Loop
@@ -73,6 +79,10 @@ type SamplerOptions struct {
 	UniformNeighbors bool
 	// Threads is the shared-memory worker count; 0 uses GOMAXPROCS.
 	Threads int
+	// Recorder, when non-nil, receives the live telemetry stream (per-stage
+	// durations, one event per iteration, perplexity points) — see
+	// internal/obs. Nil keeps the iteration loop telemetry-free.
+	Recorder obs.Recorder
 }
 
 // NewSampler wires a sampler for a training graph and held-out set. held may
@@ -136,6 +146,7 @@ func NewSampler(cfg Config, g *graph.Graph, held *graph.HeldOut, opt SamplerOpti
 		Neighbors: neigh,
 		Threads:   opt.Threads,
 		Phases:    trace.NewPhases(),
+		rec:       opt.Recorder,
 	}
 	if held != nil {
 		s.eval = NewHeldOutEval(held, cfg.Delta, 0, held.Len())
@@ -158,7 +169,8 @@ func (s *Sampler) pistore() *store.LocalStore {
 // stages, and the in-memory store makes every load local.
 func (s *Sampler) buildLoop() *engine.Loop {
 	return &engine.Loop{
-		Trace: s.Phases,
+		Trace:    s.Phases,
+		Recorder: s.rec,
 		Stages: []engine.Stage{
 			{
 				Name:   engine.PhaseDrawMinibatch,
@@ -186,6 +198,7 @@ func (s *Sampler) buildLoop() *engine.Loop {
 						Neigh:   s.Neighbors,
 						Threads: s.Threads,
 						Trace:   s.Phases,
+						Rec:     s.rec,
 					}
 					return phi.Run(t, s.Cfg.StepSize(t), s.batch.Nodes, s.State.Beta, s.newPhi)
 				},
@@ -258,7 +271,11 @@ func (s *Sampler) EvalPerplexity() float64 {
 	for _, v := range partials {
 		logSum += v
 	}
-	return PerplexityFromLogSum(logSum, s.Held.Len())
+	perp := PerplexityFromLogSum(logSum, s.Held.Len())
+	if s.rec != nil {
+		s.rec.EvalDone(s.t, perp)
+	}
+	return perp
 }
 
 // LastBatch exposes the most recent minibatch; used by diagnostics and the

@@ -9,6 +9,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/mathx"
+	"repro/internal/obs"
 	"repro/internal/sampling"
 	"repro/internal/store"
 	"repro/internal/trace"
@@ -43,6 +44,8 @@ type node struct {
 	theta  []float64
 	beta   []float64
 	phases *trace.Phases
+	reg    *obs.Registry    // this rank's telemetry registry
+	rec    *obs.RunRecorder // nil unless Options.Events/Monitor ask for telemetry
 	phi    *core.PhiStage
 	eval   *core.HeldOutEval // held-out shard, PerplexityChunk-aligned
 	loop   *engine.Loop
@@ -56,7 +59,7 @@ type node struct {
 	finalState *core.State // master only, set at the end
 }
 
-func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, held *graph.HeldOut) (*node, error) {
+func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, held *graph.HeldOut, reg *obs.Registry) (*node, error) {
 	nd := &node{
 		cfg:    cfg,
 		opt:    opt,
@@ -67,10 +70,19 @@ func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, h
 		k:      cfg.K,
 		held:   held,
 		phases: trace.NewPhases(),
+		reg:    reg,
 		theta:  core.InitTheta(cfg),
 		beta:   make([]float64, cfg.K),
 	}
 	nd.refreshBeta()
+	// A recorder exists only when someone consumes its output: an event sink,
+	// or the monitor (which needs the run.* gauges refreshed on rank 0).
+	if opt.Events != nil || (opt.Monitor != nil && nd.rank == 0) {
+		nd.rec = obs.NewRunRecorder(opt.Events, nd.rank, reg)
+	}
+	if opt.Monitor != nil && nd.rank == 0 {
+		opt.Monitor.Attach(reg)
+	}
 
 	var heldSet *graph.EdgeSet
 	var heldTouch []int32
@@ -110,16 +122,23 @@ func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, h
 		}
 		// The master-side pipeline of Section III-D: iteration t+1's
 		// minibatch is drawn while iteration t computes.
+		// The draw for iteration t+1 overlaps iteration t's compute, so it
+		// reports its duration keyed by its own iteration — the recorder
+		// attributes it to the right iter event either way.
 		nd.prefetch = engine.NewPrefetcher(func(t int) *sampling.Batch {
-			stop := nd.phases.Timer(PhaseDrawMinibatch)
-			defer stop()
+			start := time.Now()
 			batch := &sampling.Batch{}
 			core.DrawMinibatch(&nd.cfg, nd.edges, t, batch)
+			d := time.Since(start)
+			nd.phases.Add(PhaseDrawMinibatch, d)
+			if nd.rec != nil {
+				nd.rec.StageDone(t, PhaseDrawMinibatch, d)
+			}
 			return batch
 		})
 	}
 
-	nd.store, err = store.NewDKV(comm.Conn(), nd.n, cfg.K, opt.Threads, opt.HotRowCache)
+	nd.store, err = store.NewDKV(comm.Conn(), nd.n, cfg.K, opt.Threads, opt.HotRowCache, reg)
 	if err != nil {
 		return nil, err
 	}
@@ -131,6 +150,9 @@ func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, h
 		ChunkNodes: opt.PhiChunkNodes,
 		Pipelined:  opt.Pipeline,
 		Trace:      nd.phases,
+	}
+	if nd.rec != nil { // assign through the guard: a typed-nil Recorder would defeat the nil checks
+		nd.phi.Rec = nd.rec
 	}
 	nd.loop = nd.buildLoop()
 	if err := nd.loop.Validate([]string{"graph", "pi", "theta", "beta"}); err != nil {
@@ -181,6 +203,9 @@ func (nd *node) buildLoop() *engine.Loop {
 			},
 		},
 	}
+	if nd.rec != nil { // assign through the guard: a typed-nil Recorder would defeat the nil checks
+		loop.Recorder = nd.rec
+	}
 	if hook := nd.opt.FaultHook; hook != nil {
 		loop.FaultHook = func(t int) error { return hook(nd.rank, t) }
 	}
@@ -213,6 +238,9 @@ func (nd *node) run() (err error) {
 		return err
 	}
 
+	if nd.rec != nil && nd.rank == 0 {
+		nd.rec.RunStart(nd.size, nd.opt.Iterations)
+	}
 	totalTimer := nd.phases.Timer(PhaseTotal)
 	for t := 0; t < nd.opt.Iterations; t++ {
 		if err := nd.loop.RunIteration(t); err != nil {
@@ -224,9 +252,17 @@ func (nd *node) run() (err error) {
 				return fmt.Errorf("perplexity at %d: %w", t, err)
 			}
 			nd.perp = append(nd.perp, PerpPoint{Iter: t + 1, Value: v, Elapsed: time.Since(nd.start)})
+			// The value is identical on every rank (master reduces and
+			// broadcasts); emit the perplexity event once, from rank 0.
+			if nd.rec != nil && nd.rank == 0 {
+				nd.rec.EvalDone(t+1, v)
+			}
 		}
 	}
 	totalTimer()
+	if nd.rec != nil && nd.rank == 0 {
+		nd.rec.RunEnd(nd.opt.Iterations)
+	}
 
 	// Assemble the full state at the master while all stores still serve.
 	if nd.rank == 0 {

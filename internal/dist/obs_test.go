@@ -1,0 +1,196 @@
+package dist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// TestRunEmitsTelemetry is the acceptance test for the live telemetry layer:
+// a 2-rank run with an event sink attached must emit valid JSONL carrying
+// one iter event per iteration per rank (with per-stage durations and DKV
+// counter deltas) plus a perplexity event for every eval point, and the
+// folded Result.Metrics must agree with the legacy DKV totals.
+func TestRunEmitsTelemetry(t *testing.T) {
+	train, held := fixture(t, 200, 4, 900, 77)
+	const iters, ranks, evalEvery = 6, 2, 3
+	cfg := core.DefaultConfig(4, 99)
+
+	var buf bytes.Buffer
+	sink := obs.NewSink(&buf)
+	res, err := Run(cfg, train, held, Options{
+		Ranks: ranks, Threads: 2, Iterations: iters, EvalEvery: evalEvery,
+		Pipeline: true, HotRowCache: 64,
+		Events: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatalf("stream is not valid JSONL: %v", err)
+	}
+
+	// Per-rank iteration events: exactly one per iteration, consecutive from
+	// 0, each with stage durations; worker iter events carry DKV deltas.
+	iterSeen := make(map[int][]int)
+	var perps []obs.Event
+	var starts, ends int
+	for _, e := range events {
+		switch e.Type {
+		case obs.EventRunStart:
+			starts++
+			if e.Rank != 0 || e.Ranks != ranks || e.Iterations != iters {
+				t.Fatalf("bad run_start: %+v", e)
+			}
+		case obs.EventRunEnd:
+			ends++
+		case obs.EventIter:
+			iterSeen[e.Rank] = append(iterSeen[e.Rank], e.Iter)
+			if len(e.StagesMS) == 0 {
+				t.Fatalf("rank %d iter %d event has no stage durations", e.Rank, e.Iter)
+			}
+			for _, stage := range []string{PhaseDeployMinibatch, PhaseUpdatePhi, PhaseUpdatePi, PhaseUpdateBetaTheta} {
+				if _, ok := e.StagesMS[stage]; !ok {
+					t.Fatalf("rank %d iter %d event missing stage %q: %v", e.Rank, e.Iter, stage, e.StagesMS)
+				}
+			}
+			if e.DKV == nil {
+				t.Fatalf("rank %d iter %d event has no DKV counters", e.Rank, e.Iter)
+			}
+		case obs.EventPerplexity:
+			perps = append(perps, e)
+		}
+	}
+	if starts != 1 || ends != 1 {
+		t.Fatalf("got %d run_start, %d run_end events; want 1 each", starts, ends)
+	}
+	if len(iterSeen) != ranks {
+		t.Fatalf("iter events from %d ranks; want %d", len(iterSeen), ranks)
+	}
+	for rank, seq := range iterSeen {
+		if len(seq) != iters {
+			t.Fatalf("rank %d emitted %d iter events; want %d", rank, len(seq), iters)
+		}
+		for i, got := range seq {
+			if got != i {
+				t.Fatalf("rank %d iter events out of order: position %d has iter %d", rank, i, got)
+			}
+		}
+	}
+
+	// Perplexity events: one per eval point, matching Result.Perplexity.
+	if len(perps) != len(res.Perplexity) {
+		t.Fatalf("%d perplexity events; want %d", len(perps), len(res.Perplexity))
+	}
+	for i, e := range perps {
+		p := res.Perplexity[i]
+		if e.Iter != p.Iter || e.Perplexity != p.Value {
+			t.Fatalf("perplexity event %d = (iter %d, %v); Result has (iter %d, %v)",
+				i, e.Iter, e.Perplexity, p.Iter, p.Value)
+		}
+	}
+
+	// The master's prefetched draw must be attributed to the right iteration
+	// even with pipelining on: every rank-0 iter event carries the stage.
+	for _, e := range events {
+		if e.Type == obs.EventIter && e.Rank == 0 {
+			if _, ok := e.StagesMS[PhaseDrawMinibatch]; !ok {
+				t.Fatalf("rank 0 iter %d missing %s: %v", e.Iter, PhaseDrawMinibatch, e.StagesMS)
+			}
+		}
+	}
+
+	// The folded registry snapshot must agree with the legacy DKV totals and
+	// carry the per-stage latency histograms.
+	c := res.Metrics.Counters
+	if c[obs.CtrDKVRequests] != res.DKV.Requests || c[obs.CtrDKVRemoteKeys] != res.DKV.RemoteKeys {
+		t.Fatalf("Metrics counters %v disagree with DKV totals %+v", c, res.DKV)
+	}
+	if res.DKV.Requests == 0 || res.DKV.RemoteKeys == 0 {
+		t.Fatalf("expected nonzero DKV traffic, got %+v", res.DKV)
+	}
+	if c[obs.CtrNetMsgsSent] == 0 || c[obs.CtrNetBytesSent] == 0 {
+		t.Fatalf("expected nonzero transport counters, got %v", c)
+	}
+	h, ok := res.Metrics.Histograms["stage."+PhaseUpdatePhi]
+	if !ok {
+		t.Fatalf("no stage.%s histogram in Metrics: %v", PhaseUpdatePhi, res.Metrics.Histograms)
+	}
+	if h.Count != int64(iters*ranks) {
+		t.Fatalf("stage.%s histogram count = %d; want %d", PhaseUpdatePhi, h.Count, iters*ranks)
+	}
+
+	// Summarize must accept the stream whole.
+	sum, err := obs.Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Ranks != ranks || sum.Iterations != iters {
+		t.Fatalf("summary topology = (%d ranks, %d iters); want (%d, %d)",
+			sum.Ranks, sum.Iterations, ranks, iters)
+	}
+	if sum.FinalPerplexity != res.Perplexity[len(res.Perplexity)-1].Value {
+		t.Fatalf("summary final perplexity %v != result %v",
+			sum.FinalPerplexity, res.Perplexity[len(res.Perplexity)-1].Value)
+	}
+}
+
+// TestRunTelemetryOff pins the zero-cost default: no sink, no monitor — the
+// run must carry no recorder state and still fill Metrics from the always-on
+// counters.
+func TestRunTelemetryOff(t *testing.T) {
+	train, _ := fixture(t, 120, 3, 500, 31)
+	res, err := Run(core.DefaultConfig(3, 7), train, nil, Options{
+		Ranks: 2, Threads: 1, Iterations: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DKV.Requests == 0 {
+		t.Fatal("DKV totals empty without a recorder; counters must be always-on")
+	}
+	if len(res.Metrics.Histograms) != 0 {
+		t.Fatalf("stage histograms recorded without a recorder: %v", res.Metrics.Histograms)
+	}
+}
+
+// TestRankTable renders the per-rank × per-stage breakdown from a real run.
+func TestRankTable(t *testing.T) {
+	train, _ := fixture(t, 120, 3, 500, 31)
+	const iters = 4
+	res, err := Run(core.DefaultConfig(3, 7), train, nil, Options{
+		Ranks: 2, Threads: 1, Iterations: iters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := RankTable(res.RankPhases, iters)
+	if !strings.Contains(table, "rank0") || !strings.Contains(table, "rank1") {
+		t.Fatalf("table missing rank columns:\n%s", table)
+	}
+	for _, stage := range []string{PhaseDeployMinibatch, PhaseUpdatePhi, PhaseUpdatePi, PhaseTotal} {
+		if !strings.Contains(table, stage) {
+			t.Fatalf("table missing stage %q:\n%s", stage, table)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(table, "\n"), "\n")
+	for _, ln := range lines[1:] {
+		if len(ln) == 0 {
+			t.Fatalf("empty row in table:\n%s", table)
+		}
+	}
+	// draw_minibatch happens only at the master; rank 1's column shows "-".
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, PhaseDrawMinibatch) && !strings.Contains(ln, "-") {
+			t.Fatalf("worker rank should have no %s time:\n%s", PhaseDrawMinibatch, table)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -63,6 +64,17 @@ type Options struct {
 	EvalEvery  int
 	Iterations int
 
+	// Events, when non-nil, receives the live telemetry stream: one iter
+	// event per iteration per rank with per-stage durations and DKV counter
+	// deltas, plus run_start/perplexity/run_end events from rank 0. The sink
+	// is shared by all ranks (it serialises internally). Nil keeps the hot
+	// path telemetry-free.
+	Events *obs.Sink
+	// Monitor, when non-nil, is attached to rank 0's metric registry so the
+	// HTTP endpoint serves live counters, gauges, and stage histograms during
+	// the run.
+	Monitor *obs.Monitor
+
 	// FaultHook, when non-nil, is called by every rank at the top of each
 	// iteration; a non-nil return makes that rank fail exactly as if the
 	// iteration itself had errored, triggering the fabric-wide abort. It
@@ -116,6 +128,9 @@ type Result struct {
 	Phases     *trace.Phases // per-phase totals, max across ranks
 	RankPhases []map[string]time.Duration
 	DKV        DKVTotals
+	// Metrics is every rank's telemetry registry folded into one snapshot:
+	// counters summed, gauges maxed, stage latency histograms merged.
+	Metrics    obs.Snapshot
 	Iterations int
 	Elapsed    time.Duration
 	RemoteFrac float64 // fraction of DKV keys served remotely
@@ -163,7 +178,11 @@ func RunOnTransport(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Op
 
 	nodes := make([]*node, opt.Ranks)
 	for r := 0; r < opt.Ranks; r++ {
-		nd, err := newNode(cfg, opt, cluster.New(conns[r]), g, held)
+		// One telemetry registry per rank: the instrumented transport, the
+		// DKV store, and the rank's recorder all write into it, and
+		// assembleResult folds the per-rank snapshots.
+		reg := obs.NewRegistry()
+		nd, err := newNode(cfg, opt, cluster.New(transport.Instrument(conns[r], reg)), g, held, reg)
 		if err != nil {
 			return nil, err
 		}
@@ -216,16 +235,18 @@ func assembleResult(nodes []*node) *Result {
 		Elapsed:    master.phases.Total(PhaseTotal),
 	}
 	for _, nd := range nodes {
-		snap := nd.phases.Snapshot()
-		res.RankPhases = append(res.RankPhases, snap)
-		res.Phases.Merge(snap)
-		s := nd.store.Stats()
-		res.DKV.LocalKeys += s.LocalKeys.Load()
-		res.DKV.RemoteKeys += s.RemoteKeys.Load()
-		res.DKV.Requests += s.Requests.Load()
-		res.DKV.BytesRead += s.BytesRead.Load()
-		res.DKV.BytesWritten += s.BytesWritten.Load()
-		res.DKV.CacheHits += nd.store.CacheStats().Hits
+		res.RankPhases = append(res.RankPhases, nd.phases.Snapshot())
+		res.Phases.MergeAll(nd.phases.Stats())
+		res.Metrics.Fold(nd.reg.Snapshot())
+	}
+	c := res.Metrics.Counters
+	res.DKV = DKVTotals{
+		LocalKeys:    c[obs.CtrDKVLocalKeys],
+		RemoteKeys:   c[obs.CtrDKVRemoteKeys],
+		Requests:     c[obs.CtrDKVRequests],
+		BytesRead:    c[obs.CtrDKVBytesRead],
+		BytesWritten: c[obs.CtrDKVBytesWritten],
+		CacheHits:    c[obs.CtrCacheHits],
 	}
 	if totalKeys := res.DKV.LocalKeys + res.DKV.RemoteKeys; totalKeys > 0 {
 		res.RemoteFrac = float64(res.DKV.RemoteKeys) / float64(totalKeys)

@@ -39,9 +39,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/cluster"
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -89,13 +89,27 @@ func (e *KeyRangeError) Error() string {
 	return fmt.Sprintf("dkv: rank %d rejected key %d outside its owned shard", e.Rank, e.Key)
 }
 
-// Stats counts the traffic a rank generated as a DKV client.
+// Stats is the traffic a rank generated as a DKV client. The fields are
+// handles into the store's telemetry registry (the canonical dkv.* counter
+// names of internal/obs), so the same values the engine's event stream and
+// monitor endpoint export are readable here without any extra plumbing.
 type Stats struct {
-	LocalKeys    atomic.Int64 // keys served from the local shard
-	RemoteKeys   atomic.Int64 // keys fetched from or written to peers
-	Requests     atomic.Int64 // network round trips issued
-	BytesRead    atomic.Int64 // value bytes received from peers
-	BytesWritten atomic.Int64 // value bytes sent to peers
+	LocalKeys    *obs.Counter // keys served from the local shard
+	RemoteKeys   *obs.Counter // keys fetched from or written to peers
+	Requests     *obs.Counter // network round trips issued
+	BytesRead    *obs.Counter // value bytes received from peers
+	BytesWritten *obs.Counter // value bytes sent to peers
+}
+
+// newStats registers the client traffic counters in a registry.
+func newStats(reg *obs.Registry) *Stats {
+	return &Stats{
+		LocalKeys:    reg.Counter(obs.CtrDKVLocalKeys),
+		RemoteKeys:   reg.Counter(obs.CtrDKVRemoteKeys),
+		Requests:     reg.Counter(obs.CtrDKVRequests),
+		BytesRead:    reg.Counter(obs.CtrDKVBytesRead),
+		BytesWritten: reg.Counter(obs.CtrDKVBytesWritten),
+	}
 }
 
 // Store is one rank's view of the distributed store: its local shard plus a
@@ -114,19 +128,31 @@ type Store struct {
 	seq   []uint32
 	lost  map[uint64]struct{}
 
-	stats   Stats
+	stats   *Stats
 	serveWG sync.WaitGroup
 }
 
 // New creates the store and starts this rank's server goroutine. All ranks
 // must call New with identical n and valBytes. The initial shard content is
-// zero; populate it with WriteLocal before the first Barrier.
+// zero; populate it with WriteLocal before the first Barrier. Traffic
+// counters land in a private registry; use NewWithRegistry to share the
+// run's registry.
 func New(conn transport.Conn, n, valBytes int) (*Store, error) {
+	return NewWithRegistry(conn, n, valBytes, nil)
+}
+
+// NewWithRegistry is New with the client traffic counters registered in reg
+// (nil falls back to a private registry), so the engine's telemetry layer
+// sees DKV traffic without any result-struct plumbing.
+func NewWithRegistry(conn transport.Conn, n, valBytes int, reg *obs.Registry) (*Store, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("dkv: n = %d, need at least 1", n)
 	}
 	if valBytes < 1 {
 		return nil, fmt.Errorf("dkv: value size %d, need at least 1", valBytes)
+	}
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
 	size := conn.Size()
 	per := (n + size - 1) / size
@@ -148,6 +174,7 @@ func New(conn transport.Conn, n, valBytes int) (*Store, error) {
 		shard:    make([]byte, (hi-lo)*valBytes),
 		seq:      make([]uint32, size),
 		lost:     make(map[uint64]struct{}),
+		stats:    newStats(reg),
 	}
 	s.serveWG.Add(1)
 	go s.serve()
@@ -164,7 +191,7 @@ func (s *Store) OwnedRange() (lo, hi int) { return s.lo, s.hi }
 func (s *Store) ValueBytes() int { return s.valBytes }
 
 // Stats exposes the client-side traffic counters.
-func (s *Store) Stats() *Stats { return &s.stats }
+func (s *Store) Stats() *Stats { return s.stats }
 
 // localValue returns the storage slice for an owned key.
 func (s *Store) localValue(k int) []byte {

@@ -12,7 +12,9 @@ package engine
 
 import (
 	"fmt"
+	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -49,13 +51,20 @@ type Stage struct {
 type Loop struct {
 	Stages []Stage
 	Trace  *trace.Phases
+	// Recorder, when non-nil, receives every named stage's duration as it
+	// completes and an IterDone at the end of each iteration — the live
+	// telemetry feed (JSONL events, monitor gauges). Nil by default: the
+	// hot path pays one nil-check per stage.
+	Recorder obs.Recorder
 	// FaultHook, when non-nil, runs at the top of every iteration; a non-nil
 	// return fails the iteration exactly as if a stage had errored.
 	FaultHook func(t int) error
 }
 
 // RunIteration executes iteration t: the fault hook, then every stage in
-// order, stopping at the first error.
+// order, stopping at the first error. Named stages are timed once and the
+// measurement fans out to both Trace (cumulative totals) and Recorder
+// (per-iteration events).
 func (l *Loop) RunIteration(t int) error {
 	if l.FaultHook != nil {
 		if err := l.FaultHook(t); err != nil {
@@ -64,17 +73,27 @@ func (l *Loop) RunIteration(t int) error {
 	}
 	for i := range l.Stages {
 		st := &l.Stages[i]
-		var stop func()
-		if st.Name != "" && l.Trace != nil {
-			stop = l.Trace.Timer(st.Name)
+		timed := st.Name != "" && (l.Trace != nil || l.Recorder != nil)
+		var start time.Time
+		if timed {
+			start = time.Now()
 		}
 		err := st.Run(t)
-		if stop != nil {
-			stop()
+		if timed {
+			d := time.Since(start)
+			if l.Trace != nil {
+				l.Trace.Add(st.Name, d)
+			}
+			if l.Recorder != nil {
+				l.Recorder.StageDone(t, st.Name, d)
+			}
 		}
 		if err != nil {
 			return err
 		}
+	}
+	if l.Recorder != nil {
+		l.Recorder.IterDone(t)
 	}
 	return nil
 }

@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event types of the JSONL stream.
+const (
+	EventRunStart   = "run_start"  // once, from rank 0, before iteration 0
+	EventIter       = "iter"       // one per iteration per rank
+	EventPerplexity = "perplexity" // one per evaluation point, from rank 0
+	EventRunEnd     = "run_end"    // once, from rank 0, after the last iteration
+)
+
+// Canonical counter names. Subsystems register these into the run's
+// Registry; the recorder folds the dkv.* and store.* groups into each iter
+// event's DKV block as per-iteration deltas.
+const (
+	CtrDKVLocalKeys    = "dkv.local_keys"
+	CtrDKVRemoteKeys   = "dkv.remote_keys"
+	CtrDKVRequests     = "dkv.requests"
+	CtrDKVBytesRead    = "dkv.bytes_read"
+	CtrDKVBytesWritten = "dkv.bytes_written"
+
+	CtrCacheHits      = "store.cache_hits"
+	CtrCacheMisses    = "store.cache_misses"
+	CtrCacheEvictions = "store.cache_evictions"
+
+	CtrNetMsgsSent  = "transport.msgs_sent"
+	CtrNetBytesSent = "transport.bytes_sent"
+	CtrNetMsgsRecv  = "transport.msgs_recv"
+	CtrNetBytesRecv = "transport.bytes_recv"
+)
+
+// Canonical gauge names the recorder maintains for the live monitor.
+const (
+	GaugeIteration  = "run.iteration"
+	GaugePerplexity = "run.perplexity"
+	GaugeElapsedMS  = "run.elapsed_ms"
+)
+
+// DKVCounters is the parameter-store traffic block of an event: counter
+// deltas for that iteration on iter events, cumulative totals on run_end.
+type DKVCounters struct {
+	LocalKeys    int64 `json:"local_keys"`
+	RemoteKeys   int64 `json:"remote_keys"`
+	Requests     int64 `json:"requests"`
+	BytesRead    int64 `json:"bytes_read"`
+	BytesWritten int64 `json:"bytes_written"`
+	CacheHits    int64 `json:"cache_hits,omitempty"`
+	CacheMisses  int64 `json:"cache_misses,omitempty"`
+}
+
+// dkvFromCounters assembles a DKVCounters block from counter values (a
+// registry snapshot or a delta map).
+func dkvFromCounters(c map[string]int64) DKVCounters {
+	return DKVCounters{
+		LocalKeys:    c[CtrDKVLocalKeys],
+		RemoteKeys:   c[CtrDKVRemoteKeys],
+		Requests:     c[CtrDKVRequests],
+		BytesRead:    c[CtrDKVBytesRead],
+		BytesWritten: c[CtrDKVBytesWritten],
+		CacheHits:    c[CtrCacheHits],
+		CacheMisses:  c[CtrCacheMisses],
+	}
+}
+
+// IsZero reports whether every field is zero (the block is omitted then).
+func (d DKVCounters) IsZero() bool { return d == DKVCounters{} }
+
+// Event is one JSONL record of the telemetry stream. Which fields are set
+// depends on Type:
+//
+//   - run_start: Rank, Ranks, Iterations
+//   - iter:       Rank, Iter (0-based), StagesMS, DKV (deltas), ElapsedMS
+//   - perplexity: Rank, Iter (1-based eval point), Perplexity, ElapsedMS
+//   - run_end:    Rank, Iter (= iterations run), DKV (cumulative), ElapsedMS
+type Event struct {
+	Type       string             `json:"type"`
+	Rank       int                `json:"rank"`
+	Iter       int                `json:"iter,omitempty"`
+	Ranks      int                `json:"ranks,omitempty"`
+	Iterations int                `json:"iterations,omitempty"`
+	StagesMS   map[string]float64 `json:"stages_ms,omitempty"`
+	DKV        *DKVCounters       `json:"dkv,omitempty"`
+	Perplexity float64            `json:"perplexity,omitempty"`
+	ElapsedMS  float64            `json:"elapsed_ms,omitempty"`
+}
+
+// Validate checks the schema invariants a well-formed stream satisfies.
+func (e *Event) Validate() error {
+	switch e.Type {
+	case EventRunStart, EventIter, EventPerplexity, EventRunEnd:
+	default:
+		return fmt.Errorf("obs: unknown event type %q", e.Type)
+	}
+	if e.Rank < 0 {
+		return fmt.Errorf("obs: %s event with negative rank %d", e.Type, e.Rank)
+	}
+	if e.Iter < 0 {
+		return fmt.Errorf("obs: %s event with negative iter %d", e.Type, e.Iter)
+	}
+	for name, ms := range e.StagesMS {
+		if name == "" {
+			return fmt.Errorf("obs: %s event with unnamed stage", e.Type)
+		}
+		if ms < 0 {
+			return fmt.Errorf("obs: %s event: stage %q has negative duration %f", e.Type, name, ms)
+		}
+	}
+	if e.Type == EventPerplexity && e.Perplexity <= 0 {
+		return fmt.Errorf("obs: perplexity event at iter %d with non-positive value %f", e.Iter, e.Perplexity)
+	}
+	if e.ElapsedMS < 0 {
+		return fmt.Errorf("obs: %s event with negative elapsed %f", e.Type, e.ElapsedMS)
+	}
+	return nil
+}
+
+// Sink serialises events as JSON lines onto a writer. Emit is safe for
+// concurrent use — in a distributed run every rank's recorder shares one
+// sink — and each event is exactly one '\n'-terminated line.
+type Sink struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  io.Closer // set by NewFileSink; nil otherwise
+}
+
+// NewSink wraps a writer. The caller keeps ownership of w; Close only
+// flushes buffered lines.
+func NewSink(w io.Writer) *Sink {
+	return &Sink{w: bufio.NewWriter(w)}
+}
+
+// NewFileSink wraps a writer the sink owns: Close flushes and closes it.
+func NewFileSink(w io.WriteCloser) *Sink {
+	return &Sink{w: bufio.NewWriter(w), c: w}
+}
+
+// Emit writes one event as a single JSON line.
+func (s *Sink) Emit(e *Event) error {
+	buf, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.w.Write(buf); err != nil {
+		return err
+	}
+	return s.w.WriteByte('\n')
+}
+
+// Close flushes buffered lines and closes the underlying writer when the
+// sink owns it (NewFileSink).
+func (s *Sink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	err := s.w.Flush()
+	if s.c != nil {
+		if cerr := s.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// ReadEvents decodes a JSONL stream, validating every event. Blank lines
+// are skipped; the first malformed or invalid line fails the read with its
+// line number.
+func ReadEvents(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var events []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		if err := e.Validate(); err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return events, nil
+}

@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// goldenEvents is a miniature but complete stream: run_start, two ranks'
+// iter events with stage durations and DKV deltas, a perplexity point, and
+// run_end. Durations are fixed so the encoding is deterministic.
+func goldenEvents() []Event {
+	return []Event{
+		{Type: EventRunStart, Rank: 0, Ranks: 2, Iterations: 2},
+		{
+			Type: EventIter, Rank: 0, Iter: 0,
+			StagesMS:  map[string]float64{"update_phi": 1.5, "update_phi.load_pi": 0.5, "update_pi": 0.25},
+			DKV:       &DKVCounters{LocalKeys: 10, RemoteKeys: 30, Requests: 4, BytesRead: 1024, BytesWritten: 512},
+			ElapsedMS: 2,
+		},
+		{
+			Type: EventIter, Rank: 1, Iter: 0,
+			StagesMS:  map[string]float64{"update_phi": 1.25, "update_pi": 0.5},
+			DKV:       &DKVCounters{LocalKeys: 12, RemoteKeys: 28, Requests: 4, BytesRead: 960, BytesWritten: 480, CacheHits: 3, CacheMisses: 25},
+			ElapsedMS: 2.5,
+		},
+		{Type: EventIter, Rank: 0, Iter: 1, StagesMS: map[string]float64{"update_phi": 1.5, "update_pi": 0.25}, ElapsedMS: 4},
+		{Type: EventIter, Rank: 1, Iter: 1, StagesMS: map[string]float64{"update_phi": 1.25, "update_pi": 0.5}, ElapsedMS: 4.5},
+		{Type: EventPerplexity, Rank: 0, Iter: 2, Perplexity: 42.5, ElapsedMS: 5},
+		{Type: EventRunEnd, Rank: 0, Iter: 2, DKV: &DKVCounters{LocalKeys: 22, RemoteKeys: 58, Requests: 8, BytesRead: 1984, BytesWritten: 992, CacheHits: 3, CacheMisses: 25}, ElapsedMS: 5.5},
+	}
+}
+
+// TestEventGoldenRoundTrip pins the JSONL schema: encoding the canonical
+// stream must reproduce testdata/events.golden.jsonl byte for byte, and
+// decoding the golden file must reproduce the original events. Regenerate
+// with UPDATE_GOLDEN=1 go test ./internal/obs/ when the schema changes
+// deliberately (and update DESIGN.md §9 alongside).
+func TestEventGoldenRoundTrip(t *testing.T) {
+	events := goldenEvents()
+	var buf bytes.Buffer
+	sink := NewSink(&buf)
+	for i := range events {
+		if err := sink.Emit(&events[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "events.golden.jsonl")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("encoded stream differs from golden file\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	decoded, err := ReadEvents(bytes.NewReader(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded, events) {
+		t.Errorf("decode(golden) != original events\ngot:  %+v\nwant: %+v", decoded, events)
+	}
+}
+
+func TestReadEventsRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"not json", "{"},
+		{"unknown type", `{"type":"bogus","rank":0}`},
+		{"negative rank", `{"type":"iter","rank":-1}`},
+		{"negative stage", `{"type":"iter","rank":0,"stages_ms":{"update_phi":-1}}`},
+		{"bad perplexity", `{"type":"perplexity","rank":0,"iter":5}`},
+	}
+	for _, c := range cases {
+		if _, err := ReadEvents(strings.NewReader(c.line + "\n")); err == nil {
+			t.Errorf("%s: ReadEvents accepted %q", c.name, c.line)
+		}
+	}
+}
+
+func TestReadEventsSkipsBlankLines(t *testing.T) {
+	in := `{"type":"iter","rank":0,"iter":0}` + "\n\n" + `{"type":"iter","rank":0,"iter":1}` + "\n"
+	events, err := ReadEvents(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("got %d events, want 2", len(events))
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize(goldenEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ranks != 2 || s.Iterations != 2 {
+		t.Fatalf("ranks/iterations = %d/%d, want 2/2", s.Ranks, s.Iterations)
+	}
+	// update_phi: rank 0 mean 1.5, rank 1 mean 1.25 → max 1.5.
+	if got := s.StageMSPerIter["update_phi"]; got != 1.5 {
+		t.Errorf("update_phi ms/iter = %v, want 1.5", got)
+	}
+	// update_pi: rank 0 mean 0.25, rank 1 mean 0.5 → max 0.5.
+	if got := s.StageMSPerIter["update_pi"]; got != 0.5 {
+		t.Errorf("update_pi ms/iter = %v, want 0.5", got)
+	}
+	if s.DKV.RemoteKeys != 58 || s.DKV.CacheHits != 3 {
+		t.Errorf("summed DKV = %+v", s.DKV)
+	}
+	if s.FinalPerplexity != 42.5 {
+		t.Errorf("final perplexity = %v, want 42.5", s.FinalPerplexity)
+	}
+}
+
+func TestSummarizeRejectsGappyIters(t *testing.T) {
+	events := []Event{
+		{Type: EventIter, Rank: 0, Iter: 0},
+		{Type: EventIter, Rank: 0, Iter: 2}, // gap
+	}
+	if _, err := Summarize(events); err == nil {
+		t.Fatal("Summarize accepted non-consecutive iteration numbers")
+	}
+}
+
+func TestSummarizeRejectsUnevenRanks(t *testing.T) {
+	events := []Event{
+		{Type: EventIter, Rank: 0, Iter: 0},
+		{Type: EventIter, Rank: 0, Iter: 1},
+		{Type: EventIter, Rank: 1, Iter: 0},
+	}
+	if _, err := Summarize(events); err == nil {
+		t.Fatal("Summarize accepted ranks with different iteration counts")
+	}
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Monitor is the expvar-style live endpoint: an HTTP server that renders
+// the attached registry as one JSON document, so a multi-hour run can be
+// watched (current iteration, perplexity, counters, stage latency
+// percentiles) without interrupting it.
+//
+// Lifecycle: NewMonitor(addr) → Start (binds and serves in the background)
+// → Attach(registry) once the run's rank-0 registry exists → Close. A GET
+// before Attach answers {"status":"waiting"}.
+type Monitor struct {
+	addr string
+
+	mu  sync.Mutex
+	reg *Registry
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewMonitor creates a monitor that will listen on addr (host:port; an
+// empty host binds all interfaces, port 0 picks a free port).
+func NewMonitor(addr string) *Monitor { return &Monitor{addr: addr} }
+
+// Attach sets the registry the endpoint serves; typically called by the
+// distributed engine with rank 0's registry.
+func (m *Monitor) Attach(reg *Registry) {
+	m.mu.Lock()
+	m.reg = reg
+	m.mu.Unlock()
+}
+
+// Start binds the listener and serves in a background goroutine. It returns
+// the bound address (useful with port 0).
+func (m *Monitor) Start() (string, error) {
+	ln, err := net.Listen("tcp", m.addr)
+	if err != nil {
+		return "", err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", m.handle)
+	mux.HandleFunc("/metrics", m.handle)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	m.mu.Lock()
+	m.ln = ln
+	m.srv = srv
+	m.mu.Unlock()
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// handle renders the registry snapshot as indented JSON.
+func (m *Monitor) handle(w http.ResponseWriter, _ *http.Request) {
+	m.mu.Lock()
+	reg := m.reg
+	m.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	var doc any
+	if reg == nil {
+		doc = map[string]string{"status": "waiting"}
+	} else {
+		doc = reg.Snapshot()
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	buf = append(buf, '\n')
+	_, _ = w.Write(buf)
+}
+
+// Close stops the server; a monitor that was never started closes cleanly.
+func (m *Monitor) Close() error {
+	m.mu.Lock()
+	srv := m.srv
+	m.srv = nil
+	m.mu.Unlock()
+	if srv == nil {
+		return nil
+	}
+	return srv.Close()
+}

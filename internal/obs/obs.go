@@ -1,0 +1,27 @@
+// Package obs is the live telemetry layer: the counter/gauge/histogram
+// registry every instrumented subsystem (dkv, store, transport) registers
+// into, the structured per-iteration JSONL event stream the engines emit
+// through a Recorder, and the optional HTTP monitor that exposes a running
+// job's registry without interrupting it.
+//
+// The package is a leaf — it imports only the standard library — so any
+// layer of the stack can register metrics without creating import cycles.
+// The hot path pays for telemetry only when it is switched on: the engine
+// loop carries a nil-checked Recorder, and registry counters are single
+// atomic adds.
+//
+// Three pieces:
+//
+//   - Registry (registry.go): named atomic counters, gauges, and streaming
+//     latency histograms with fixed log-spaced buckets (p50/p95/p99).
+//     Snapshots fold across ranks — counters sum, gauges take the max,
+//     histogram buckets add — which is how a distributed run's per-rank
+//     registries become one Result.Metrics.
+//   - Events (events.go): the JSON-lines schema — run_start, one "iter"
+//     event per iteration per rank with per-stage durations and DKV counter
+//     deltas, "perplexity" points, run_end — plus ReadEvents/Validate for
+//     consumers (scripts/bench_dist.sh, ocd-analyze, CI).
+//   - Recorder (recorder.go) and Monitor (monitor.go): RunRecorder turns
+//     the engine's StageDone/IterDone callbacks into events and registry
+//     updates; Monitor serves the registry as JSON over HTTP.
+package obs

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Recorder receives the engine's per-stage timings as they happen. The
+// engine loop carries a nil Recorder by default — telemetry off costs one
+// nil-check per stage. Implementations must be safe for concurrent use: the
+// pipelined φ stage reports load/compute sub-stages from two goroutines.
+type Recorder interface {
+	// StageDone reports one timed interval of a named stage within iteration
+	// iter. A stage may report several intervals per iteration (the chunked
+	// φ pipeline does); they accumulate.
+	StageDone(iter int, stage string, d time.Duration)
+	// IterDone marks the end of iteration iter; accumulated stage durations
+	// are flushed as one event.
+	IterDone(iter int)
+	// EvalDone reports a perplexity evaluation after iteration iter
+	// (1-based, matching the engines' PerpPoint.Iter).
+	EvalDone(iter int, perplexity float64)
+}
+
+// RunRecorder is the standard Recorder: it accumulates stage durations per
+// iteration, folds them with the registry's per-iteration counter deltas
+// into one "iter" event on the sink, feeds per-stage latency histograms,
+// and maintains the run.* gauges the live monitor serves.
+//
+// Either sink or registry may be nil: a nil sink records into the registry
+// only (monitor-only runs), a nil registry emits events without DKV blocks
+// (the local sampler has no parameter-store traffic).
+type RunRecorder struct {
+	sink *Sink
+	rank int
+	reg  *Registry
+
+	mu    sync.Mutex
+	start time.Time
+	// stages accumulates per-iteration: with pipelining on, iteration t+1's
+	// minibatch draw overlaps iteration t's compute, so durations must be
+	// keyed by the iteration they belong to, not by arrival order.
+	stages map[int]map[string]time.Duration
+	last   map[string]int64 // counter values at the previous IterDone
+}
+
+// NewRunRecorder creates a recorder for one rank. The clock for ElapsedMS
+// starts now (or at RunStart, whichever is called).
+func NewRunRecorder(sink *Sink, rank int, reg *Registry) *RunRecorder {
+	return &RunRecorder{
+		sink:   sink,
+		rank:   rank,
+		reg:    reg,
+		start:  time.Now(),
+		stages: map[int]map[string]time.Duration{},
+	}
+}
+
+// emit forwards an event to the sink, if any. Sink errors are deliberately
+// swallowed: telemetry must never fail a training run.
+func (r *RunRecorder) emit(e *Event) {
+	if r.sink != nil {
+		_ = r.sink.Emit(e)
+	}
+}
+
+// RunStart resets the clock and announces the run topology.
+func (r *RunRecorder) RunStart(ranks, iterations int) {
+	r.mu.Lock()
+	r.start = time.Now()
+	r.mu.Unlock()
+	r.emit(&Event{Type: EventRunStart, Rank: r.rank, Ranks: ranks, Iterations: iterations})
+}
+
+// StageDone implements Recorder.
+func (r *RunRecorder) StageDone(iter int, stage string, d time.Duration) {
+	r.mu.Lock()
+	m := r.stages[iter]
+	if m == nil {
+		m = map[string]time.Duration{}
+		r.stages[iter] = m
+	}
+	m[stage] += d
+	r.mu.Unlock()
+	if r.reg != nil {
+		r.reg.Histogram("stage." + stage).Observe(d)
+	}
+}
+
+// counterDelta snapshots the telemetry counter groups and returns the delta
+// since the previous call. Caller holds r.mu.
+func (r *RunRecorder) counterDelta() map[string]int64 {
+	cur := r.reg.CounterValues("dkv.", "store.", "transport.")
+	delta := make(map[string]int64, len(cur))
+	for name, v := range cur {
+		delta[name] = v - r.last[name]
+	}
+	r.last = cur
+	return delta
+}
+
+// IterDone implements Recorder: it flushes the accumulated stage durations
+// (and, with a registry attached, the iteration's counter deltas) as one
+// iter event and refreshes the monitor gauges.
+func (r *RunRecorder) IterDone(iter int) {
+	r.mu.Lock()
+	elapsed := time.Since(r.start)
+	e := &Event{
+		Type:      EventIter,
+		Rank:      r.rank,
+		Iter:      iter,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	if m := r.stages[iter]; len(m) > 0 {
+		e.StagesMS = make(map[string]float64, len(m))
+		for name, d := range m {
+			e.StagesMS[name] = float64(d) / float64(time.Millisecond)
+		}
+	}
+	delete(r.stages, iter)
+	if r.reg != nil {
+		if dkv := dkvFromCounters(r.counterDelta()); !dkv.IsZero() {
+			e.DKV = &dkv
+		}
+	}
+	r.mu.Unlock()
+
+	if r.reg != nil {
+		r.reg.Gauge(GaugeIteration).Set(float64(iter + 1))
+		r.reg.Gauge(GaugeElapsedMS).Set(float64(elapsed) / float64(time.Millisecond))
+	}
+	r.emit(e)
+}
+
+// EvalDone implements Recorder.
+func (r *RunRecorder) EvalDone(iter int, perplexity float64) {
+	r.mu.Lock()
+	elapsed := time.Since(r.start)
+	r.mu.Unlock()
+	if r.reg != nil {
+		r.reg.Gauge(GaugePerplexity).Set(perplexity)
+	}
+	r.emit(&Event{
+		Type:       EventPerplexity,
+		Rank:       r.rank,
+		Iter:       iter,
+		Perplexity: perplexity,
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
+// RunEnd emits the closing event with cumulative counters.
+func (r *RunRecorder) RunEnd(iterations int) {
+	r.mu.Lock()
+	elapsed := time.Since(r.start)
+	r.mu.Unlock()
+	e := &Event{
+		Type:      EventRunEnd,
+		Rank:      r.rank,
+		Iter:      iterations,
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	if r.reg != nil {
+		if dkv := dkvFromCounters(r.reg.CounterValues("dkv.", "store.")); !dkv.IsZero() {
+			e.DKV = &dkv
+		}
+	}
+	r.emit(e)
+}
+
+// interface conformance
+var _ Recorder = (*RunRecorder)(nil)

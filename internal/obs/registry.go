@@ -1,0 +1,272 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the current value.
+func (c *Counter) Load() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float64 value (iteration number, perplexity,
+// elapsed time). Stored as float64 bits for atomic access.
+type Gauge struct{ v atomic.Uint64 }
+
+// Set stores the value.
+func (g *Gauge) Set(x float64) { g.v.Store(math.Float64bits(x)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.v.Load()) }
+
+// Histogram bucket layout: HistBuckets log-spaced buckets with bucket i
+// covering durations in (base·2^(i-1), base·2^i], base = 1µs; the last
+// bucket also absorbs everything larger. Fixed bounds keep per-rank
+// histograms mergeable by adding bucket counts.
+const (
+	HistBuckets = 32
+	histBase    = time.Microsecond
+)
+
+// histBucket returns the bucket index for a duration.
+func histBucket(d time.Duration) int {
+	if d <= histBase {
+		return 0
+	}
+	// smallest i with base·2^i >= d, i.e. 2^i >= ceil(d/base)
+	n := uint64((d + histBase - 1) / histBase)
+	b := bits.Len64(n - 1)
+	if b >= HistBuckets {
+		return HistBuckets - 1
+	}
+	return b
+}
+
+// histUpperMS returns bucket i's upper bound in milliseconds.
+func histUpperMS(i int) float64 {
+	return float64(histBase<<uint(i)) / float64(time.Millisecond)
+}
+
+// Histogram is a streaming latency histogram over fixed log-spaced buckets.
+// Observe is two atomic adds; quantiles are computed at snapshot time from
+// the bucket counts (the reported value is the bucket's upper bound, so
+// quantiles are conservative within a factor of two).
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	buckets [HistBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+	h.buckets[histBucket(d)].Add(1)
+}
+
+// Snapshot captures the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count:   h.count.Load(),
+		SumMS:   float64(h.sumNS.Load()) / float64(time.Millisecond),
+		Buckets: make([]int64, HistBuckets),
+	}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.refreshQuantiles()
+	return s
+}
+
+// HistogramSnapshot is a point-in-time view of a Histogram, carrying the raw
+// bucket counts so snapshots from different ranks can be folded.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	SumMS   float64 `json:"sum_ms"`
+	P50MS   float64 `json:"p50_ms"`
+	P95MS   float64 `json:"p95_ms"`
+	P99MS   float64 `json:"p99_ms"`
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// refreshQuantiles recomputes P50/P95/P99 from the bucket counts.
+func (s *HistogramSnapshot) refreshQuantiles() {
+	s.P50MS = quantileFromBuckets(s.Buckets, s.Count, 0.50)
+	s.P95MS = quantileFromBuckets(s.Buckets, s.Count, 0.95)
+	s.P99MS = quantileFromBuckets(s.Buckets, s.Count, 0.99)
+}
+
+// quantileFromBuckets returns the upper bound (ms) of the bucket where the
+// cumulative count first reaches q·total, or 0 for an empty histogram.
+func quantileFromBuckets(buckets []int64, total int64, q float64) float64 {
+	if total <= 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range buckets {
+		cum += c
+		if cum >= target {
+			return histUpperMS(i)
+		}
+	}
+	return histUpperMS(len(buckets) - 1)
+}
+
+// Registry is a namespace of counters, gauges, and histograms. Metric
+// handles are get-or-create and stable: subsystems look their counters up
+// once at construction and then update them lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g := r.gauges[name]
+	if g == nil {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.histograms[name]
+	if h == nil {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of a registry's metrics, the unit of
+// export (monitor endpoint, Result.Metrics) and of cross-rank folding.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric currently registered.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Load()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.Snapshot()
+	}
+	return s
+}
+
+// CounterValues returns the counters whose names start with any of the given
+// prefixes (all counters when none are given); used by the recorder to form
+// per-iteration deltas.
+func (r *Registry) CounterValues(prefixes ...string) map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64)
+	for name, c := range r.counters {
+		if len(prefixes) == 0 {
+			out[name] = c.Load()
+			continue
+		}
+		for _, p := range prefixes {
+			if len(name) >= len(p) && name[:len(p)] == p {
+				out[name] = c.Load()
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Fold merges another snapshot into this one: counters add (total work
+// across ranks), gauges take the max (iteration, elapsed — the slowest rank
+// bounds the run), histograms merge bucket counts and recompute quantiles.
+func (s *Snapshot) Fold(other Snapshot) {
+	if s.Counters == nil {
+		s.Counters = map[string]int64{}
+	}
+	if s.Gauges == nil {
+		s.Gauges = map[string]float64{}
+	}
+	if s.Histograms == nil {
+		s.Histograms = map[string]HistogramSnapshot{}
+	}
+	for name, v := range other.Counters {
+		s.Counters[name] += v
+	}
+	for name, v := range other.Gauges {
+		if cur, ok := s.Gauges[name]; !ok || v > cur {
+			s.Gauges[name] = v
+		}
+	}
+	for name, oh := range other.Histograms {
+		h, ok := s.Histograms[name]
+		if !ok {
+			h = HistogramSnapshot{Buckets: make([]int64, HistBuckets)}
+		}
+		h.Count += oh.Count
+		h.SumMS += oh.SumMS
+		for i := range oh.Buckets {
+			if i < len(h.Buckets) {
+				h.Buckets[i] += oh.Buckets[i]
+			}
+		}
+		h.refreshQuantiles()
+		s.Histograms[name] = h
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import "fmt"
+
+// Summary is the machine-readable aggregation of an event stream, the shape
+// scripts/bench_dist.sh embeds into BENCH_dist.json: per-stage ms/iteration
+// (per-rank mean, then max across ranks — the slowest rank bounds every
+// barrier-separated phase, the same convention as trace.Phases.Merge),
+// total DKV traffic, and the perplexity trajectory endpoint.
+type Summary struct {
+	Ranks           int                `json:"ranks"`
+	Iterations      int                `json:"iterations"`
+	Events          int                `json:"events"`
+	StageMSPerIter  map[string]float64 `json:"stage_ms_per_iter"`
+	DKV             DKVCounters        `json:"dkv"`
+	FinalPerplexity float64            `json:"final_perplexity,omitempty"`
+	ElapsedMS       float64            `json:"elapsed_ms"`
+}
+
+// Summarize folds a validated event stream into a Summary. It checks the
+// stream-level invariants the schema cannot express per-line: per-rank iter
+// events must be consecutive from 0, and every rank must report the same
+// iteration count.
+func Summarize(events []Event) (*Summary, error) {
+	s := &Summary{StageMSPerIter: map[string]float64{}, Events: len(events)}
+	// Per-rank accumulation: stage sums and iteration counts.
+	type rankAcc struct {
+		stages map[string]float64
+		iters  int
+	}
+	acc := map[int]*rankAcc{}
+	for i := range events {
+		e := &events[i]
+		switch e.Type {
+		case EventRunStart:
+			s.Ranks = e.Ranks
+		case EventIter:
+			a := acc[e.Rank]
+			if a == nil {
+				a = &rankAcc{stages: map[string]float64{}}
+				acc[e.Rank] = a
+			}
+			if e.Iter != a.iters {
+				return nil, fmt.Errorf("obs: rank %d iter events not consecutive: got %d, want %d",
+					e.Rank, e.Iter, a.iters)
+			}
+			a.iters++
+			for name, ms := range e.StagesMS {
+				a.stages[name] += ms
+			}
+			s.DKV = addDKV(s.DKV, e.DKV)
+		case EventPerplexity:
+			s.FinalPerplexity = e.Perplexity
+		case EventRunEnd:
+			if e.ElapsedMS > s.ElapsedMS {
+				s.ElapsedMS = e.ElapsedMS
+			}
+		}
+	}
+	if len(acc) == 0 {
+		return nil, fmt.Errorf("obs: no iter events in stream")
+	}
+	if s.Ranks == 0 {
+		s.Ranks = len(acc)
+	}
+	for rank, a := range acc {
+		if s.Iterations == 0 {
+			s.Iterations = a.iters
+		} else if a.iters != s.Iterations {
+			return nil, fmt.Errorf("obs: rank %d reported %d iterations, others %d",
+				rank, a.iters, s.Iterations)
+		}
+		for name, total := range a.stages {
+			perIter := total / float64(a.iters)
+			if perIter > s.StageMSPerIter[name] {
+				s.StageMSPerIter[name] = perIter
+			}
+		}
+	}
+	return s, nil
+}
+
+// addDKV accumulates an optional per-event DKV block.
+func addDKV(acc DKVCounters, d *DKVCounters) DKVCounters {
+	if d == nil {
+		return acc
+	}
+	acc.LocalKeys += d.LocalKeys
+	acc.RemoteKeys += d.RemoteKeys
+	acc.Requests += d.Requests
+	acc.BytesRead += d.BytesRead
+	acc.BytesWritten += d.BytesWritten
+	acc.CacheHits += d.CacheHits
+	acc.CacheMisses += d.CacheMisses
+	return acc
+}

@@ -4,11 +4,14 @@ import (
 	"sync"
 
 	"repro/internal/dkv"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/transport"
 )
 
-// CacheStats counts hot-row cache traffic.
+// CacheStats is a snapshot of the hot-row cache traffic. The live values
+// are obs counters (store.cache_* in the run's registry); this struct is
+// the plain-value view CacheStats() returns.
 type CacheStats struct {
 	Hits      int64 // rows served from the cache instead of the network
 	Misses    int64 // remote rows that had to be fetched
@@ -36,17 +39,28 @@ type DKVStore struct {
 	cacheCap int
 	cache    map[int32][]byte
 	fifo     []int32
-	stats    CacheStats
+
+	hits, misses, evictions *obs.Counter
 }
 
 // NewDKV creates the store (and its server goroutine) for this rank.
-// cacheRows bounds the hot-row cache; 0 disables it.
-func NewDKV(conn transport.Conn, n, k, threads, cacheRows int) (*DKVStore, error) {
-	kv, err := dkv.New(conn, n, RowBytes(k))
+// cacheRows bounds the hot-row cache; 0 disables it. The DKV traffic and
+// cache counters are registered in reg (nil falls back to a private
+// registry), which is how a run's telemetry layer observes the store.
+func NewDKV(conn transport.Conn, n, k, threads, cacheRows int, reg *obs.Registry) (*DKVStore, error) {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	kv, err := dkv.NewWithRegistry(conn, n, RowBytes(k), reg)
 	if err != nil {
 		return nil, err
 	}
-	s := &DKVStore{kv: kv, n: n, k: k, threads: threads, cacheCap: cacheRows}
+	s := &DKVStore{
+		kv: kv, n: n, k: k, threads: threads, cacheCap: cacheRows,
+		hits:      reg.Counter(obs.CtrCacheHits),
+		misses:    reg.Counter(obs.CtrCacheMisses),
+		evictions: reg.Counter(obs.CtrCacheEvictions),
+	}
 	if cacheRows > 0 {
 		s.cache = make(map[int32][]byte, cacheRows)
 		s.fifo = make([]int32, 0, cacheRows)
@@ -68,9 +82,11 @@ func (s *DKVStore) Stats() *dkv.Stats { return s.kv.Stats() }
 
 // CacheStats returns a snapshot of the hot-row cache counters.
 func (s *DKVStore) CacheStats() CacheStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return CacheStats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+	}
 }
 
 // Close stops the server goroutine; the underlying transport stays open.
@@ -103,10 +119,10 @@ func (s *DKVStore) cacheLookup(id int32, dst *Rows, i int) bool {
 	defer s.mu.Unlock()
 	raw, ok := s.cache[id]
 	if !ok {
-		s.stats.Misses++
+		s.misses.Inc()
 		return false
 	}
-	s.stats.Hits++
+	s.hits.Inc()
 	dst.PhiSum[i] = DecodeRow(raw, dst.PiRow(i))
 	return true
 }
@@ -124,7 +140,7 @@ func (s *DKVStore) cacheInsert(id int32, raw []byte) {
 		old := s.fifo[0]
 		s.fifo = s.fifo[1:]
 		delete(s.cache, old)
-		s.stats.Evictions++
+		s.evictions.Inc()
 	}
 	s.cache[id] = append([]byte(nil), raw...)
 	s.fifo = append(s.fifo, id)

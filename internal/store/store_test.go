@@ -137,7 +137,7 @@ func twoRankStores(t *testing.T, n, k, cacheRows int, body func(s0 *DKVStore)) {
 	defer f.Close()
 	stores := make([]*DKVStore, 2)
 	for r := 0; r < 2; r++ {
-		st, err := NewDKV(f.Endpoint(r), n, k, 1, cacheRows)
+		st, err := NewDKV(f.Endpoint(r), n, k, 1, cacheRows, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

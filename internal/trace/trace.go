@@ -12,22 +12,36 @@ import (
 	"time"
 )
 
-// Phases accumulates wall-clock time per named phase.
+// Phases accumulates wall-clock time per named phase, tracking the total,
+// the interval count, and the shortest/longest single interval.
 type Phases struct {
 	mu     sync.Mutex
 	totals map[string]time.Duration
 	counts map[string]int
+	mins   map[string]time.Duration
+	maxs   map[string]time.Duration
 }
 
 // NewPhases creates an empty accumulator.
 func NewPhases() *Phases {
-	return &Phases{totals: map[string]time.Duration{}, counts: map[string]int{}}
+	return &Phases{
+		totals: map[string]time.Duration{},
+		counts: map[string]int{},
+		mins:   map[string]time.Duration{},
+		maxs:   map[string]time.Duration{},
+	}
 }
 
 // Add folds a measured duration into a phase.
 func (p *Phases) Add(name string, d time.Duration) {
 	p.mu.Lock()
 	p.totals[name] += d
+	if c := p.counts[name]; c == 0 || d < p.mins[name] {
+		p.mins[name] = d
+	}
+	if d > p.maxs[name] {
+		p.maxs[name] = d
+	}
 	p.counts[name]++
 	p.mu.Unlock()
 }
@@ -65,6 +79,21 @@ func (p *Phases) Mean(name string) time.Duration {
 	return p.totals[name] / time.Duration(c)
 }
 
+// Min returns the shortest single interval recorded for a phase (0 if never
+// recorded).
+func (p *Phases) Min(name string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mins[name]
+}
+
+// Max returns the longest single interval recorded for a phase.
+func (p *Phases) Max(name string) time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.maxs[name]
+}
+
 // Names returns the recorded phase names, sorted.
 func (p *Phases) Names() []string {
 	p.mu.Lock()
@@ -90,13 +119,62 @@ func (p *Phases) Snapshot() map[string]time.Duration {
 
 // Merge folds another accumulator's totals into this one, taking the MAX per
 // phase — the right aggregation across ranks, where the slowest rank bounds
-// the barrier-separated phase.
+// the barrier-separated phase. Merge only sees totals, so it cannot keep the
+// interval counts coherent; cross-rank aggregation that needs Count/Mean to
+// stay meaningful should use MergeAll with a full Stats snapshot.
 func (p *Phases) Merge(other map[string]time.Duration) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for k, v := range other {
 		if v > p.totals[k] {
 			p.totals[k] = v
+		}
+	}
+}
+
+// PhaseStats is the full per-phase record: cumulative total, number of
+// recorded intervals, and the shortest/longest single interval.
+type PhaseStats struct {
+	Total time.Duration
+	Count int
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Stats returns a full snapshot of every phase.
+func (p *Phases) Stats() map[string]PhaseStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]PhaseStats, len(p.totals))
+	for k, total := range p.totals {
+		out[k] = PhaseStats{Total: total, Count: p.counts[k], Min: p.mins[k], Max: p.maxs[k]}
+	}
+	return out
+}
+
+// MergeAll folds a full per-rank snapshot into this accumulator with
+// coherent counts: totals take the max (the slowest rank bounds the
+// barrier-separated phase), counts take the max interval count (ranks run
+// the same iteration count, so this is the shared count rather than a stale
+// zero — the defect Merge has), mins take the min and maxs the max, so
+// Min/Max still bound every single interval seen on any rank.
+func (p *Phases) MergeAll(other map[string]PhaseStats) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, s := range other {
+		if s.Total > p.totals[k] {
+			p.totals[k] = s.Total
+		}
+		if s.Count > p.counts[k] {
+			p.counts[k] = s.Count
+		}
+		if s.Count > 0 {
+			if m, ok := p.mins[k]; !ok || s.Min < m {
+				p.mins[k] = s.Min
+			}
+		}
+		if s.Max > p.maxs[k] {
+			p.maxs[k] = s.Max
 		}
 	}
 }

@@ -62,6 +62,71 @@ func TestMergeTakesMax(t *testing.T) {
 	}
 }
 
+func TestMinMax(t *testing.T) {
+	p := NewPhases()
+	p.Add("a", 10*time.Millisecond)
+	p.Add("a", 2*time.Millisecond)
+	p.Add("a", 7*time.Millisecond)
+	if p.Min("a") != 2*time.Millisecond || p.Max("a") != 10*time.Millisecond {
+		t.Fatalf("Min/Max = %v/%v, want 2ms/10ms", p.Min("a"), p.Max("a"))
+	}
+	if p.Min("missing") != 0 || p.Max("missing") != 0 {
+		t.Fatal("Min/Max of missing phase should be 0")
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	p := NewPhases()
+	p.Add("a", 4*time.Millisecond)
+	p.Add("a", 6*time.Millisecond)
+	s := p.Stats()["a"]
+	want := PhaseStats{Total: 10 * time.Millisecond, Count: 2, Min: 4 * time.Millisecond, Max: 6 * time.Millisecond}
+	if s != want {
+		t.Fatalf("Stats = %+v, want %+v", s, want)
+	}
+}
+
+// TestMergeAllKeepsCountsCoherent pins the defect MergeAll exists to fix:
+// Merge takes max totals but leaves counts at zero, so Mean on the merged
+// accumulator is meaningless; MergeAll carries counts (and min/max) along.
+func TestMergeAllKeepsCountsCoherent(t *testing.T) {
+	rank0, rank1 := NewPhases(), NewPhases()
+	for i := 0; i < 4; i++ {
+		rank0.Add("update_phi", 10*time.Millisecond)
+		rank1.Add("update_phi", 20*time.Millisecond)
+	}
+	rank1.Add("barrier_only", time.Millisecond)
+
+	merged := NewPhases()
+	merged.MergeAll(rank0.Stats())
+	merged.MergeAll(rank1.Stats())
+
+	if got := merged.Total("update_phi"); got != 80*time.Millisecond {
+		t.Errorf("merged total = %v, want 80ms (max across ranks)", got)
+	}
+	if got := merged.Count("update_phi"); got != 4 {
+		t.Errorf("merged count = %d, want 4", got)
+	}
+	if got := merged.Mean("update_phi"); got != 20*time.Millisecond {
+		t.Errorf("merged mean = %v, want 20ms", got)
+	}
+	if merged.Min("update_phi") != 10*time.Millisecond || merged.Max("update_phi") != 20*time.Millisecond {
+		t.Errorf("merged min/max = %v/%v, want 10ms/20ms",
+			merged.Min("update_phi"), merged.Max("update_phi"))
+	}
+	if merged.Count("barrier_only") != 1 {
+		t.Errorf("phase present on one rank only lost its count")
+	}
+
+	// The old Merge path, by contrast, leaves the count stale — that is the
+	// documented reason MergeAll exists.
+	old := NewPhases()
+	old.Merge(rank0.Snapshot())
+	if old.Count("update_phi") != 0 {
+		t.Fatal("Merge now carries counts; update MergeAll's doc comment")
+	}
+}
+
 func TestSnapshotIsCopy(t *testing.T) {
 	p := NewPhases()
 	p.Add("a", time.Second)

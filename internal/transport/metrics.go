@@ -1,0 +1,55 @@
+package transport
+
+import "repro/internal/obs"
+
+// instrumentedConn wraps a Conn and counts every frame and payload byte
+// that crosses it (sends and receives) into the transport.* counters of a
+// telemetry registry. It is transparent to the protocol: tags, payload
+// ownership, deadlines, and poisoning all pass straight through.
+type instrumentedConn struct {
+	Conn
+	msgsSent, bytesSent *obs.Counter
+	msgsRecv, bytesRecv *obs.Counter
+}
+
+// Instrument wraps conn so its traffic is counted in reg. A nil registry
+// returns conn unchanged.
+func Instrument(conn Conn, reg *obs.Registry) Conn {
+	if reg == nil {
+		return conn
+	}
+	return &instrumentedConn{
+		Conn:      conn,
+		msgsSent:  reg.Counter(obs.CtrNetMsgsSent),
+		bytesSent: reg.Counter(obs.CtrNetBytesSent),
+		msgsRecv:  reg.Counter(obs.CtrNetMsgsRecv),
+		bytesRecv: reg.Counter(obs.CtrNetBytesRecv),
+	}
+}
+
+func (c *instrumentedConn) Send(to int, tag uint32, payload []byte) error {
+	err := c.Conn.Send(to, tag, payload)
+	if err == nil {
+		c.msgsSent.Inc()
+		c.bytesSent.Add(int64(len(payload)))
+	}
+	return err
+}
+
+func (c *instrumentedConn) Recv(from int, tag uint32) ([]byte, error) {
+	payload, err := c.Conn.Recv(from, tag)
+	if err == nil {
+		c.msgsRecv.Inc()
+		c.bytesRecv.Add(int64(len(payload)))
+	}
+	return payload, err
+}
+
+func (c *instrumentedConn) RecvAny(tag uint32) (int, []byte, error) {
+	from, payload, err := c.Conn.RecvAny(tag)
+	if err == nil {
+		c.msgsRecv.Inc()
+		c.bytesRecv.Add(int64(len(payload)))
+	}
+	return from, payload, err
+}

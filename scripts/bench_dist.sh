@@ -1,6 +1,11 @@
 #!/usr/bin/env sh
 # Snapshot BenchmarkDistIteration into BENCH_dist.json so the perf
 # trajectory of the distributed iteration loop is tracked in-repo.
+#
+# The snapshot carries two views of the same loop: the Go benchmark's
+# ns/op (serial vs pipelined), and the per-stage phase breakdown digested
+# from the JSONL telemetry stream of a short instrumented cluster run
+# (ocd-cluster -metrics-out → ocd-analyze -events -events-json).
 # Usage: scripts/bench_dist.sh [benchtime]   (default 20x)
 set -eu
 cd "$(dirname "$0")/.."
@@ -9,6 +14,15 @@ BENCHTIME="${1:-20x}"
 out="$(go test ./internal/dist/ -run NONE -bench BenchmarkDistIteration \
 	-benchtime "$BENCHTIME" -count 1)"
 echo "$out"
+
+# Telemetry run: small planted graph, 2 ranks, pipelined — the same shape
+# as the benchmark config — digested into one Summary object.
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+go run ./cmd/ocd-gen -n 600 -k 8 -edges 4000 -seed 7 -out "$tmp/bench.txt" >/dev/null
+go run ./cmd/ocd-cluster -graph "$tmp/bench.txt" -ranks 2 -threads 2 -k 8 \
+	-iters 40 -eval 20 -pipeline -metrics-out "$tmp/events.jsonl" >/dev/null
+go run ./cmd/ocd-analyze -events "$tmp/events.jsonl" -events-json > "$tmp/summary.json"
 
 echo "$out" | awk -v benchtime="$BENCHTIME" '
 	/^BenchmarkDistIteration\// {
@@ -29,10 +43,12 @@ echo "$out" | awk -v benchtime="$BENCHTIME" '
 		printf "    \"serial\":    {\"ns_per_op\": %s, \"runs\": %s},\n", ns["serial"], n["serial"]
 		printf "    \"pipelined\": {\"ns_per_op\": %s, \"runs\": %s}\n", ns["pipelined"], n["pipelined"]
 		printf "  },\n"
-		printf "  \"pipelined_speedup\": %.4f\n", ns["serial"] / ns["pipelined"]
-		printf "}\n"
+		printf "  \"pipelined_speedup\": %.4f,\n", ns["serial"] / ns["pipelined"]
+		printf "  \"telemetry\":\n"
 	}
 ' > BENCH_dist.json
+sed 's/^/  /' "$tmp/summary.json" >> BENCH_dist.json
+printf '}\n' >> BENCH_dist.json
 
 echo "wrote BENCH_dist.json:"
 cat BENCH_dist.json
