@@ -141,6 +141,11 @@ func digestEvents(path string, asJSON bool) error {
 			sum.DKV.LocalKeys, sum.DKV.RemoteKeys, sum.DKV.Requests,
 			float64(sum.DKV.BytesRead)/1e6, float64(sum.DKV.BytesWritten)/1e6)
 	}
+	if lookups := sum.DKV.CacheHits + sum.DKV.CacheMisses; lookups > 0 {
+		fmt.Printf("hot-row cache: %d hits / %d lookups (%.1f%% hit rate), %d evictions, %d invalidations\n",
+			sum.DKV.CacheHits, lookups, 100*sum.CacheHitRate,
+			sum.DKV.CacheEvictions, sum.DKV.CacheInvalidations)
+	}
 	return nil
 }
 

@@ -12,13 +12,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/mathx"
 	"repro/internal/obs"
+	"repro/internal/transport"
 )
 
 func main() {
@@ -35,6 +38,10 @@ func main() {
 		mb        = flag.Int("minibatch", 256, "minibatch size in vertex pairs")
 		neigh     = flag.Int("neighbors", 32, "neighbor sample size |V_n|")
 		hotCache  = flag.Int("hot-cache", 0, "per-rank hot-row cache size in π rows (0 = off; result is bit-identical either way)")
+		cachePol  = flag.String("hot-cache-policy", "lru", "cache admission policy: lru (admit everything) or admit2 (admit on second sighting)")
+		cacheXit  = flag.Bool("hot-cache-cross-iter", false, "keep the cache alive across barriers, dropping only rows named by the write-set exchange")
+		cacheDeg  = flag.Int("hot-cache-min-degree", 0, "with -hot-cache-policy admit2, admit rows of at least this graph degree on first sighting")
+		transp    = flag.String("transport", "inproc", "rank interconnect: inproc (shared-memory fabric) or tcp (loopback mesh, real wire framing)")
 		failRank  = flag.Int("fail-rank", -1, "fault injection: rank to crash (-1 = none)")
 		failIter  = flag.Int("fail-iter", 0, "fault injection: iteration at which -fail-rank crashes")
 		metrics   = flag.String("metrics-out", "", "write the JSONL telemetry event stream to this file (- = stdout)")
@@ -62,7 +69,8 @@ func main() {
 		Ranks: *ranks, Threads: *threads, Iterations: *iters,
 		EvalEvery: *evalEach, Pipeline: *pipeline,
 		MinibatchPairs: *mb, NeighborCount: *neigh,
-		HotRowCache: *hotCache,
+		HotRowCache: *hotCache, HotCachePolicy: *cachePol,
+		HotCacheCrossIter: *cacheXit, HotCacheMinDegree: *cacheDeg,
 	}
 	if *failRank >= 0 {
 		opts.FaultHook = func(rank, iter int) error {
@@ -89,7 +97,23 @@ func main() {
 		fmt.Printf("monitor: http://%s/metrics\n", addr)
 		opts.Monitor = mon
 	}
-	res, err := dist.Run(cfg, train, held, opts)
+	var res *dist.Result
+	switch *transp {
+	case "inproc":
+		res, err = dist.Run(cfg, train, held, opts)
+	case "tcp":
+		// Real wire framing on the loopback mesh: the instrumented conns
+		// count every byte the protocol puts on a socket, so the
+		// transport.* counters below reflect multi-process traffic.
+		conns, cleanup, derr := dialLoopbackMesh(*ranks)
+		if derr != nil {
+			fatal(derr)
+		}
+		res, err = dist.RunOnTransport(cfg, train, held, opts, conns)
+		cleanup()
+	default:
+		fatal(fmt.Errorf("unknown -transport %q (want inproc or tcp)", *transp))
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -112,7 +136,19 @@ func main() {
 		res.DKV.LocalKeys, res.DKV.RemoteKeys, 100*res.RemoteFrac, res.DKV.Requests,
 		float64(res.DKV.BytesRead)/1e6, float64(res.DKV.BytesWritten)/1e6)
 	if *hotCache > 0 {
-		fmt.Printf("hot-row cache: %d hits across ranks (cap %d rows/rank)\n", res.DKV.CacheHits, *hotCache)
+		lookups := res.DKV.CacheHits + res.DKV.CacheMisses
+		rate := 0.0
+		if lookups > 0 {
+			rate = 100 * float64(res.DKV.CacheHits) / float64(lookups)
+		}
+		fmt.Printf("hot-row cache: %d hits / %d lookups (%.1f%% hit rate), %d evictions, %d invalidations (cap %d rows/rank, policy %s, cross-iter %v)\n",
+			res.DKV.CacheHits, lookups, rate, res.DKV.CacheEvictions, res.DKV.CacheInvalidations,
+			*hotCache, *cachePol, *cacheXit)
+	}
+	if sent := res.Metrics.Counters[obs.CtrNetBytesSent]; sent > 0 {
+		fmt.Printf("transport (%s): %d msgs / %.1f MB sent, %d msgs / %.1f MB received\n",
+			*transp, res.Metrics.Counters[obs.CtrNetMsgsSent], float64(sent)/1e6,
+			res.Metrics.Counters[obs.CtrNetMsgsRecv], float64(res.Metrics.Counters[obs.CtrNetBytesRecv])/1e6)
 	}
 	fmt.Printf("total wall time: %.2fs for %d iterations (%.1f ms/iteration)\n",
 		res.Elapsed.Seconds(), *iters, res.Elapsed.Seconds()*1000/float64(*iters))
@@ -130,6 +166,44 @@ func openSink(path string) (*obs.Sink, error) {
 		return nil, err
 	}
 	return obs.NewFileSink(f), nil
+}
+
+// dialLoopbackMesh builds a fully-connected TCP mesh on 127.0.0.1: listen on
+// an ephemeral port per rank to reserve the address table, then every rank
+// dials every higher rank while accepting from lower ones (DialMesh's
+// handshake), concurrently because each dial blocks on its peer.
+func dialLoopbackMesh(ranks int) ([]transport.Conn, func(), error) {
+	addrs := make([]string, ranks)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, nil, err
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	conns := make([]transport.Conn, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			conns[r], errs[r] = transport.DialMesh(r, addrs)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	cleanup := func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	return conns, cleanup, nil
 }
 
 func fatal(err error) {

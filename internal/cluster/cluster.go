@@ -152,6 +152,60 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	return nil, nil
 }
 
+// AllGather collects every rank's variable-length payload at every rank:
+// the result has Size entries indexed by rank and is identical everywhere
+// (this rank's own entry is its argument, byte for byte). It is built from
+// the same root-centric tag protocol as the other collectives — a Gather at
+// rank 0 followed by a Bcast of the length-framed concatenation — so it
+// inherits their abort semantics and their deterministic rank ordering.
+// Empty contributions are legal and come back as empty slices; the store's
+// cross-iteration write-set exchange leans on that (most barriers follow a
+// read-only phase).
+func (c *Comm) AllGather(data []byte) ([][]byte, error) {
+	parts, err := c.Gather(0, data)
+	if err != nil {
+		return nil, err
+	}
+	var frame []byte
+	if c.Rank() == 0 {
+		n := 4
+		for _, p := range parts {
+			n += 4 + len(p)
+		}
+		frame = wire.AppendUint32(make([]byte, 0, n), uint32(len(parts)))
+		for _, p := range parts {
+			frame = wire.AppendUint32(frame, uint32(len(p)))
+			frame = append(frame, p...)
+		}
+	}
+	frame, err = c.Bcast(0, frame)
+	if err != nil {
+		return nil, err
+	}
+	if len(frame) < 4 {
+		return nil, fmt.Errorf("cluster: allgather frame truncated (%d bytes)", len(frame))
+	}
+	count := int(wire.Uint32At(frame, 0))
+	if count != c.Size() {
+		return nil, fmt.Errorf("cluster: allgather frame carries %d parts for %d ranks", count, c.Size())
+	}
+	out := make([][]byte, count)
+	off := 4
+	for r := 0; r < count; r++ {
+		if off+4 > len(frame) {
+			return nil, fmt.Errorf("cluster: allgather frame truncated at part %d", r)
+		}
+		ln := int(wire.Uint32At(frame, off))
+		off += 4
+		if ln < 0 || off+ln > len(frame) {
+			return nil, fmt.Errorf("cluster: allgather part %d overruns the frame", r)
+		}
+		out[r] = frame[off : off+ln : off+ln]
+		off += ln
+	}
+	return out, nil
+}
+
 // Scatter distributes parts[r] to rank r from root and returns this rank's
 // part. Non-root callers pass nil. len(parts) must equal Size at root.
 func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {

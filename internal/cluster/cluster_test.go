@@ -277,3 +277,70 @@ func TestWireRoundTrips(t *testing.T) {
 		}
 	}
 }
+
+// TestAllGatherVariableLength checks the variable-length collective: each
+// rank contributes a payload of a different size (including an empty one),
+// and every rank must receive the identical rank-indexed list.
+func TestAllGatherVariableLength(t *testing.T) {
+	for _, size := range []int{1, 2, 5} {
+		spmd(t, size, func(c *Comm) error {
+			// Rank r contributes r bytes: rank 0's part is empty.
+			mine := make([]byte, c.Rank())
+			for i := range mine {
+				mine[i] = byte(c.Rank()*100 + i)
+			}
+			parts, err := c.AllGather(mine)
+			if err != nil {
+				return err
+			}
+			if len(parts) != size {
+				return fmt.Errorf("got %d parts, want %d", len(parts), size)
+			}
+			for r, p := range parts {
+				if len(p) != r {
+					return fmt.Errorf("part %d has %d bytes, want %d", r, len(p), r)
+				}
+				for i, b := range p {
+					if want := byte(r*100 + i); b != want {
+						return fmt.Errorf("part %d byte %d = %d, want %d", r, i, b, want)
+					}
+				}
+			}
+			return nil
+		})
+	}
+}
+
+// TestAllGatherInt32Sets round-trips the exact shape the store's write-set
+// exchange uses: int32 id lists of uneven lengths.
+func TestAllGatherInt32Sets(t *testing.T) {
+	spmd(t, 3, func(c *Comm) error {
+		var ids []int32
+		for i := 0; i <= c.Rank(); i++ {
+			ids = append(ids, int32(c.Rank()*1000+i))
+		}
+		if c.Rank() == 1 {
+			ids = nil // a rank with nothing written contributes an empty set
+		}
+		parts, err := c.AllGather(wire.AppendInt32s(nil, ids))
+		if err != nil {
+			return err
+		}
+		var union []int32
+		for _, p := range parts {
+			got := make([]int32, len(p)/4)
+			wire.Int32s(p, 0, len(got), got)
+			union = append(union, got...)
+		}
+		want := []int32{0, 2000, 2001, 2002}
+		if len(union) != len(want) {
+			return fmt.Errorf("union %v, want %v", union, want)
+		}
+		for i := range want {
+			if union[i] != want[i] {
+				return fmt.Errorf("union %v, want %v", union, want)
+			}
+		}
+		return nil
+	})
+}

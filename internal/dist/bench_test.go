@@ -40,26 +40,47 @@ func benchFixture(b *testing.B) (*graph.Graph, *graph.HeldOut) {
 	return train, held
 }
 
-func benchmarkDistIteration(b *testing.B, pipelined bool) {
+func benchmarkDistIteration(b *testing.B, opts Options) {
 	train, held := benchFixture(b)
 	cfg := core.DefaultConfig(8, 7)
-	const itersPerRun = 4
+	var hits, lookups int64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := Run(cfg, train, held, benchOptions(itersPerRun, pipelined))
+		res, err := Run(cfg, train, held, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
 		if res.State == nil {
 			b.Fatal("no state")
 		}
+		hits += res.DKV.CacheHits
+		lookups += res.DKV.CacheHits + res.DKV.CacheMisses
+	}
+	b.StopTimer()
+	if lookups > 0 {
+		b.ReportMetric(float64(hits)/float64(lookups), "hit-rate")
 	}
 }
 
-// BenchmarkDistIteration/serial and /pipelined measure the full 2-rank
-// iteration loop (deploy → update_phi → update_pi → update_beta_theta) with
-// double buffering off and on.
+// BenchmarkDistIteration measures the full 2-rank iteration loop (deploy →
+// update_phi → update_pi → update_beta_theta): serial vs pipelined double
+// buffering, and the hot-row cache per-phase (cached) vs surviving barriers
+// via write-set invalidation (cached-xiter). The cached variants also report
+// the hit rate — scripts/bench_dist.sh snapshots all four into
+// BENCH_dist.json.
 func BenchmarkDistIteration(b *testing.B) {
-	b.Run("serial", func(b *testing.B) { benchmarkDistIteration(b, false) })
-	b.Run("pipelined", func(b *testing.B) { benchmarkDistIteration(b, true) })
+	const itersPerRun = 4
+	b.Run("serial", func(b *testing.B) { benchmarkDistIteration(b, benchOptions(itersPerRun, false)) })
+	b.Run("pipelined", func(b *testing.B) { benchmarkDistIteration(b, benchOptions(itersPerRun, true)) })
+	b.Run("cached", func(b *testing.B) {
+		o := benchOptions(itersPerRun, true)
+		o.HotRowCache = 1024
+		benchmarkDistIteration(b, o)
+	})
+	b.Run("cached-xiter", func(b *testing.B) {
+		o := benchOptions(itersPerRun, true)
+		o.HotRowCache = 1024
+		o.HotCacheCrossIter = true
+		benchmarkDistIteration(b, o)
+	})
 }

@@ -422,4 +422,94 @@ func TestHotRowCacheIsTransparent(t *testing.T) {
 	if plain.DKV.CacheHits != 0 {
 		t.Fatalf("cache-off run reported %d hits", plain.DKV.CacheHits)
 	}
+
+	// Cross-iteration mode: the cache survives barriers minus the written
+	// union, so it must stay byte-transparent while beating per-phase
+	// flushing on remote traffic — the point of write-set invalidation.
+	xiter, err := Run(cfg, train, held, Options{
+		Ranks: 3, Iterations: iters, EvalEvery: 4,
+		HotRowCache: 512, HotCacheCrossIter: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mathx.MaxAbsDiff32(plain.State.Pi, xiter.State.Pi); d != 0 {
+		t.Fatalf("cross-iteration cache changed π by %v; must be bit-identical", d)
+	}
+	if d := mathx.MaxAbsDiff(plain.State.Theta, xiter.State.Theta); d != 0 {
+		t.Fatalf("cross-iteration cache changed θ by %v; must be bit-identical", d)
+	}
+	for i := range plain.Perplexity {
+		if plain.Perplexity[i].Value != xiter.Perplexity[i].Value {
+			t.Fatalf("cross-iteration cache changed perplexity at iter %d", plain.Perplexity[i].Iter)
+		}
+	}
+	if xiter.DKV.RemoteKeys >= cached.DKV.RemoteKeys {
+		t.Fatalf("cross-iteration remote keys %d >= per-phase %d; surviving the barrier saved nothing",
+			xiter.DKV.RemoteKeys, cached.DKV.RemoteKeys)
+	}
+	if xiter.DKV.CacheInvalidations == 0 {
+		t.Fatal("cross-iteration run recorded no invalidations; write-set exchange is not wired")
+	}
+
+	// Admission policy and degree bypass ride the same transparency
+	// invariant: admit2 changes which rows get cached, never their bytes.
+	admit2, err := Run(cfg, train, held, Options{
+		Ranks: 3, Iterations: iters, EvalEvery: 4,
+		HotRowCache: 512, HotCacheCrossIter: true,
+		HotCachePolicy: "admit2", HotCacheMinDegree: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := mathx.MaxAbsDiff32(plain.State.Pi, admit2.State.Pi); d != 0 {
+		t.Fatalf("admit2 policy changed π by %v; must be bit-identical", d)
+	}
+	if admit2.DKV.CacheHits == 0 {
+		t.Fatal("admit2 run recorded no cache hits")
+	}
+}
+
+// TestSeedParityTrajectoryCrossIterCache is the multi-rank analogue of
+// TestSeedParityTrajectory for the cross-iteration cache: a 2-rank run with
+// the cache surviving barriers must still track the sequential sampler bit
+// for bit at EVERY iteration — a stale row anywhere shows up at the first
+// iteration that reads it.
+func TestSeedParityTrajectoryCrossIterCache(t *testing.T) {
+	train, held := fixture(t, 150, 4, 700, 59)
+	cfg := core.DefaultConfig(4, 4242)
+	const iters = 6
+
+	seq, err := core.NewSampler(cfg, train, held, core.SamplerOptions{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for it := 1; it <= iters; it++ {
+		seq.Step()
+		res, err := Run(cfg, train, held, Options{
+			Ranks: 2, Threads: 1, Iterations: it,
+			HotRowCache: 256, HotCacheCrossIter: true,
+		})
+		if err != nil {
+			t.Fatalf("iteration %d: %v", it, err)
+		}
+		for i, v := range seq.State.Pi {
+			if math.Float32bits(v) != math.Float32bits(res.State.Pi[i]) {
+				t.Fatalf("iteration %d: π[%d] = %v (cached dist) vs %v (seq); a stale cache row survived a write", it, i, res.State.Pi[i], v)
+			}
+		}
+		for i, v := range seq.State.PhiSum {
+			if math.Float64bits(v) != math.Float64bits(res.State.PhiSum[i]) {
+				t.Fatalf("iteration %d: Σφ[%d] diverged", it, i)
+			}
+		}
+		for i, v := range seq.State.Theta {
+			if math.Float64bits(v) != math.Float64bits(res.State.Theta[i]) {
+				t.Fatalf("iteration %d: θ[%d] = %v (cached dist) vs %v (seq)", it, i, res.State.Theta[i], v)
+			}
+		}
+		if it == iters && res.DKV.CacheHits == 0 {
+			t.Fatal("cross-iteration cached run recorded no hits")
+		}
+	}
 }

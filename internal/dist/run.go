@@ -45,10 +45,24 @@ type Options struct {
 	PhiChunkNodes int
 
 	// HotRowCache bounds the per-rank DKV hot-row cache in rows; 0 disables
-	// it. Cached remote rows are invalidated at every phase barrier, so the
-	// trained model is byte-identical with the cache on or off — only the
-	// remote traffic changes.
+	// it. The trained model is byte-identical with the cache on or off in
+	// every configuration below — only the remote traffic changes.
 	HotRowCache int
+	// HotCachePolicy selects the cache admission policy: "" or "lru" admits
+	// every fetched remote row; "admit2" admits a row only on its second
+	// miss within a bounded window (or immediately when its degree clears
+	// HotCacheMinDegree), so one-shot rows cannot churn recurring hot rows
+	// out. See store.CacheConfig.
+	HotCachePolicy string
+	// HotCacheCrossIter keeps each rank's cache alive across phase
+	// barriers: instead of the blanket flush, the ranks exchange the π-row
+	// ids they wrote (one AllGather per barrier) and drop exactly those
+	// keys. Unwritten hot rows then survive from iteration to iteration.
+	HotCacheCrossIter bool
+	// HotCacheMinDegree, with HotCachePolicy "admit2", admits rows of
+	// vertex degree ≥ this immediately; the degree table is broadcast once
+	// from the master at startup.
+	HotCacheMinDegree int
 
 	// Minibatch and neighbor strategy parameters, mirroring
 	// core.SamplerOptions.
@@ -118,7 +132,14 @@ type DKVTotals struct {
 	Requests     int64
 	BytesRead    int64
 	BytesWritten int64
-	CacheHits    int64 // hot-row cache hits (0 unless Options.HotRowCache > 0)
+	// Hot-row cache traffic (all 0 unless Options.HotRowCache > 0):
+	// invalidations count rows dropped because their key was written (or
+	// blanket-flushed at a barrier in per-phase mode), evictions count rows
+	// displaced by the capacity bound.
+	CacheHits          int64
+	CacheMisses        int64
+	CacheEvictions     int64
+	CacheInvalidations int64
 }
 
 // Result is what a distributed run returns.
@@ -246,7 +267,11 @@ func assembleResult(nodes []*node) *Result {
 		Requests:     c[obs.CtrDKVRequests],
 		BytesRead:    c[obs.CtrDKVBytesRead],
 		BytesWritten: c[obs.CtrDKVBytesWritten],
-		CacheHits:    c[obs.CtrCacheHits],
+
+		CacheHits:          c[obs.CtrCacheHits],
+		CacheMisses:        c[obs.CtrCacheMisses],
+		CacheEvictions:     c[obs.CtrCacheEvictions],
+		CacheInvalidations: c[obs.CtrCacheInvalidations],
 	}
 	if totalKeys := res.DKV.LocalKeys + res.DKV.RemoteKeys; totalKeys > 0 {
 		res.RemoteFrac = float64(res.DKV.RemoteKeys) / float64(totalKeys)

@@ -26,9 +26,10 @@ const (
 	CtrDKVBytesRead    = "dkv.bytes_read"
 	CtrDKVBytesWritten = "dkv.bytes_written"
 
-	CtrCacheHits      = "store.cache_hits"
-	CtrCacheMisses    = "store.cache_misses"
-	CtrCacheEvictions = "store.cache_evictions"
+	CtrCacheHits          = "store.cache_hits"
+	CtrCacheMisses        = "store.cache_misses"
+	CtrCacheEvictions     = "store.cache_evictions"
+	CtrCacheInvalidations = "store.cache_invalidations"
 
 	CtrNetMsgsSent  = "transport.msgs_sent"
 	CtrNetBytesSent = "transport.bytes_sent"
@@ -53,19 +54,26 @@ type DKVCounters struct {
 	BytesWritten int64 `json:"bytes_written"`
 	CacheHits    int64 `json:"cache_hits,omitempty"`
 	CacheMisses  int64 `json:"cache_misses,omitempty"`
+	// CacheEvictions counts rows displaced by the cache bound;
+	// CacheInvalidations counts rows dropped because their key was written
+	// (or, per-phase mode, blanket-flushed at a barrier).
+	CacheEvictions     int64 `json:"cache_evictions,omitempty"`
+	CacheInvalidations int64 `json:"cache_invalidations,omitempty"`
 }
 
 // dkvFromCounters assembles a DKVCounters block from counter values (a
 // registry snapshot or a delta map).
 func dkvFromCounters(c map[string]int64) DKVCounters {
 	return DKVCounters{
-		LocalKeys:    c[CtrDKVLocalKeys],
-		RemoteKeys:   c[CtrDKVRemoteKeys],
-		Requests:     c[CtrDKVRequests],
-		BytesRead:    c[CtrDKVBytesRead],
-		BytesWritten: c[CtrDKVBytesWritten],
-		CacheHits:    c[CtrCacheHits],
-		CacheMisses:  c[CtrCacheMisses],
+		LocalKeys:          c[CtrDKVLocalKeys],
+		RemoteKeys:         c[CtrDKVRemoteKeys],
+		Requests:           c[CtrDKVRequests],
+		BytesRead:          c[CtrDKVBytesRead],
+		BytesWritten:       c[CtrDKVBytesWritten],
+		CacheHits:          c[CtrCacheHits],
+		CacheMisses:        c[CtrCacheMisses],
+		CacheEvictions:     c[CtrCacheEvictions],
+		CacheInvalidations: c[CtrCacheInvalidations],
 	}
 }
 

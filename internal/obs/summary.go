@@ -8,13 +8,16 @@ import "fmt"
 // barrier-separated phase, the same convention as trace.Phases.Merge),
 // total DKV traffic, and the perplexity trajectory endpoint.
 type Summary struct {
-	Ranks           int                `json:"ranks"`
-	Iterations      int                `json:"iterations"`
-	Events          int                `json:"events"`
-	StageMSPerIter  map[string]float64 `json:"stage_ms_per_iter"`
-	DKV             DKVCounters        `json:"dkv"`
-	FinalPerplexity float64            `json:"final_perplexity,omitempty"`
-	ElapsedMS       float64            `json:"elapsed_ms"`
+	Ranks          int                `json:"ranks"`
+	Iterations     int                `json:"iterations"`
+	Events         int                `json:"events"`
+	StageMSPerIter map[string]float64 `json:"stage_ms_per_iter"`
+	DKV            DKVCounters        `json:"dkv"`
+	// CacheHitRate is hits/(hits+misses) of the hot-row cache, omitted when
+	// the stream carries no cache traffic (cache off).
+	CacheHitRate    float64 `json:"cache_hit_rate,omitempty"`
+	FinalPerplexity float64 `json:"final_perplexity,omitempty"`
+	ElapsedMS       float64 `json:"elapsed_ms"`
 }
 
 // Summarize folds a validated event stream into a Summary. It checks the
@@ -63,6 +66,9 @@ func Summarize(events []Event) (*Summary, error) {
 	if s.Ranks == 0 {
 		s.Ranks = len(acc)
 	}
+	if lookups := s.DKV.CacheHits + s.DKV.CacheMisses; lookups > 0 {
+		s.CacheHitRate = float64(s.DKV.CacheHits) / float64(lookups)
+	}
 	for rank, a := range acc {
 		if s.Iterations == 0 {
 			s.Iterations = a.iters
@@ -92,5 +98,7 @@ func addDKV(acc DKVCounters, d *DKVCounters) DKVCounters {
 	acc.BytesWritten += d.BytesWritten
 	acc.CacheHits += d.CacheHits
 	acc.CacheMisses += d.CacheMisses
+	acc.CacheEvictions += d.CacheEvictions
+	acc.CacheInvalidations += d.CacheInvalidations
 	return acc
 }

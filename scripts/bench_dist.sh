@@ -3,9 +3,11 @@
 # trajectory of the distributed iteration loop is tracked in-repo.
 #
 # The snapshot carries two views of the same loop: the Go benchmark's
-# ns/op (serial vs pipelined), and the per-stage phase breakdown digested
-# from the JSONL telemetry stream of a short instrumented cluster run
-# (ocd-cluster -metrics-out → ocd-analyze -events -events-json).
+# ns/op (serial, pipelined, and the hot-row cache per-phase vs
+# cross-iteration, with hit rates), and the per-stage phase breakdown
+# digested from the JSONL telemetry stream of a short instrumented cluster
+# run with the cross-iteration cache on (ocd-cluster -metrics-out →
+# ocd-analyze -events -events-json, including cache_hit_rate).
 # Usage: scripts/bench_dist.sh [benchtime]   (default 20x)
 set -eu
 cd "$(dirname "$0")/.."
@@ -21,7 +23,8 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 go run ./cmd/ocd-gen -n 600 -k 8 -edges 4000 -seed 7 -out "$tmp/bench.txt" >/dev/null
 go run ./cmd/ocd-cluster -graph "$tmp/bench.txt" -ranks 2 -threads 2 -k 8 \
-	-iters 40 -eval 20 -pipeline -metrics-out "$tmp/events.jsonl" >/dev/null
+	-iters 40 -eval 20 -pipeline -hot-cache 1024 -hot-cache-cross-iter \
+	-metrics-out "$tmp/events.jsonl" >/dev/null
 go run ./cmd/ocd-analyze -events "$tmp/events.jsonl" -events-json > "$tmp/summary.json"
 
 echo "$out" | awk -v benchtime="$BENCHTIME" '
@@ -31,6 +34,7 @@ echo "$out" | awk -v benchtime="$BENCHTIME" '
 		name = parts[2]
 		ns[name] = $3
 		n[name] = $2
+		if ($6 == "hit-rate") hr[name] = $5
 	}
 	/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
 	END {
@@ -41,7 +45,9 @@ echo "$out" | awk -v benchtime="$BENCHTIME" '
 		printf "  \"cpu\": \"%s\",\n", cpu
 		printf "  \"results\": {\n"
 		printf "    \"serial\":    {\"ns_per_op\": %s, \"runs\": %s},\n", ns["serial"], n["serial"]
-		printf "    \"pipelined\": {\"ns_per_op\": %s, \"runs\": %s}\n", ns["pipelined"], n["pipelined"]
+		printf "    \"pipelined\": {\"ns_per_op\": %s, \"runs\": %s},\n", ns["pipelined"], n["pipelined"]
+		printf "    \"cached\":    {\"ns_per_op\": %s, \"runs\": %s, \"hit_rate\": %s},\n", ns["cached"], n["cached"], hr["cached"]
+		printf "    \"cached_xiter\": {\"ns_per_op\": %s, \"runs\": %s, \"hit_rate\": %s}\n", ns["cached-xiter"], n["cached-xiter"], hr["cached-xiter"]
 		printf "  },\n"
 		printf "  \"pipelined_speedup\": %.4f,\n", ns["serial"] / ns["pipelined"]
 		printf "  \"telemetry\":\n"
