@@ -14,6 +14,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -108,7 +109,14 @@ func digestEvents(path string, asJSON bool) error {
 	}
 	evs, err := obs.ReadEvents(in)
 	if err != nil {
-		return err
+		// A torn tail — the run died (or is still running) mid-write of the
+		// last line — is expected for crash forensics, which is exactly when
+		// this digest is most useful: warn and digest what did land.
+		var torn *obs.TornTailError
+		if !errors.As(err, &torn) {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "ocd-analyze: warning: %v (digesting the %d complete events)\n", torn, len(evs))
 	}
 	sum, err := obs.Summarize(evs)
 	if err != nil {
@@ -146,7 +154,43 @@ func digestEvents(path string, asJSON bool) error {
 			sum.DKV.CacheHits, lookups, 100*sum.CacheHitRate,
 			sum.DKV.CacheEvictions, sum.DKV.CacheInvalidations)
 	}
+	if len(sum.StageSkew) > 0 {
+		names := make([]string, 0, len(sum.StageSkew))
+		for name := range sum.StageSkew {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("stage skew (slowest rank vs median ms/iteration):\n")
+		for _, name := range names {
+			sk := sum.StageSkew[name]
+			fmt.Printf("  %-22s %10.3f vs %10.3f  skew %5.2f  slowest rank %d\n",
+				name, sk.MaxMS, sk.MedianMS, sk.Skew, sk.SlowRank)
+		}
+	}
+	if len(sum.PeerWaitMS) > 0 {
+		fmt.Printf("peer recv-wait imposed on others (ms):")
+		for _, p := range sortedPeers(sum.PeerWaitMS) {
+			fmt.Printf(" rank%d %.1f", p, sum.PeerWaitMS[p])
+		}
+		fmt.Printf("; skew %.2f", sum.PeerSkew)
+		if len(sum.Stragglers) > 0 {
+			fmt.Printf(" — straggler:")
+			for _, p := range sum.Stragglers {
+				fmt.Printf(" rank %d", p)
+			}
+		}
+		fmt.Println()
+	}
 	return nil
+}
+
+func sortedPeers(m map[int]float64) []int {
+	peers := make([]int, 0, len(m))
+	for p := range m {
+		peers = append(peers, p)
+	}
+	sort.Ints(peers)
+	return peers
 }
 
 func fatal(err error) {

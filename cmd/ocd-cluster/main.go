@@ -15,7 +15,9 @@ import (
 	"net"
 	"os"
 	"sync"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/graph"
@@ -44,6 +46,8 @@ func main() {
 		transp    = flag.String("transport", "inproc", "rank interconnect: inproc (shared-memory fabric) or tcp (loopback mesh, real wire framing)")
 		failRank  = flag.Int("fail-rank", -1, "fault injection: rank to crash (-1 = none)")
 		failIter  = flag.Int("fail-iter", 0, "fault injection: iteration at which -fail-rank crashes")
+		slowRank  = flag.Int("slow-rank", -1, "fault injection: rank whose collective sends are delayed by -slow-send (-1 = none); the straggler report should flag it")
+		slowSend  = flag.Duration("slow-send", time.Millisecond, "per-send delay injected at -slow-rank")
 		metrics   = flag.String("metrics-out", "", "write the JSONL telemetry event stream to this file (- = stdout)")
 		monitor   = flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. :6060 or 127.0.0.1:0)")
 		rankTable = flag.Bool("rank-table", false, "print the per-rank × per-stage time table after the run")
@@ -97,23 +101,47 @@ func main() {
 		fmt.Printf("monitor: http://%s/metrics\n", addr)
 		opts.Monitor = mon
 	}
-	var res *dist.Result
+	// Both interconnects go through RunOnTransport over an explicit conn
+	// slice so fault wrappers (the -slow-rank straggler injection) apply
+	// uniformly.
+	var conns []transport.Conn
+	var cleanup func()
 	switch *transp {
 	case "inproc":
-		res, err = dist.Run(cfg, train, held, opts)
+		fabric, ferr := transport.NewFabric(*ranks)
+		if ferr != nil {
+			fatal(ferr)
+		}
+		conns = fabric.Endpoints()
+		cleanup = func() { fabric.Close() }
 	case "tcp":
 		// Real wire framing on the loopback mesh: the instrumented conns
 		// count every byte the protocol puts on a socket, so the
 		// transport.* counters below reflect multi-process traffic.
-		conns, cleanup, derr := dialLoopbackMesh(*ranks)
-		if derr != nil {
-			fatal(derr)
+		conns, cleanup, err = dialLoopbackMesh(*ranks)
+		if err != nil {
+			fatal(err)
 		}
-		res, err = dist.RunOnTransport(cfg, train, held, opts, conns)
-		cleanup()
 	default:
 		fatal(fmt.Errorf("unknown -transport %q (want inproc or tcp)", *transp))
 	}
+	if *slowRank >= 0 && *slowRank < len(conns) {
+		// Delay only collective-tag sends: the signature of a rank whose
+		// compute lags (late barrier/gather contributions) without also
+		// throttling its DKV request serving.
+		delay := *slowSend
+		conns[*slowRank] = &transport.FaultConn{
+			Conn: conns[*slowRank],
+			DelaySend: func(_ int, tag uint32) time.Duration {
+				if tag < cluster.TagUserBase {
+					return delay
+				}
+				return 0
+			},
+		}
+	}
+	res, err := dist.RunOnTransport(cfg, train, held, opts, conns)
+	cleanup()
 	if err != nil {
 		fatal(err)
 	}
@@ -149,6 +177,10 @@ func main() {
 		fmt.Printf("transport (%s): %d msgs / %.1f MB sent, %d msgs / %.1f MB received\n",
 			*transp, res.Metrics.Counters[obs.CtrNetMsgsSent], float64(sent)/1e6,
 			res.Metrics.Counters[obs.CtrNetMsgsRecv], float64(res.Metrics.Counters[obs.CtrNetBytesRecv])/1e6)
+	}
+	if res.Peers != nil {
+		rep := res.Peers.Straggler()
+		fmt.Println(rep)
 	}
 	fmt.Printf("total wall time: %.2fs for %d iterations (%.1f ms/iteration)\n",
 		res.Elapsed.Seconds(), *iters, res.Elapsed.Seconds()*1000/float64(*iters))

@@ -27,6 +27,8 @@ func main() {
 		iters    = flag.Int("iters", 0, "iterations for real-run experiments (0 = auto-size)")
 		ranks    = flag.Int("ranks", 4, "simulated cluster size for real-run experiments")
 		generate = flag.Bool("generate", false, "tableII: actually generate every preset")
+		evOut    = flag.String("events-out", "", "fig6: also save the run's JSONL telemetry stream to this file")
+		fromEv   = flag.String("from-events", "", "fig6: rebuild the convergence table from this saved JSONL stream instead of running the engine")
 	)
 	flag.Parse()
 
@@ -87,6 +89,10 @@ func main() {
 		run("compare", func() (string, error) { return experiments.CompareInference(*iters) })
 	}
 	if want("fig6") {
+		if *fromEv != "" {
+			run("fig6", func() (string, error) { return experiments.Fig6FromEvents(*fromEv) })
+			return
+		}
 		names := []string{*preset}
 		if *allSets {
 			names = names[:0]
@@ -95,7 +101,7 @@ func main() {
 			}
 		}
 		for _, name := range names {
-			cfg := experiments.Fig6Config{Preset: name, Ranks: *ranks, Iterations: *iters}
+			cfg := experiments.Fig6Config{Preset: name, Ranks: *ranks, Iterations: *iters, EventsOut: *evOut}
 			run("fig6/"+name, func() (string, error) { return experiments.Fig6(cfg) })
 		}
 	}

@@ -44,13 +44,28 @@ type AbortError = transport.AbortError
 
 // Comm is a communicator: a Conn plus collective sequencing.
 type Comm struct {
-	conn transport.Conn
-	seq  uint32
+	conn    transport.Conn
+	labeler transport.PhaseLabeler // conn's phase hook, nil if uninstrumented
+	seq     uint32
 }
 
 // New wraps a transport endpoint in a communicator.
 func New(conn transport.Conn) *Comm {
-	return &Comm{conn: conn}
+	c := &Comm{conn: conn}
+	c.labeler, _ = conn.(transport.PhaseLabeler)
+	return c
+}
+
+// SetPhase labels the engine phase whose collectives run next, so an
+// instrumented transport can attribute blocking-receive time to it
+// (transport.wait.<phase> histograms) — the tag→phase half of straggler
+// localisation. Every rank issues collectives in the same program order, so
+// the label set at each stage boundary covers exactly that stage's tags. A
+// no-op on uninstrumented transports.
+func (c *Comm) SetPhase(name string) {
+	if c.labeler != nil {
+		c.labeler.SetPhase(name)
+	}
 }
 
 // Rank returns this process's rank.

@@ -213,6 +213,11 @@ func (nd *node) buildLoop() *engine.Loop {
 	}
 	if nd.rec != nil { // assign through the guard: a typed-nil Recorder would defeat the nil checks
 		loop.Recorder = nd.rec
+		// Phase attribution rides on the recorder guard for the same reason
+		// telemetry-off runs create no histograms: the hook makes the
+		// instrumented transport open transport.wait.<phase> histograms, and
+		// a run nobody observes must not pay for (or leak) them.
+		loop.PhaseHook = nd.comm.SetPhase
 	}
 	if hook := nd.opt.FaultHook; hook != nil {
 		loop.FaultHook = func(t int) error { return hook(nd.rank, t) }

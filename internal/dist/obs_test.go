@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/transport"
 )
 
 // TestRunEmitsTelemetry is the acceptance test for the live telemetry layer:
@@ -140,6 +143,169 @@ func TestRunEmitsTelemetry(t *testing.T) {
 	if sum.FinalPerplexity != res.Perplexity[len(res.Perplexity)-1].Value {
 		t.Fatalf("summary final perplexity %v != result %v",
 			sum.FinalPerplexity, res.Perplexity[len(res.Perplexity)-1].Value)
+	}
+}
+
+// TestRunPeerMatrix pins the per-peer accounting invariants on a 2-rank run:
+// each matrix row sums to that rank's aggregate transport.* counters, the
+// whole matrix sums to the folded aggregates, and iter events carry per-peer
+// wait deltas.
+func TestRunPeerMatrix(t *testing.T) {
+	train, held := fixture(t, 200, 4, 900, 77)
+	const iters, ranks = 5, 2
+	var buf bytes.Buffer
+	sink := obs.NewSink(&buf)
+	res, err := Run(core.DefaultConfig(4, 99), train, held, Options{
+		Ranks: ranks, Threads: 1, Iterations: iters, Events: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RankMetrics) != ranks {
+		t.Fatalf("RankMetrics has %d snapshots, want %d", len(res.RankMetrics), ranks)
+	}
+	if res.Peers == nil || res.Peers.Ranks != ranks {
+		t.Fatalf("Peers matrix = %+v, want %d ranks", res.Peers, ranks)
+	}
+
+	type grid struct {
+		cells [][]int64
+		aggr  string
+	}
+	grids := []grid{
+		{res.Peers.MsgsSent, obs.CtrNetMsgsSent},
+		{res.Peers.BytesSent, obs.CtrNetBytesSent},
+		{res.Peers.MsgsRecv, obs.CtrNetMsgsRecv},
+		{res.Peers.BytesRecv, obs.CtrNetBytesRecv},
+	}
+	for _, g := range grids {
+		var total int64
+		for r := 0; r < ranks; r++ {
+			var row int64
+			for p := 0; p < ranks; p++ {
+				row += g.cells[r][p]
+			}
+			if want := res.RankMetrics[r].Counters[g.aggr]; row != want {
+				t.Errorf("%s: row %d sums to %d; rank aggregate is %d", g.aggr, r, row, want)
+			}
+			total += row
+		}
+		if want := res.Metrics.Counters[g.aggr]; total != want {
+			t.Errorf("%s: matrix total %d != folded aggregate %d", g.aggr, total, want)
+		}
+		if total == 0 {
+			t.Errorf("%s: no traffic recorded", g.aggr)
+		}
+	}
+	// Sends and receives are two views of the same frames: cell (r,p) of
+	// MsgsSent must equal cell (p,r) of MsgsRecv once the run has quiesced.
+	for r := 0; r < ranks; r++ {
+		for p := 0; p < ranks; p++ {
+			if res.Peers.MsgsSent[r][p] != res.Peers.MsgsRecv[p][r] {
+				t.Errorf("MsgsSent[%d][%d]=%d != MsgsRecv[%d][%d]=%d",
+					r, p, res.Peers.MsgsSent[r][p], p, r, res.Peers.MsgsRecv[p][r])
+			}
+		}
+	}
+
+	// The event stream carries the same signal: iter events with per-peer
+	// wait deltas that Summarize folds into imposed-wait totals.
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPeerWait := false
+	for _, e := range events {
+		if e.Type == obs.EventIter && len(e.PeerWaitMS) > 0 {
+			sawPeerWait = true
+			break
+		}
+	}
+	if !sawPeerWait {
+		t.Fatal("no iter event carries peer_wait_ms")
+	}
+	sum, err := obs.Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.PeerWaitMS) == 0 {
+		t.Fatal("summary has no per-peer wait totals")
+	}
+	// Phase attribution: the recorder was on, so the instrumented transports
+	// opened transport.wait.<phase> histograms.
+	found := false
+	for name := range res.Metrics.Histograms {
+		if strings.HasPrefix(name, "transport.wait.") {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatalf("no transport.wait.<phase> histograms in Metrics: %v", res.Metrics.Histograms)
+	}
+}
+
+// TestRunStragglerFlagged is the acceptance test of the straggler report: a
+// 2-rank run whose rank 1 delays every collective send must be flagged, both
+// by the registry-backed matrix report and by the event-stream summary.
+func TestRunStragglerFlagged(t *testing.T) {
+	train, held := fixture(t, 200, 4, 900, 77)
+	const iters, ranks = 5, 2
+	fabric, err := transport.NewFabric(ranks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fabric.Close()
+	conns := fabric.Endpoints()
+	// Slow rank 1's collective sends only (tags below TagUserBase): its
+	// barrier/gather contributions arrive ~5ms late, so rank 0 blocks in
+	// targeted receives waiting on it — the signature the report localises.
+	conns[1] = &transport.FaultConn{
+		Conn: conns[1],
+		DelaySend: func(to int, tag uint32) time.Duration {
+			if tag < cluster.TagUserBase {
+				// Large enough to dominate baseline sync waits even under
+				// -race instrumentation, which slows everything else too.
+				return 5 * time.Millisecond
+			}
+			return 0
+		},
+	}
+	var buf bytes.Buffer
+	sink := obs.NewSink(&buf)
+	res, err := RunOnTransport(core.DefaultConfig(4, 99), train, held, Options{
+		Ranks: ranks, Threads: 1, Iterations: iters, Events: sink,
+	}, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := res.Peers.Straggler()
+	if len(rep.Flagged) != 1 || rep.Flagged[0] != 1 {
+		t.Fatalf("matrix report flagged %v (imposed %v, skew %.2f); want rank 1",
+			rep.Flagged, rep.ImposedWaitMS, rep.Skew)
+	}
+	if rep.Skew < obs.StragglerSkew {
+		t.Fatalf("skew %.2f below the flagging threshold %v", rep.Skew, obs.StragglerSkew)
+	}
+
+	events, err := obs.ReadEvents(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := obs.Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Stragglers) != 1 || sum.Stragglers[0] != 1 {
+		t.Fatalf("event-stream summary flagged %v (waits %v); want rank 1",
+			sum.Stragglers, sum.PeerWaitMS)
 	}
 }
 

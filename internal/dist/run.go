@@ -2,6 +2,7 @@ package dist
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"time"
 
@@ -86,7 +87,8 @@ type Options struct {
 	Events *obs.Sink
 	// Monitor, when non-nil, is attached to rank 0's metric registry so the
 	// HTTP endpoint serves live counters, gauges, and stage histograms during
-	// the run.
+	// the run, and its /events SSE endpoint streams the run's event stream
+	// (every rank; a discard-backed sink is created when Events is nil).
 	Monitor *obs.Monitor
 
 	// FaultHook, when non-nil, is called by every rank at the top of each
@@ -151,7 +153,16 @@ type Result struct {
 	DKV        DKVTotals
 	// Metrics is every rank's telemetry registry folded into one snapshot:
 	// counters summed, gauges maxed, stage latency histograms merged.
-	Metrics    obs.Snapshot
+	Metrics obs.Snapshot
+	// RankMetrics holds each rank's unfolded snapshot, indexed by rank — the
+	// per-peer transport.peer.<r>.* counters only make sense per rank (folding
+	// them smashes matrix rows together), so the matrix below is built from
+	// these.
+	RankMetrics []obs.Snapshot
+	// Peers is the per-peer traffic/latency matrix folded from RankMetrics;
+	// Peers.Straggler() localises stragglers from the imposed-wait column
+	// sums.
+	Peers      *obs.PeerMatrix
 	Iterations int
 	Elapsed    time.Duration
 	RemoteFrac float64 // fraction of DKV keys served remotely
@@ -195,6 +206,16 @@ func RunOnTransport(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Op
 	}
 	if opt.EvalEvery > 0 && held == nil {
 		return nil, fmt.Errorf("dist: EvalEvery set but no held-out set given")
+	}
+	// The monitor's /events endpoint streams whatever sink the run writes to.
+	// A monitor-only run still deserves live events, so it gets a sink backed
+	// by io.Discard: events are marshalled once and fan out to SSE subscribers
+	// while the file write is a no-op.
+	if opt.Monitor != nil {
+		if opt.Events == nil {
+			opt.Events = obs.NewSink(io.Discard)
+		}
+		opt.Events.Tee(opt.Monitor.EventStream())
 	}
 
 	nodes := make([]*node, opt.Ranks)
@@ -258,8 +279,14 @@ func assembleResult(nodes []*node) *Result {
 	for _, nd := range nodes {
 		res.RankPhases = append(res.RankPhases, nd.phases.Snapshot())
 		res.Phases.MergeAll(nd.phases.Stats())
-		res.Metrics.Fold(nd.reg.Snapshot())
+		// Snapshot each registry exactly once: the folded view and the
+		// per-rank view must agree (the matrix row-sum invariant is tested
+		// against Metrics).
+		snap := nd.reg.Snapshot()
+		res.RankMetrics = append(res.RankMetrics, snap)
+		res.Metrics.Fold(snap)
 	}
+	res.Peers = obs.NewPeerMatrix(res.RankMetrics)
 	c := res.Metrics.Counters
 	res.DKV = DKVTotals{
 		LocalKeys:    c[obs.CtrDKVLocalKeys],
@@ -285,6 +312,9 @@ func assembleResult(nodes []*node) *Result {
 // is broadcast so every rank returns it.
 func (nd *node) evalPerplexity() (float64, error) {
 	defer nd.phases.Timer(PhasePerplexity)()
+	if nd.rec != nil { // same guard as Loop.PhaseHook: no histograms unless observed
+		nd.comm.SetPhase(PhasePerplexity)
+	}
 	partials, err := nd.eval.Fold(nd.store, nd.beta, nd.opt.Threads)
 	if err != nil {
 		return 0, err

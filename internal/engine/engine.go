@@ -59,7 +59,17 @@ type Loop struct {
 	// FaultHook, when non-nil, runs at the top of every iteration; a non-nil
 	// return fails the iteration exactly as if a stage had errored.
 	FaultHook func(t int) error
+	// PhaseHook, when non-nil, is called with each stage's name immediately
+	// before the stage runs; unnamed wiring stages report as PhaseBarrier.
+	// The distributed engine points it at cluster.Comm.SetPhase so the
+	// instrumented transport attributes blocking-receive time to the phase
+	// whose collectives caused it.
+	PhaseHook func(name string)
 }
+
+// PhaseBarrier is the label PhaseHook reports for unnamed wiring stages
+// (the distributed engine's barriers) — where straggler wait concentrates.
+const PhaseBarrier = "barrier"
 
 // RunIteration executes iteration t: the fault hook, then every stage in
 // order, stopping at the first error. Named stages are timed once and the
@@ -73,6 +83,13 @@ func (l *Loop) RunIteration(t int) error {
 	}
 	for i := range l.Stages {
 		st := &l.Stages[i]
+		if l.PhaseHook != nil {
+			name := st.Name
+			if name == "" {
+				name = PhaseBarrier
+			}
+			l.PhaseHook(name)
+		}
 		timed := st.Name != "" && (l.Trace != nil || l.Recorder != nil)
 		var start time.Time
 		if timed {

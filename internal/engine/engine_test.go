@@ -85,6 +85,34 @@ func TestLoopFaultHook(t *testing.T) {
 	}
 }
 
+// TestLoopPhaseHook: the hook fires before every stage with the stage's
+// name, unnamed wiring stages reporting as PhaseBarrier — the label sequence
+// the instrumented transport attributes receive waits with.
+func TestLoopPhaseHook(t *testing.T) {
+	var labels []string
+	noop := func(int) error { return nil }
+	l := &Loop{
+		PhaseHook: func(name string) { labels = append(labels, name) },
+		Stages: []Stage{
+			{Name: "update_phi", Run: noop},
+			{Run: noop}, // unnamed barrier
+			{Name: "update_pi", Run: noop},
+		},
+	}
+	if err := l.RunIteration(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"update_phi", PhaseBarrier, "update_pi"}
+	if len(labels) != len(want) {
+		t.Fatalf("hook fired %d times (%v), want %d", len(labels), labels, len(want))
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("phase sequence %v, want %v", labels, want)
+		}
+	}
+}
+
 func TestLoopValidate(t *testing.T) {
 	ok := &Loop{Stages: []Stage{
 		{Name: "draw", Reads: []string{"graph"}, Writes: []string{"batch"}},

@@ -8,7 +8,10 @@
 package experiments
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -18,6 +21,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mathx"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/simnet"
 )
@@ -308,6 +312,10 @@ type Fig6Config struct {
 	Iterations int // 0 = sized for ~1200 φ updates per vertex
 	EvalEvery  int
 	HeldOutDiv int // held-out size = |E| / HeldOutDiv
+	// EventsOut, when non-empty, saves the run's JSONL telemetry stream to
+	// this file; Fig6FromEvents rebuilds the convergence table from it later
+	// without re-running the engine.
+	EventsOut string
 }
 
 // Fig6 runs a REAL convergence experiment on one scaled dataset and reports
@@ -391,11 +399,29 @@ func Fig6(c Fig6Config) (string, error) {
 	// while still satisfying the SGLD schedule conditions.
 	cfg.StepA = 0.05
 	cfg.StepB = 4096
+	// The convergence table is built from the run's own telemetry stream, not
+	// from Result — the same JSONL a long run writes with -metrics-out, so the
+	// live and post-hoc paths (Fig6FromEvents) render identical figures.
+	var evbuf bytes.Buffer
+	sink := obs.NewSink(&evbuf)
 	res, err := dist.Run(cfg, train, held, dist.Options{
 		Ranks: c.Ranks, Threads: c.Threads, Iterations: c.Iterations,
 		EvalEvery: c.EvalEvery, Pipeline: true,
 		MinibatchPairs: mb, NeighborCount: 32,
+		Events: sink,
 	})
+	if err != nil {
+		return "", err
+	}
+	if err := sink.Close(); err != nil {
+		return "", err
+	}
+	if c.EventsOut != "" {
+		if err := os.WriteFile(c.EventsOut, evbuf.Bytes(), 0o644); err != nil {
+			return "", err
+		}
+	}
+	events, err := obs.ReadEvents(bytes.NewReader(evbuf.Bytes()))
 	if err != nil {
 		return "", err
 	}
@@ -403,21 +429,62 @@ func Fig6(c Fig6Config) (string, error) {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 6 — convergence, %s /%d (N=%d, |E|=%d, K=%d, %d ranks, %d iterations)\n",
 		p.Name, c.Scale, train.NumVertices(), train.NumEdges(), k, c.Ranks, c.Iterations)
-	fmt.Fprintf(&b, "%10s %12s %14s\n", "iteration", "elapsed (s)", "perplexity")
-	detector := metrics.NewConvergenceDetector(6, 0.005)
-	convergedAt := -1
-	for _, pt := range res.Perplexity {
-		fmt.Fprintf(&b, "%10d %12.2f %14.4f\n", pt.Iter, pt.Elapsed.Seconds(), pt.Value)
-		if detector.Add(pt.Value) && convergedAt < 0 {
-			convergedAt = pt.Iter
-		}
-	}
-	if convergedAt >= 0 {
-		fmt.Fprintf(&b, "converged (smoothed) at iteration %d\n", convergedAt)
-	}
+	writeConvergenceTable(&b, events)
 	truth := metrics.NewCover(g.NumVertices(), gt.Members)
 	detected := metrics.FromState(res.State, 0)
 	fmt.Fprintf(&b, "recovery F1 vs planted ground truth: %.3f (NMI %.3f)\n",
 		metrics.F1Score(detected, truth), metrics.NMI(detected, truth))
+	return b.String(), nil
+}
+
+// writeConvergenceTable renders the Figure 6 perplexity-vs-wall-clock table
+// from a telemetry event stream's perplexity events.
+func writeConvergenceTable(b *strings.Builder, events []obs.Event) {
+	fmt.Fprintf(b, "%10s %12s %14s\n", "iteration", "elapsed (s)", "perplexity")
+	detector := metrics.NewConvergenceDetector(6, 0.005)
+	convergedAt := -1
+	for i := range events {
+		e := &events[i]
+		if e.Type != obs.EventPerplexity {
+			continue
+		}
+		fmt.Fprintf(b, "%10d %12.2f %14.4f\n", e.Iter, e.ElapsedMS/1000, e.Perplexity)
+		if detector.Add(e.Perplexity) && convergedAt < 0 {
+			convergedAt = e.Iter
+		}
+	}
+	if convergedAt >= 0 {
+		fmt.Fprintf(b, "converged (smoothed) at iteration %d\n", convergedAt)
+	}
+}
+
+// Fig6FromEvents rebuilds the Figure 6 convergence table from a saved JSONL
+// telemetry stream (a run's -metrics-out file, or Fig6Config.EventsOut)
+// without re-running the engine. A torn final line — the run is still going,
+// or crashed mid-write — degrades to digesting the complete events. The
+// recovery-F1 line needs the trained state and so only appears on live runs.
+func Fig6FromEvents(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	events, err := obs.ReadEvents(f)
+	if err != nil {
+		var torn *obs.TornTailError
+		if !errors.As(err, &torn) {
+			return "", err
+		}
+		fmt.Fprintf(os.Stderr, "ocd-paper: warning: %v (using the %d complete events)\n", torn, len(events))
+	}
+	ranks, iters := 0, 0
+	for i := range events {
+		if events[i].Type == obs.EventRunStart {
+			ranks, iters = events[i].Ranks, events[i].Iterations
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6 — convergence, replayed from %s (%d ranks, %d iterations)\n", path, ranks, iters)
+	writeConvergenceTable(&b, events)
 	return b.String(), nil
 }

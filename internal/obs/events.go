@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -84,7 +85,8 @@ func (d DKVCounters) IsZero() bool { return d == DKVCounters{} }
 // depends on Type:
 //
 //   - run_start: Rank, Ranks, Iterations
-//   - iter:       Rank, Iter (0-based), StagesMS, DKV (deltas), ElapsedMS
+//   - iter:       Rank, Iter (0-based), StagesMS, DKV (deltas), PeerWaitMS
+//     (deltas), ElapsedMS
 //   - perplexity: Rank, Iter (1-based eval point), Perplexity, ElapsedMS
 //   - run_end:    Rank, Iter (= iterations run), DKV (cumulative), ElapsedMS
 type Event struct {
@@ -95,8 +97,13 @@ type Event struct {
 	Iterations int                `json:"iterations,omitempty"`
 	StagesMS   map[string]float64 `json:"stages_ms,omitempty"`
 	DKV        *DKVCounters       `json:"dkv,omitempty"`
-	Perplexity float64            `json:"perplexity,omitempty"`
-	ElapsedMS  float64            `json:"elapsed_ms,omitempty"`
+	// PeerWaitMS, on iter events, is the time this rank spent blocked in
+	// targeted receives per sending peer during this iteration (the per-peer
+	// recv_wait_ns counter deltas) — the event-stream form of the straggler
+	// signal. Keys are peer ranks.
+	PeerWaitMS map[int]float64 `json:"peer_wait_ms,omitempty"`
+	Perplexity float64         `json:"perplexity,omitempty"`
+	ElapsedMS  float64         `json:"elapsed_ms,omitempty"`
 }
 
 // Validate checks the schema invariants a well-formed stream satisfies.
@@ -120,6 +127,14 @@ func (e *Event) Validate() error {
 			return fmt.Errorf("obs: %s event: stage %q has negative duration %f", e.Type, name, ms)
 		}
 	}
+	for peer, ms := range e.PeerWaitMS {
+		if peer < 0 {
+			return fmt.Errorf("obs: %s event with negative peer rank %d", e.Type, peer)
+		}
+		if ms < 0 {
+			return fmt.Errorf("obs: %s event: peer %d has negative wait %f", e.Type, peer, ms)
+		}
+	}
 	if e.Type == EventPerplexity && e.Perplexity <= 0 {
 		return fmt.Errorf("obs: perplexity event at iter %d with non-positive value %f", e.Iter, e.Perplexity)
 	}
@@ -133,9 +148,10 @@ func (e *Event) Validate() error {
 // concurrent use — in a distributed run every rank's recorder shares one
 // sink — and each event is exactly one '\n'-terminated line.
 type Sink struct {
-	mu sync.Mutex
-	w  *bufio.Writer
-	c  io.Closer // set by NewFileSink; nil otherwise
+	mu  sync.Mutex
+	w   *bufio.Writer
+	c   io.Closer // set by NewFileSink; nil otherwise
+	tee *Stream   // set by Tee; every emitted line is also published here
 }
 
 // NewSink wraps a writer. The caller keeps ownership of w; Close only
@@ -149,6 +165,15 @@ func NewFileSink(w io.WriteCloser) *Sink {
 	return &Sink{w: bufio.NewWriter(w), c: w}
 }
 
+// Tee publishes every subsequently emitted line to st as well — the hookup
+// between a run's event sink and the monitor's live /events SSE endpoint,
+// which thereby streams exactly the JSONL the file sink receives.
+func (s *Sink) Tee(st *Stream) {
+	s.mu.Lock()
+	s.tee = st
+	s.mu.Unlock()
+}
+
 // Emit writes one event as a single JSON line.
 func (s *Sink) Emit(e *Event) error {
 	buf, err := json.Marshal(e)
@@ -157,6 +182,9 @@ func (s *Sink) Emit(e *Event) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.tee != nil {
+		s.tee.Publish(buf)
+	}
 	if _, err := s.w.Write(buf); err != nil {
 		return err
 	}
@@ -177,31 +205,60 @@ func (s *Sink) Close() error {
 	return err
 }
 
-// ReadEvents decodes a JSONL stream, validating every event. Blank lines
-// are skipped; the first malformed or invalid line fails the read with its
-// line number.
+// TornTailError reports that the final line of a stream was cut off
+// mid-record — no trailing newline and not decodable — which is the normal
+// shape of a crashed run's event file (the sink died mid-write). ReadEvents
+// returns it alongside every event before the tear, so callers can degrade
+// it to a warning instead of discarding an otherwise-valid stream.
+type TornTailError struct {
+	Line int   // 1-based line number of the torn record
+	Err  error // the decode or validation failure on the partial line
+}
+
+// Error implements error.
+func (e *TornTailError) Error() string {
+	return fmt.Sprintf("obs: line %d: stream ends mid-record (torn tail): %v", e.Line, e.Err)
+}
+
+// Unwrap exposes the underlying decode failure.
+func (e *TornTailError) Unwrap() error { return e.Err }
+
+// ReadEvents decodes a JSONL stream, validating every event. Blank lines are
+// skipped; the first malformed or invalid newline-terminated line fails the
+// read with its line number. A final line without a trailing newline that
+// fails to decode is a torn tail: the events before it are returned together
+// with a *TornTailError (check with errors.As) so consumers can digest a
+// crashed run's file with a warning rather than a hard failure.
 func ReadEvents(r io.Reader) ([]Event, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	br := bufio.NewReaderSize(r, 64*1024)
 	var events []Event
 	line := 0
-	for sc.Scan() {
-		line++
-		raw := sc.Bytes()
-		if len(raw) == 0 {
-			continue
+	for {
+		raw, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return nil, err
 		}
-		var e Event
-		if err := json.Unmarshal(raw, &e); err != nil {
-			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		atEOF := err == io.EOF
+		terminated := !atEOF
+		raw = bytes.TrimSuffix(raw, []byte("\n"))
+		if len(raw) > 0 {
+			line++
+			var e Event
+			decodeErr := json.Unmarshal(raw, &e)
+			if decodeErr == nil {
+				decodeErr = e.Validate()
+			}
+			switch {
+			case decodeErr == nil:
+				events = append(events, e)
+			case !terminated:
+				return events, &TornTailError{Line: line, Err: decodeErr}
+			default:
+				return nil, fmt.Errorf("obs: line %d: %w", line, decodeErr)
+			}
 		}
-		if err := e.Validate(); err != nil {
-			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		if atEOF {
+			return events, nil
 		}
-		events = append(events, e)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return events, nil
 }

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -93,6 +94,44 @@ func TestReadEventsRejectsMalformed(t *testing.T) {
 	}
 }
 
+// TestReadEventsTornTail: a final line cut off mid-record (no trailing
+// newline, not decodable) yields every complete event plus a *TornTailError —
+// the shape of a crashed run's stream. The same malformed text WITH a
+// trailing newline stays a hard error (TestReadEventsRejectsMalformed pins
+// that side).
+func TestReadEventsTornTail(t *testing.T) {
+	in := `{"type":"iter","rank":0,"iter":0}` + "\n" +
+		`{"type":"iter","rank":0,"iter":1}` + "\n" +
+		`{"type":"iter","rank":0,` // torn mid-write
+	events, err := ReadEvents(strings.NewReader(in))
+	var torn *TornTailError
+	if !errors.As(err, &torn) {
+		t.Fatalf("err = %v, want *TornTailError", err)
+	}
+	if torn.Line != 3 {
+		t.Errorf("torn line = %d, want 3", torn.Line)
+	}
+	if len(events) != 2 || events[1].Iter != 1 {
+		t.Fatalf("got %d complete events (%+v), want the 2 before the tear", len(events), events)
+	}
+	// A complete-but-invalid unterminated tail is still a torn tail: the
+	// writer may have died between the JSON body and the newline, but equally
+	// between two digits of a field — either way the record is suspect.
+	events, err = ReadEvents(strings.NewReader(`{"type":"iter","rank":0,"iter":0}` + "\n" + `{"type":"bogus"}`))
+	if !errors.As(err, &torn) {
+		t.Fatalf("invalid unterminated tail: err = %v, want *TornTailError", err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	// A valid unterminated final line is accepted silently (a stream captured
+	// by a tool that strips the last newline should not warn).
+	events, err = ReadEvents(strings.NewReader(`{"type":"iter","rank":0,"iter":0}`))
+	if err != nil || len(events) != 1 {
+		t.Fatalf("valid unterminated tail: events %d, err %v", len(events), err)
+	}
+}
+
 func TestReadEventsSkipsBlankLines(t *testing.T) {
 	in := `{"type":"iter","rank":0,"iter":0}` + "\n\n" + `{"type":"iter","rank":0,"iter":1}` + "\n"
 	events, err := ReadEvents(strings.NewReader(in))
@@ -125,6 +164,75 @@ func TestSummarize(t *testing.T) {
 	}
 	if s.FinalPerplexity != 42.5 {
 		t.Errorf("final perplexity = %v, want 42.5", s.FinalPerplexity)
+	}
+}
+
+// TestSummarizeZeroIterations: a stream truncated to its run_start — a run
+// that crashed before iteration 0 finished — is legal and yields an empty
+// Summary rather than an error.
+func TestSummarizeZeroIterations(t *testing.T) {
+	s, err := Summarize([]Event{{Type: EventRunStart, Rank: 0, Ranks: 4, Iterations: 100}})
+	if err != nil {
+		t.Fatalf("Summarize(run_start only) = %v", err)
+	}
+	if s.Ranks != 4 || s.Iterations != 0 || s.Events != 1 {
+		t.Fatalf("summary = %+v, want 4 ranks, 0 iterations, 1 event", s)
+	}
+	if s, err = Summarize(nil); err != nil || s.Iterations != 0 {
+		t.Fatalf("Summarize(nil) = %+v, %v", s, err)
+	}
+}
+
+// TestSummarizePeerWait: per-peer wait deltas on iter events fold into the
+// imposed-wait totals (diagonal excluded) and the straggler rule flags the
+// slow peer.
+func TestSummarizePeerWait(t *testing.T) {
+	events := []Event{
+		{Type: EventRunStart, Rank: 0, Ranks: 2, Iterations: 2},
+		{Type: EventIter, Rank: 0, Iter: 0, PeerWaitMS: map[int]float64{0: 99, 1: 20}},
+		{Type: EventIter, Rank: 1, Iter: 0, PeerWaitMS: map[int]float64{0: 0.5}},
+		{Type: EventIter, Rank: 0, Iter: 1, PeerWaitMS: map[int]float64{1: 22}},
+		{Type: EventIter, Rank: 1, Iter: 1, PeerWaitMS: map[int]float64{0: 0.5}},
+	}
+	s, err := Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0's wait on itself (the 99) is the diagonal: excluded.
+	if got := s.PeerWaitMS[0]; got != 1 {
+		t.Errorf("PeerWaitMS[0] = %v, want 1", got)
+	}
+	if got := s.PeerWaitMS[1]; got != 42 {
+		t.Errorf("PeerWaitMS[1] = %v, want 42", got)
+	}
+	if s.PeerSkew != 42 {
+		t.Errorf("PeerSkew = %v, want 42 (max 42 over floor-clamped median 1)", s.PeerSkew)
+	}
+	if len(s.Stragglers) != 1 || s.Stragglers[0] != 1 {
+		t.Errorf("Stragglers = %v, want [1]", s.Stragglers)
+	}
+}
+
+// TestSummarizeStageSkew: per-stage cross-rank skew names the slow rank;
+// master-only stages (one reporter) are skipped.
+func TestSummarizeStageSkew(t *testing.T) {
+	events := []Event{
+		{Type: EventIter, Rank: 0, Iter: 0, StagesMS: map[string]float64{"update_phi": 10, "draw_minibatch": 3}},
+		{Type: EventIter, Rank: 1, Iter: 0, StagesMS: map[string]float64{"update_phi": 40}},
+	}
+	s, err := Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, ok := s.StageSkew["update_phi"]
+	if !ok {
+		t.Fatalf("no StageSkew for update_phi: %+v", s.StageSkew)
+	}
+	if sk.MaxMS != 40 || sk.MedianMS != 10 || sk.Skew != 4 || sk.SlowRank != 1 {
+		t.Fatalf("update_phi skew = %+v, want max 40 / median 10 / skew 4 / rank 1", sk)
+	}
+	if _, ok := s.StageSkew["draw_minibatch"]; ok {
+		t.Fatal("single-reporter stage draw_minibatch must not get a skew entry")
 	}
 }
 

@@ -2,16 +2,29 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 )
 
-// Monitor is the expvar-style live endpoint: an HTTP server that renders
-// the attached registry as one JSON document, so a multi-hour run can be
-// watched (current iteration, perplexity, counters, stage latency
-// percentiles) without interrupting it.
+// Monitor is the live HTTP endpoint of a run. It serves exactly three
+// routes — anything else is a 404, so a typo'd path can never silently
+// return the full metrics document:
+//
+//	/         the attached registry as one JSON document (alias of /metrics)
+//	/metrics  same
+//	/events   Server-Sent Events: the JSONL telemetry stream, live
+//
+// /events streams the same lines the file sink receives (Sink.Tee feeds the
+// monitor's Stream): each SSE frame is `id: <n>` + `data: <one JSON event>`.
+// A bounded ring buffer (DefaultStreamCapacity events) backs the endpoint,
+// so a client that reconnects with a Last-Event-ID header resumes from the
+// first event it missed, as long as it is still inside the window; a client
+// too slow to drain its queue has events dropped rather than stalling the
+// run, and detects the loss as a gap in the ids.
 //
 // Lifecycle: NewMonitor(addr) → Start (binds and serves in the background)
 // → Attach(registry) once the run's rank-0 registry exists → Close. A GET
@@ -19,10 +32,11 @@ import (
 type Monitor struct {
 	addr string
 
-	mu  sync.Mutex
-	reg *Registry
-	ln  net.Listener
-	srv *http.Server
+	mu     sync.Mutex
+	reg    *Registry
+	stream *Stream
+	ln     net.Listener
+	srv    *http.Server
 }
 
 // NewMonitor creates a monitor that will listen on addr (host:port; an
@@ -37,6 +51,18 @@ func (m *Monitor) Attach(reg *Registry) {
 	m.mu.Unlock()
 }
 
+// EventStream returns the stream backing /events, creating it on first use.
+// The engine tees its event sink into it (Sink.Tee) so SSE clients receive
+// every rank's events live.
+func (m *Monitor) EventStream() *Stream {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stream == nil {
+		m.stream = NewStream(DefaultStreamCapacity)
+	}
+	return m.stream
+}
+
 // Start binds the listener and serves in a background goroutine. It returns
 // the bound address (useful with port 0).
 func (m *Monitor) Start() (string, error) {
@@ -45,8 +71,9 @@ func (m *Monitor) Start() (string, error) {
 		return "", err
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/", m.handle)
-	mux.HandleFunc("/metrics", m.handle)
+	mux.HandleFunc("/", m.handleRoot)
+	mux.HandleFunc("/metrics", m.handleMetrics)
+	mux.HandleFunc("/events", m.handleEvents)
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	m.mu.Lock()
 	m.ln = ln
@@ -56,8 +83,19 @@ func (m *Monitor) Start() (string, error) {
 	return ln.Addr().String(), nil
 }
 
-// handle renders the registry snapshot as indented JSON.
-func (m *Monitor) handle(w http.ResponseWriter, _ *http.Request) {
+// handleRoot serves the metrics document for exactly "/" and 404s every
+// other path — net/http's "/" pattern is a catch-all, so without this check
+// /favicon.ico or a typo'd /metric would silently serve the full document.
+func (m *Monitor) handleRoot(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	m.handleMetrics(w, r)
+}
+
+// handleMetrics renders the registry snapshot as indented JSON.
+func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	m.mu.Lock()
 	reg := m.reg
 	m.mu.Unlock()
@@ -77,7 +115,65 @@ func (m *Monitor) handle(w http.ResponseWriter, _ *http.Request) {
 	_, _ = w.Write(buf)
 }
 
-// Close stops the server; a monitor that was never started closes cleanly.
+// handleEvents is the SSE endpoint: replay the buffered backlog after the
+// client's Last-Event-ID, then stream live events until the client hangs up
+// or the monitor closes. Frames are flushed per event; a comment heartbeat
+// keeps idle connections alive through proxies.
+func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	var lastID uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		id, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			http.Error(w, "bad Last-Event-ID", http.StatusBadRequest)
+			return
+		}
+		lastID = id
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	backlog, sub, cancel := m.EventStream().SubscribeFrom(lastID, 0)
+	defer cancel()
+
+	// An initial comment confirms the handshake even before any event exists.
+	fmt.Fprintf(w, ": stream open\n\n")
+	for _, ev := range backlog {
+		writeSSE(w, ev)
+	}
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-sub.C:
+			writeSSE(w, ev)
+			flusher.Flush()
+		case <-heartbeat.C:
+			fmt.Fprintf(w, ": ping\n\n")
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSE emits one event frame. Event data is single-line JSON, so the
+// one-data-line framing is always valid.
+func writeSSE(w http.ResponseWriter, ev StreamEvent) {
+	fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.ID, ev.Data)
+}
+
+// Close stops the server (active SSE connections are torn down, which
+// cancels their request contexts); a monitor that was never started closes
+// cleanly.
 func (m *Monitor) Close() error {
 	m.mu.Lock()
 	srv := m.srv

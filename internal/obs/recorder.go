@@ -119,8 +119,21 @@ func (r *RunRecorder) IterDone(iter int) {
 	}
 	delete(r.stages, iter)
 	if r.reg != nil {
-		if dkv := dkvFromCounters(r.counterDelta()); !dkv.IsZero() {
+		delta := r.counterDelta()
+		if dkv := dkvFromCounters(delta); !dkv.IsZero() {
 			e.DKV = &dkv
+		}
+		// Per-peer recv-wait deltas ride each iter event so a stream consumer
+		// (obs.Summarize, ocd-analyze) can localise stragglers per link.
+		for name, v := range delta {
+			peer, kind, ok := ParsePeerCounter(name)
+			if !ok || kind != PeerRecvWaitNS || v <= 0 {
+				continue
+			}
+			if e.PeerWaitMS == nil {
+				e.PeerWaitMS = map[int]float64{}
+			}
+			e.PeerWaitMS[peer] = float64(v) / 1e6
 		}
 	}
 	r.mu.Unlock()

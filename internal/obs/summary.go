@@ -1,18 +1,43 @@
 package obs
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
+
+// StageSkew is the cross-rank imbalance of one stage: the slowest rank's
+// mean ms/iteration against the cluster's (lower) median. A skew near 1
+// means the stage is balanced; a persistently high skew names the stage —
+// and SlowRank the rank — where the barrier time goes.
+type StageSkew struct {
+	MaxMS    float64 `json:"max_ms"`
+	MedianMS float64 `json:"median_ms"`
+	Skew     float64 `json:"skew"`
+	SlowRank int     `json:"slow_rank"`
+}
 
 // Summary is the machine-readable aggregation of an event stream, the shape
 // scripts/bench_dist.sh embeds into BENCH_dist.json: per-stage ms/iteration
 // (per-rank mean, then max across ranks — the slowest rank bounds every
 // barrier-separated phase, the same convention as trace.Phases.Merge),
-// total DKV traffic, and the perplexity trajectory endpoint.
+// total DKV traffic, the straggler report, and the perplexity trajectory
+// endpoint.
 type Summary struct {
 	Ranks          int                `json:"ranks"`
 	Iterations     int                `json:"iterations"`
 	Events         int                `json:"events"`
 	StageMSPerIter map[string]float64 `json:"stage_ms_per_iter"`
-	DKV            DKVCounters        `json:"dkv"`
+	// StageSkew reports, per stage seen on at least two ranks, how much the
+	// slowest rank exceeds the median — the per-phase ("per collective tag")
+	// half of the straggler report.
+	StageSkew map[string]StageSkew `json:"stage_skew,omitempty"`
+	DKV       DKVCounters          `json:"dkv"`
+	// PeerWaitMS[p] totals the recv-wait peer p imposed on the other ranks
+	// (summed per-peer wait deltas of every iter event, diagonal excluded);
+	// PeerSkew and Stragglers apply the stragglerReport rule to it.
+	PeerWaitMS map[int]float64 `json:"peer_wait_ms,omitempty"`
+	PeerSkew   float64         `json:"peer_skew,omitempty"`
+	Stragglers []int           `json:"stragglers,omitempty"`
 	// CacheHitRate is hits/(hits+misses) of the hot-row cache, omitted when
 	// the stream carries no cache traffic (cache off).
 	CacheHitRate    float64 `json:"cache_hit_rate,omitempty"`
@@ -23,7 +48,9 @@ type Summary struct {
 // Summarize folds a validated event stream into a Summary. It checks the
 // stream-level invariants the schema cannot express per-line: per-rank iter
 // events must be consecutive from 0, and every rank must report the same
-// iteration count.
+// iteration count. A stream with no iter events at all — a run that crashed
+// before finishing iteration 0, truncated to its run_start — is legal and
+// yields a zero-iteration Summary rather than an error.
 func Summarize(events []Event) (*Summary, error) {
 	s := &Summary{StageMSPerIter: map[string]float64{}, Events: len(events)}
 	// Per-rank accumulation: stage sums and iteration counts.
@@ -32,6 +59,7 @@ func Summarize(events []Event) (*Summary, error) {
 		iters  int
 	}
 	acc := map[int]*rankAcc{}
+	peerWait := map[int]float64{}
 	for i := range events {
 		e := &events[i]
 		switch e.Type {
@@ -52,6 +80,11 @@ func Summarize(events []Event) (*Summary, error) {
 				a.stages[name] += ms
 			}
 			s.DKV = addDKV(s.DKV, e.DKV)
+			for peer, ms := range e.PeerWaitMS {
+				if peer != e.Rank {
+					peerWait[peer] += ms
+				}
+			}
 		case EventPerplexity:
 			s.FinalPerplexity = e.Perplexity
 		case EventRunEnd:
@@ -59,9 +92,6 @@ func Summarize(events []Event) (*Summary, error) {
 				s.ElapsedMS = e.ElapsedMS
 			}
 		}
-	}
-	if len(acc) == 0 {
-		return nil, fmt.Errorf("obs: no iter events in stream")
 	}
 	if s.Ranks == 0 {
 		s.Ranks = len(acc)
@@ -83,7 +113,90 @@ func Summarize(events []Event) (*Summary, error) {
 			}
 		}
 	}
+	s.addStageSkew(func(rank int) (map[string]float64, int) {
+		a := acc[rank]
+		if a == nil {
+			return nil, 0
+		}
+		return a.stages, a.iters
+	}, sortedKeys(acc))
+	if len(peerWait) > 0 {
+		s.PeerWaitMS = peerWait
+		// Stretch the wait map onto a dense per-peer vector so the shared
+		// flagging rule (and its median) sees silent peers as zero wait.
+		maxPeer := 0
+		for p := range peerWait {
+			if p > maxPeer {
+				maxPeer = p
+			}
+		}
+		if s.Ranks > maxPeer+1 {
+			maxPeer = s.Ranks - 1
+		}
+		waits := make([]float64, maxPeer+1)
+		for p, w := range peerWait {
+			waits[p] = w
+		}
+		rep := stragglerReport(waits)
+		s.PeerSkew = rep.Skew
+		s.Stragglers = rep.Flagged
+	}
 	return s, nil
+}
+
+// addStageSkew computes the per-stage cross-rank skew from the per-rank
+// stage means; stages reported by fewer than two ranks (the master-only
+// draw_minibatch) are skipped.
+func (s *Summary) addStageSkew(rankStages func(rank int) (map[string]float64, int), ranks []int) {
+	if len(ranks) < 2 {
+		return
+	}
+	type sample struct {
+		rank int
+		ms   float64
+	}
+	byStage := map[string][]sample{}
+	for _, rank := range ranks {
+		stages, iters := rankStages(rank)
+		for name, total := range stages {
+			byStage[name] = append(byStage[name], sample{rank, total / float64(iters)})
+		}
+	}
+	for name, samples := range byStage {
+		if len(samples) < 2 {
+			continue
+		}
+		sorted := append([]sample(nil), samples...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i].ms < sorted[j].ms })
+		max := sorted[len(sorted)-1]
+		median := sorted[(len(sorted)-1)/2].ms
+		denom := median
+		if denom < stageSkewFloorMS {
+			denom = stageSkewFloorMS
+		}
+		if s.StageSkew == nil {
+			s.StageSkew = map[string]StageSkew{}
+		}
+		s.StageSkew[name] = StageSkew{
+			MaxMS:    max.ms,
+			MedianMS: median,
+			Skew:     max.ms / denom,
+			SlowRank: max.rank,
+		}
+	}
+}
+
+// stageSkewFloorMS clamps the skew denominator so a stage whose median is
+// microseconds cannot report an astronomically large (and meaningless) skew.
+const stageSkewFloorMS = 0.001
+
+func sortedKeys[V any](m map[int]V) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
 }
 
 // addDKV accumulates an optional per-event DKV block.

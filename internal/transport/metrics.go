@@ -1,15 +1,52 @@
 package transport
 
-import "repro/internal/obs"
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// PhaseLabeler is implemented by instrumented conns: SetPhase names the
+// engine phase subsequent blocking receives are attributed to, feeding the
+// transport.wait.<phase> histograms that break straggler wait down per
+// collective tag. cluster.Comm forwards its SetPhase here.
+type PhaseLabeler interface {
+	SetPhase(name string)
+}
 
 // instrumentedConn wraps a Conn and counts every frame and payload byte
 // that crosses it (sends and receives) into the transport.* counters of a
-// telemetry registry. It is transparent to the protocol: tags, payload
+// telemetry registry — both the per-rank aggregates and the per-peer
+// transport.peer.<r>.* breakdown, whose row/column sums reconstruct the
+// aggregates. Targeted receives additionally time how long the caller was
+// blocked and charge it to the sending peer (transport.peer.<r>.recv_wait_ns)
+// and, when a phase label is set, to the per-phase wait histogram. RecvAny
+// is deliberately excluded from wait accounting: the DKV server idles in
+// RecvAny waiting for requests by design, and that idle time says nothing
+// about stragglers. It is transparent to the protocol: tags, payload
 // ownership, deadlines, and poisoning all pass straight through.
 type instrumentedConn struct {
 	Conn
 	msgsSent, bytesSent *obs.Counter
 	msgsRecv, bytesRecv *obs.Counter
+	peers               []peerCounters // indexed by peer rank, self included
+	reg                 *obs.Registry
+	phase               atomic.Pointer[phaseLabel]
+}
+
+// peerCounters is one row slot of the per-peer traffic matrix.
+type peerCounters struct {
+	msgsSent, bytesSent *obs.Counter
+	msgsRecv, bytesRecv *obs.Counter
+	recvWaitNS          *obs.Counter
+}
+
+// phaseLabel caches the phase's wait histogram so the per-receive cost of
+// attribution is one atomic load, not a registry lookup.
+type phaseLabel struct {
+	name string
+	wait *obs.Histogram
 }
 
 // Instrument wraps conn so its traffic is counted in reg. A nil registry
@@ -18,13 +55,35 @@ func Instrument(conn Conn, reg *obs.Registry) Conn {
 	if reg == nil {
 		return conn
 	}
-	return &instrumentedConn{
+	c := &instrumentedConn{
 		Conn:      conn,
 		msgsSent:  reg.Counter(obs.CtrNetMsgsSent),
 		bytesSent: reg.Counter(obs.CtrNetBytesSent),
 		msgsRecv:  reg.Counter(obs.CtrNetMsgsRecv),
 		bytesRecv: reg.Counter(obs.CtrNetBytesRecv),
+		peers:     make([]peerCounters, conn.Size()),
+		reg:       reg,
 	}
+	for p := range c.peers {
+		c.peers[p] = peerCounters{
+			msgsSent:   reg.Counter(obs.PeerCounterName(p, obs.PeerMsgsSent)),
+			bytesSent:  reg.Counter(obs.PeerCounterName(p, obs.PeerBytesSent)),
+			msgsRecv:   reg.Counter(obs.PeerCounterName(p, obs.PeerMsgsRecv)),
+			bytesRecv:  reg.Counter(obs.PeerCounterName(p, obs.PeerBytesRecv)),
+			recvWaitNS: reg.Counter(obs.PeerCounterName(p, obs.PeerRecvWaitNS)),
+		}
+	}
+	return c
+}
+
+// SetPhase implements PhaseLabeler. The histogram handle is resolved once
+// per call, so receives on the hot path pay a single atomic pointer load.
+func (c *instrumentedConn) SetPhase(name string) {
+	if name == "" {
+		c.phase.Store(nil)
+		return
+	}
+	c.phase.Store(&phaseLabel{name: name, wait: c.reg.Histogram(obs.PhaseWaitName(name))})
 }
 
 func (c *instrumentedConn) Send(to int, tag uint32, payload []byte) error {
@@ -32,15 +91,29 @@ func (c *instrumentedConn) Send(to int, tag uint32, payload []byte) error {
 	if err == nil {
 		c.msgsSent.Inc()
 		c.bytesSent.Add(int64(len(payload)))
+		if to >= 0 && to < len(c.peers) {
+			c.peers[to].msgsSent.Inc()
+			c.peers[to].bytesSent.Add(int64(len(payload)))
+		}
 	}
 	return err
 }
 
 func (c *instrumentedConn) Recv(from int, tag uint32) ([]byte, error) {
+	start := time.Now()
 	payload, err := c.Conn.Recv(from, tag)
 	if err == nil {
+		wait := time.Since(start)
 		c.msgsRecv.Inc()
 		c.bytesRecv.Add(int64(len(payload)))
+		if from >= 0 && from < len(c.peers) {
+			c.peers[from].msgsRecv.Inc()
+			c.peers[from].bytesRecv.Add(int64(len(payload)))
+			c.peers[from].recvWaitNS.Add(int64(wait))
+		}
+		if pl := c.phase.Load(); pl != nil {
+			pl.wait.Observe(wait)
+		}
 	}
 	return payload, err
 }
@@ -50,6 +123,10 @@ func (c *instrumentedConn) RecvAny(tag uint32) (int, []byte, error) {
 	if err == nil {
 		c.msgsRecv.Inc()
 		c.bytesRecv.Add(int64(len(payload)))
+		if from >= 0 && from < len(c.peers) {
+			c.peers[from].msgsRecv.Inc()
+			c.peers[from].bytesRecv.Add(int64(len(payload)))
+		}
 	}
 	return from, payload, err
 }

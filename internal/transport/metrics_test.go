@@ -1,0 +1,199 @@
+package transport
+
+import (
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestInstrumentPerPeerCounters pins the row-sum invariant: each rank's
+// per-peer transport.peer.<p>.* counters must sum to its aggregate
+// transport.* counters, and targeted receives charge their blocking time to
+// the sending peer.
+func TestInstrumentPerPeerCounters(t *testing.T) {
+	f, err := NewFabric(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reg := obs.NewRegistry()
+	c0 := Instrument(f.Endpoint(0), reg)
+
+	// Two sends out, two targeted receives in (one per peer), one RecvAny.
+	if err := c0.Send(1, 7, []byte("abcd")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c0.Send(2, 7, []byte("efghij")); err != nil {
+		t.Fatal(err)
+	}
+	for peer, payload := range map[int]string{1: "xy", 2: "zw0"} {
+		if err := f.Endpoint(peer).Send(0, 9, []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c0.Recv(peer, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != payload {
+			t.Fatalf("recv from %d = %q, want %q", peer, got, payload)
+		}
+	}
+	if err := f.Endpoint(1).Send(0, 11, []byte("any")); err != nil {
+		t.Fatal(err)
+	}
+	if from, _, err := c0.RecvAny(11); err != nil || from != 1 {
+		t.Fatalf("RecvAny = (%d, %v)", from, err)
+	}
+
+	snap := reg.Snapshot()
+	sums := map[string]int64{}
+	var waitTotal int64
+	for name, v := range snap.Counters {
+		peer, kind, ok := obs.ParsePeerCounter(name)
+		if !ok {
+			continue
+		}
+		if peer < 0 || peer > 2 {
+			t.Fatalf("counter %s names peer outside the fabric", name)
+		}
+		if kind == obs.PeerRecvWaitNS {
+			waitTotal += v
+			continue
+		}
+		sums[kind] += v
+	}
+	for kind, aggregate := range map[string]string{
+		obs.PeerMsgsSent:  obs.CtrNetMsgsSent,
+		obs.PeerBytesSent: obs.CtrNetBytesSent,
+		obs.PeerMsgsRecv:  obs.CtrNetMsgsRecv,
+		obs.PeerBytesRecv: obs.CtrNetBytesRecv,
+	} {
+		if sums[kind] != snap.Counters[aggregate] {
+			t.Errorf("per-peer %s sums to %d; aggregate %s = %d",
+				kind, sums[kind], aggregate, snap.Counters[aggregate])
+		}
+	}
+	if snap.Counters[obs.CtrNetMsgsSent] != 2 || snap.Counters[obs.CtrNetMsgsRecv] != 3 {
+		t.Fatalf("aggregates = %d sent / %d recv, want 2/3", snap.Counters[obs.CtrNetMsgsSent], snap.Counters[obs.CtrNetMsgsRecv])
+	}
+	if snap.Counters[obs.PeerCounterName(1, obs.PeerBytesSent)] != 4 ||
+		snap.Counters[obs.PeerCounterName(2, obs.PeerBytesSent)] != 6 {
+		t.Fatalf("per-peer bytes_sent misattributed: %v", snap.Counters)
+	}
+	if waitTotal <= 0 {
+		t.Fatal("targeted receives recorded no recv_wait_ns")
+	}
+	// RecvAny is excluded from wait accounting (the DKV server idles there by
+	// design) but still counted as traffic.
+	if snap.Counters[obs.PeerCounterName(1, obs.PeerMsgsRecv)] != 2 {
+		t.Fatalf("peer 1 msgs_recv = %d, want 2 (one targeted + one RecvAny)",
+			snap.Counters[obs.PeerCounterName(1, obs.PeerMsgsRecv)])
+	}
+}
+
+// TestInstrumentRecvAnyNoWait: with ONLY RecvAny traffic, no recv_wait_ns
+// counter may advance — server idle time is not straggler signal.
+func TestInstrumentRecvAnyNoWait(t *testing.T) {
+	f, err := NewFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reg := obs.NewRegistry()
+	c0 := Instrument(f.Endpoint(0), reg)
+	if err := f.Endpoint(1).Send(0, 5, []byte("req")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c0.RecvAny(5); err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range reg.Snapshot().Counters {
+		if _, kind, ok := obs.ParsePeerCounter(name); ok && kind == obs.PeerRecvWaitNS && v != 0 {
+			t.Fatalf("RecvAny advanced %s to %d", name, v)
+		}
+	}
+}
+
+// TestInstrumentPhaseWait: SetPhase routes blocking-receive time into the
+// transport.wait.<phase> histogram; clearing the phase stops attribution.
+func TestInstrumentPhaseWait(t *testing.T) {
+	f, err := NewFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	reg := obs.NewRegistry()
+	c0 := Instrument(f.Endpoint(0), reg)
+	labeler, ok := c0.(PhaseLabeler)
+	if !ok {
+		t.Fatal("instrumented conn does not implement PhaseLabeler")
+	}
+
+	labeler.SetPhase("update_phi")
+	if err := f.Endpoint(1).Send(0, 3, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Recv(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	labeler.SetPhase("")
+	if err := f.Endpoint(1).Send(0, 4, []byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c0.Recv(1, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	h, ok := reg.Snapshot().Histograms[obs.PhaseWaitName("update_phi")]
+	if !ok {
+		t.Fatal("no transport.wait.update_phi histogram")
+	}
+	if h.Count != 1 {
+		t.Fatalf("phase wait count = %d, want 1 (second recv ran with the label cleared)", h.Count)
+	}
+}
+
+// TestInstrumentNilRegistry: a nil registry returns the conn unchanged — the
+// zero-cost telemetry-off path.
+func TestInstrumentNilRegistry(t *testing.T) {
+	f, err := NewFabric(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	conn := f.Endpoint(0)
+	if got := Instrument(conn, nil); got != conn {
+		t.Fatal("Instrument(conn, nil) wrapped the conn")
+	}
+}
+
+// TestDialRetryErrorContext: a dial that exhausts the mesh setup deadline
+// must name the peer address, the attempt count, and the deadline — enough
+// to diagnose a dead peer from this rank's log alone.
+func TestDialRetryErrorContext(t *testing.T) {
+	// Reserve an address nobody listens on.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	start := time.Now()
+	_, err = dialRetry(addr, start.Add(150*time.Millisecond))
+	if err == nil {
+		t.Fatal("dialRetry succeeded against a closed port")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("dialRetry took %v; must respect the deadline", elapsed)
+	}
+	msg := err.Error()
+	for _, want := range []string{addr, "attempt", "deadline"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}

@@ -25,17 +25,31 @@ const maxFrame = 1 << 30
 // give up after this long, so a dead peer yields an error instead of a hang.
 const meshSetupTimeout = 30 * time.Second
 
-// dialRetry dials addr until it succeeds or the setup timeout elapses.
-func dialRetry(addr string) (net.Conn, error) {
-	deadline := time.Now().Add(meshSetupTimeout)
-	delay := time.Millisecond
+// dialRetry dials addr until it succeeds or the mesh setup deadline passes.
+// The backoff starts at 10ms — a booting peer needs time to bind its
+// listener, and hammering it at millisecond cadence only fills its backlog —
+// and doubles up to 100ms. The error names the peer address, the attempt
+// count, and the elapsed time against the deadline, so a dead peer is
+// diagnosable from the failing rank's log alone.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	start := time.Now()
+	delay := 10 * time.Millisecond
+	attempts := 0
 	for {
+		attempts++
 		conn, err := net.DialTimeout("tcp", addr, time.Second)
 		if err == nil {
 			return conn, nil
 		}
-		if time.Now().After(deadline) {
-			return nil, err
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("transport: dial %s: %d attempt(s) over %v (mesh setup deadline %v elapsed): %w",
+				addr, attempts, time.Since(start).Round(time.Millisecond),
+				meshSetupTimeout, err)
+		}
+		// Never sleep past the deadline: the final attempt should happen at
+		// the deadline, not an exponential-backoff step after it.
+		if remaining := time.Until(deadline); delay > remaining {
+			delay = remaining
 		}
 		time.Sleep(delay)
 		if delay < 100*time.Millisecond {
@@ -81,8 +95,10 @@ func DialMesh(rank int, addrs []string) (*TCPConn, error) {
 	}
 	defer ln.Close()
 	// Bound the whole mesh setup: if a peer died, fail instead of hanging.
+	// Dial retries and the accept loop share one deadline.
+	deadline := time.Now().Add(meshSetupTimeout)
 	if tl, ok := ln.(*net.TCPListener); ok {
-		tl.SetDeadline(time.Now().Add(meshSetupTimeout))
+		tl.SetDeadline(deadline)
 	}
 
 	// Accept connections from all higher ranks.
@@ -113,9 +129,9 @@ func DialMesh(rank int, addrs []string) (*TCPConn, error) {
 	// Dial all lower ranks, retrying while their listeners come up — ranks
 	// start concurrently, so early dials routinely beat the peer's Listen.
 	for peer := 0; peer < rank; peer++ {
-		conn, err := dialRetry(addrs[peer])
+		conn, err := dialRetry(addrs[peer], deadline)
 		if err != nil {
-			return nil, fmt.Errorf("transport: dial rank %d (%s): %w", peer, addrs[peer], err)
+			return nil, fmt.Errorf("transport: dial rank %d: %w", peer, err)
 		}
 		var hdr [4]byte
 		binary.LittleEndian.PutUint32(hdr[:], uint32(rank))

@@ -1,13 +1,16 @@
 #!/usr/bin/env sh
-# Snapshot BenchmarkDistIteration into BENCH_dist.json so the perf
-# trajectory of the distributed iteration loop is tracked in-repo.
+# Append a BenchmarkDistIteration snapshot to BENCH_dist.json so the perf
+# trajectory of the distributed iteration loop is tracked in-repo as a
+# series: one record per invocation, keyed by git SHA and UTC date, appended
+# (never overwritten) so regressions are visible as a diff in history.
 #
-# The snapshot carries two views of the same loop: the Go benchmark's
-# ns/op (serial, pipelined, and the hot-row cache per-phase vs
-# cross-iteration, with hit rates), and the per-stage phase breakdown
-# digested from the JSONL telemetry stream of a short instrumented cluster
-# run with the cross-iteration cache on (ocd-cluster -metrics-out →
-# ocd-analyze -events -events-json, including cache_hit_rate).
+# Each record carries two views of the same loop: the Go benchmark's ns/op
+# (serial, pipelined, and the hot-row cache per-phase vs cross-iteration,
+# with hit rates), and the per-stage phase breakdown digested from the JSONL
+# telemetry stream of a short instrumented cluster run with the
+# cross-iteration cache on (ocd-cluster -metrics-out → ocd-analyze -events
+# -events-json). cache_hit_rate and peer_skew are hoisted to the record's
+# top level so a series-wide trend query is one grep away.
 # Usage: scripts/bench_dist.sh [benchtime]   (default 20x)
 set -eu
 cd "$(dirname "$0")/.."
@@ -27,34 +30,64 @@ go run ./cmd/ocd-cluster -graph "$tmp/bench.txt" -ranks 2 -threads 2 -k 8 \
 	-metrics-out "$tmp/events.jsonl" >/dev/null
 go run ./cmd/ocd-analyze -events "$tmp/events.jsonl" -events-json > "$tmp/summary.json"
 
-echo "$out" | awk -v benchtime="$BENCHTIME" '
-	/^BenchmarkDistIteration\// {
-		split($1, parts, "/")
-		sub(/-[0-9]+$/, "", parts[2])
-		name = parts[2]
-		ns[name] = $3
-		n[name] = $2
-		if ($6 == "hit-rate") hr[name] = $5
-	}
-	/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
-	END {
-		printf "{\n"
-		printf "  \"benchmark\": \"BenchmarkDistIteration\",\n"
-		printf "  \"config\": {\"ranks\": 2, \"threads\": 2, \"iters_per_op\": 4},\n"
-		printf "  \"benchtime\": \"%s\",\n", benchtime
-		printf "  \"cpu\": \"%s\",\n", cpu
-		printf "  \"results\": {\n"
-		printf "    \"serial\":    {\"ns_per_op\": %s, \"runs\": %s},\n", ns["serial"], n["serial"]
-		printf "    \"pipelined\": {\"ns_per_op\": %s, \"runs\": %s},\n", ns["pipelined"], n["pipelined"]
-		printf "    \"cached\":    {\"ns_per_op\": %s, \"runs\": %s, \"hit_rate\": %s},\n", ns["cached"], n["cached"], hr["cached"]
-		printf "    \"cached_xiter\": {\"ns_per_op\": %s, \"runs\": %s, \"hit_rate\": %s}\n", ns["cached-xiter"], n["cached-xiter"], hr["cached-xiter"]
-		printf "  },\n"
-		printf "  \"pipelined_speedup\": %.4f,\n", ns["serial"] / ns["pipelined"]
-		printf "  \"telemetry\":\n"
-	}
-' > BENCH_dist.json
-sed 's/^/  /' "$tmp/summary.json" >> BENCH_dist.json
-printf '}\n' >> BENCH_dist.json
+# num KEY DEFAULT: first numeric value of "KEY" in summary.json, or DEFAULT
+# when the field is absent (cache_hit_rate and peer_skew are omitempty).
+num() {
+	v="$(sed -n 's/.*"'"$1"'": *\(-\{0,1\}[0-9][0-9.eE+-]*\).*/\1/p' "$tmp/summary.json" | head -n 1)"
+	if [ -n "$v" ]; then printf '%s' "$v"; else printf '%s' "$2"; fi
+}
 
-echo "wrote BENCH_dist.json:"
+GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+# One series record, indented two spaces to sit inside the top-level array.
+{
+	echo "$out" | awk -v benchtime="$BENCHTIME" -v git_sha="$GIT_SHA" -v date="$DATE" \
+		-v cache_hit_rate="$(num cache_hit_rate 0)" -v peer_skew="$(num peer_skew 0)" '
+		/^BenchmarkDistIteration\// {
+			split($1, parts, "/")
+			sub(/-[0-9]+$/, "", parts[2])
+			name = parts[2]
+			ns[name] = $3
+			n[name] = $2
+			if ($6 == "hit-rate") hr[name] = $5
+		}
+		/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+		END {
+			printf "  {\n"
+			printf "    \"git_sha\": \"%s\",\n", git_sha
+			printf "    \"date\": \"%s\",\n", date
+			printf "    \"benchmark\": \"BenchmarkDistIteration\",\n"
+			printf "    \"config\": {\"ranks\": 2, \"threads\": 2, \"iters_per_op\": 4},\n"
+			printf "    \"benchtime\": \"%s\",\n", benchtime
+			printf "    \"cpu\": \"%s\",\n", cpu
+			printf "    \"results\": {\n"
+			printf "      \"serial\":    {\"ns_per_op\": %s, \"runs\": %s},\n", ns["serial"], n["serial"]
+			printf "      \"pipelined\": {\"ns_per_op\": %s, \"runs\": %s},\n", ns["pipelined"], n["pipelined"]
+			printf "      \"cached\":    {\"ns_per_op\": %s, \"runs\": %s, \"hit_rate\": %s},\n", ns["cached"], n["cached"], hr["cached"]
+			printf "      \"cached_xiter\": {\"ns_per_op\": %s, \"runs\": %s, \"hit_rate\": %s}\n", ns["cached-xiter"], n["cached-xiter"], hr["cached-xiter"]
+			printf "    },\n"
+			printf "    \"pipelined_speedup\": %.4f,\n", ns["serial"] / ns["pipelined"]
+			printf "    \"cache_hit_rate\": %s,\n", cache_hit_rate
+			printf "    \"peer_skew\": %s,\n", peer_skew
+			printf "    \"telemetry\":\n"
+		}
+	'
+	sed 's/^/    /' "$tmp/summary.json"
+	printf '  }\n'
+} > "$tmp/record.json"
+
+# Append to the series. A missing file, or one in the pre-series single-object
+# format, starts a fresh array; otherwise drop the closing "]", comma-join,
+# and re-close.
+if [ -s BENCH_dist.json ] && [ "$(head -c 1 BENCH_dist.json)" = "[" ]; then
+	sed '$d' BENCH_dist.json | sed '$s/$/,/' > "$tmp/series.json"
+else
+	printf '[\n' > "$tmp/series.json"
+fi
+cat "$tmp/record.json" >> "$tmp/series.json"
+printf ']\n' >> "$tmp/series.json"
+mv "$tmp/series.json" BENCH_dist.json
+
+echo "appended record $GIT_SHA to BENCH_dist.json:"
 cat BENCH_dist.json
