@@ -1,6 +1,6 @@
 GO ?= go
 
-DIST_PKGS = ./internal/transport/... ./internal/cluster/... ./internal/dkv/... ./internal/store/... ./internal/engine/... ./internal/dist/...
+DIST_PKGS = ./internal/par/... ./internal/transport/... ./internal/cluster/... ./internal/dkv/... ./internal/store/... ./internal/engine/... ./internal/dist/...
 
 .PHONY: build fmt vet test race bench-dist check
 

@@ -35,6 +35,8 @@ func main() {
 		iters     = flag.Int("iters", 500, "training iterations")
 		evalEach  = flag.Int("eval", 100, "perplexity evaluation interval (0 = never)")
 		pipeline  = flag.Bool("pipeline", false, "enable double-buffered π loading and minibatch prefetch")
+		phiChunk  = flag.Int("phi-chunk", 0, "pipeline chunk size in minibatch vertices (0 = automatic policy)")
+		pipeDepth = flag.Int("pipeline-depth", 2, "π-load buffer slots per rank (2 = the paper's double buffering)")
 		seed      = flag.Uint64("seed", 42, "random seed")
 		heldDiv   = flag.Int("heldout-div", 50, "held-out links = |E| / this")
 		mb        = flag.Int("minibatch", 256, "minibatch size in vertex pairs")
@@ -72,6 +74,7 @@ func main() {
 	opts := dist.Options{
 		Ranks: *ranks, Threads: *threads, Iterations: *iters,
 		EvalEvery: *evalEach, Pipeline: *pipeline,
+		PhiChunkNodes: *phiChunk, PipelineDepth: *pipeDepth,
 		MinibatchPairs: *mb, NeighborCount: *neigh,
 		HotRowCache: *hotCache, HotCachePolicy: *cachePol,
 		HotCacheCrossIter: *cacheXit, HotCacheMinDegree: *cacheDeg,

@@ -7,6 +7,8 @@ import (
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/mathx"
+	"repro/internal/sampling"
+	"repro/internal/store"
 )
 
 // benchState builds a deterministic state and neighbor fixture for the
@@ -30,17 +32,70 @@ func benchState(b *testing.B, k, neighbors int) (Config, *State, [][]float32, []
 }
 
 // BenchmarkUpdatePhi measures the inner kernel of the dominant stage; the
-// paper's Table III attributes 74 ms/iteration to this computation.
+// paper's Table III attributes 74 ms/iteration to this computation. CI gates
+// on its allocs/op staying at 0: with pooled scratch the fused kernel must
+// not touch the heap.
 func BenchmarkUpdatePhi(b *testing.B) {
 	for _, k := range []int{16, 64, 256, 1024} {
 		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
 			cfg, s, rows, linked, weight, rng := benchState(b, k, 32)
 			sc := NewPhiScratch(k)
 			newPhi := make([]float64, k)
+			// Warm-up so one-time growth is off the measured path.
+			UpdatePhi(&cfg, 0.001, s.PiRow(0), s.PhiSum[0], rows, linked, weight, s.Beta, rng, newPhi, sc)
 			b.SetBytes(int64(33 * k * 4)) // π rows touched
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				UpdatePhi(&cfg, 0.001, s.PiRow(0), s.PhiSum[0], rows, linked, weight, s.Beta, rng, newPhi, sc)
+			}
+		})
+	}
+}
+
+// BenchmarkPhiStage drives the whole update_phi stage — neighbor sampling,
+// π staging through a LocalStore, the fused kernel — over one minibatch per
+// op. With the persistent chunk buffers and per-worker scratch pool the
+// steady state performs only a constant handful of tiny allocations per
+// minibatch (closure headers), none proportional to vertices or K.
+func BenchmarkPhiStage(b *testing.B) {
+	g, _, err := gen.Planted(gen.DefaultPlanted(2000, 16, 20000, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const k = 64
+	cfg := DefaultConfig(k, 5)
+	s, err := NewState(cfg, g.NumVertices())
+	if err != nil {
+		b.Fatal(err)
+	}
+	neigh, err := sampling.NewLinkPlusUniform(sampling.NewGraphView(g, nil), 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodes := make([]int32, 256)
+	for i := range nodes {
+		nodes[i] = int32(i * 7 % g.NumVertices())
+	}
+	for _, threads := range []int{1, 4} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			stage := &PhiStage{
+				Cfg:     &cfg,
+				Store:   store.NewLocal(s.Pi, s.PhiSum, k, threads),
+				Neigh:   neigh,
+				Threads: threads,
+			}
+			newPhi := make([]float64, len(nodes)*k)
+			run := func(t int) {
+				if err := stage.Run(t, 0.001, nodes, s.Beta, newPhi); err != nil {
+					b.Fatal(err)
+				}
+			}
+			run(0) // warm-up: size the persistent buffers
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(i + 1)
 			}
 		})
 	}

@@ -68,6 +68,41 @@ func phiGradient(piA, piB []float32, beta []float64, delta float64, linked bool,
 	}
 }
 
+// phiGradientFused is phiGradient with the link-weight table w_k expanded
+// inline: instead of materialising w (one pass) and then forming q and Z
+// (second pass) and grad (third), it computes q_k = π_bk·w_k + (1-π_bk)·w_δ
+// directly from β in the first pass and accumulates grad in the second. The
+// per-element float operations and their order are identical to the unfused
+// kernel's (w_k = β_k or 1-β_k is formed at the same point in the expression),
+// so the result is bit-identical — pinned by TestPhiGradientFusedParity.
+// Saves one K-wide pass and the w scratch buffer per neighbor.
+func phiGradientFused(piA, piB []float32, beta []float64, delta float64, linked bool, weight float64, grad, q []float64) {
+	var z float64
+	if linked {
+		for k := range q {
+			pb := float64(piB[k])
+			qk := pb*beta[k] + (1-pb)*delta
+			q[k] = qk
+			z += float64(piA[k]) * qk
+		}
+	} else {
+		wDelta := 1 - delta
+		for k := range q {
+			pb := float64(piB[k])
+			qk := pb*(1-beta[k]) + (1-pb)*wDelta
+			q[k] = qk
+			z += float64(piA[k]) * qk
+		}
+	}
+	if z <= 0 {
+		return // numerically dead pair; contributes nothing
+	}
+	invZ := 1 / z
+	for k := range grad {
+		grad[k] += weight * (q[k]*invZ - 1)
+	}
+}
+
 // thetaGradient accumulates the pair (a, b)'s contribution to the θ gradient
 // into grad (length 2K, layout matching State.Theta):
 //

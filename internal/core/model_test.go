@@ -296,3 +296,42 @@ func TestLinkWeights(t *testing.T) {
 		t.Fatalf("unlinked weights wrong: %v %v", w, wd)
 	}
 }
+
+func TestPhiGradientFusedParity(t *testing.T) {
+	// The fused kernel skips the materialised link-weight table; it must be
+	// bit-identical to the reference three-pass kernel — same operations in
+	// the same order — for both observation values and across weights.
+	rng := mathx.NewRNG(87)
+	const k = 7
+	for trial := 0; trial < 200; trial++ {
+		piA := randomSimplex32(rng, k)
+		piB := randomSimplex32(rng, k)
+		beta := make([]float64, k)
+		for i := range beta {
+			beta[i] = 0.05 + 0.9*rng.Float64()
+		}
+		delta := 0.001 + 0.02*rng.Float64()
+		linked := trial%2 == 0
+		weight := rng.Gamma(2)
+
+		ref := make([]float64, k)
+		fused := make([]float64, k)
+		// Seed both accumulators with the same nonzero values so the
+		// accumulation step (+=) is exercised, not just the first write.
+		for i := range ref {
+			v := rng.Float64() - 0.5
+			ref[i] = v
+			fused[i] = v
+		}
+		q := make([]float64, k)
+		w := make([]float64, k)
+		phiGradient(piA, piB, beta, delta, linked, weight, ref, q, w)
+		phiGradientFused(piA, piB, beta, delta, linked, weight, fused, q)
+		for i := range ref {
+			if math.Float64bits(ref[i]) != math.Float64bits(fused[i]) {
+				t.Fatalf("trial %d (linked=%v), k=%d: fused %v != reference %v (not bit-identical)",
+					trial, linked, i, fused[i], ref[i])
+			}
+		}
+	}
+}

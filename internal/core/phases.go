@@ -33,32 +33,88 @@ func DrawMinibatch(cfg *Config, edges sampling.EdgeStrategy, t int, dst *samplin
 // sample its neighbor set, load the π rows through the store, and compute
 // the staged φ row. Vertices are processed in chunks of ChunkNodes; chunks
 // run either serially (load, compute, load, compute, ...) or with the
-// paper's double buffering, where chunk c+1's π rows stream in while chunk c
-// computes. Loads and computes are timed into Trace under the
-// update_phi.load_pi / update_phi.compute sub-phases.
+// paper's pipelined buffering, where the next chunks' π rows stream in while
+// the current chunk computes. Which schedule actually runs is decided per
+// call by plan(): stores that answer reads from local memory always take the
+// fused serial path (one chunk, one batched read — a pipeline would only add
+// channel/goroutine overhead, the in-proc slowdown this policy removes),
+// while remote-reading stores overlap ReadRowsAsync with compute. Loads and
+// computes are timed into Trace under the update_phi.load_pi /
+// update_phi.compute sub-phases.
+//
+// A PhiStage owns persistent staging buffers and per-worker scratch, so the
+// steady-state iteration allocates nothing; construct one per engine and
+// reuse it across iterations (reassigning Store per call is fine).
 type PhiStage struct {
 	Cfg     *Config
 	Store   store.PiStore
 	Neigh   sampling.NeighborStrategy
 	Threads int
 	// ChunkNodes is the pipeline chunk size in minibatch vertices; <= 0
-	// processes the whole minibatch as one chunk (no pipelining benefit,
-	// right for in-memory stores).
+	// selects the automatic policy (see plan).
 	ChunkNodes int
-	// Pipelined selects double buffering over the serial schedule.
+	// Pipelined requests the overlapped schedule; it is demoted to the
+	// fused serial path when the store's reads are local (see plan).
 	Pipelined bool
-	Trace     *trace.Phases
+	// Depth is the number of pipeline buffer slots (the loader may run
+	// Depth-1 chunks ahead); <= 2 means double buffering, the paper's
+	// scheme.
+	Depth int
+	Trace *trace.Phases
 	// Rec, when non-nil, additionally receives the load_pi/compute
 	// sub-stage durations so per-iteration events carry the full Table III
 	// breakdown. With pipelining on, load and compute report concurrently —
 	// Recorder implementations are safe for that.
 	Rec obs.Recorder
+
+	// bufs holds one phiChunk per pipeline slot and scratch one PhiScratch
+	// per worker index; both grow on demand and persist across iterations.
+	bufs    []phiChunk
+	scratch []*PhiScratch
 }
 
-// phiChunk is one chunk's staging buffers, reused across chunks per slot.
+// minPhiChunk floors the automatic pipeline chunk size: below ~64 vertices
+// the per-chunk goroutine/channel handoff is comparable to the compute it
+// schedules and the pipeline loses even against remote stores.
+const minPhiChunk = 64
+
+// plan resolves the schedule for a minibatch of n vertices: whether to
+// pipeline, the chunk size, and the slot count. Pipelining is demoted to
+// serial when the store reads from local memory (nothing to overlap) or when
+// the minibatch yields fewer than two chunks. The automatic chunk size aims
+// for 4·depth chunks — enough in-flight fetches to hide bursty latency, few
+// enough that handoff overhead stays negligible — floored at minPhiChunk.
+// The serial path uses a single chunk: one batched read, then the fused
+// compute sweep.
+func (p *PhiStage) plan(n int) (pipelined bool, chunkN, depth int) {
+	depth = p.Depth
+	if depth < 2 {
+		depth = 2
+	}
+	pipelined = p.Pipelined && !store.ReadsAreLocal(p.Store)
+	chunkN = p.ChunkNodes
+	if chunkN <= 0 {
+		if !pipelined {
+			return false, n, 1
+		}
+		chunkN = (n + 4*depth - 1) / (4 * depth)
+		if chunkN < minPhiChunk {
+			chunkN = minPhiChunk
+		}
+	}
+	if pipelined && (n+chunkN-1)/chunkN < 2 {
+		pipelined = false
+		depth = 1
+	}
+	return pipelined, chunkN, depth
+}
+
+// phiChunk is one slot's staging buffers, reused across chunks and
+// iterations. rngs holds RNG values (not pointers) reseeded in place per
+// vertex, so steady-state loads allocate nothing.
 type phiChunk struct {
 	lo, hi  int
-	rngs    []*mathx.RNG
+	rngs    []mathx.RNG
 	samples []sampling.NeighborSample
 	keys    []int32
 	nodeOff []int // index into keys/rows where vertex i's rows begin
@@ -67,19 +123,18 @@ type phiChunk struct {
 
 // Run computes newPhi (len(nodes)·K, row-major, caller-sized) for iteration
 // t. Every vertex's RNG stream is keyed by (t, vertex), so the result is
-// independent of chunking, threading, and backend.
+// independent of chunking, threading, scheduling, and backend.
 func (p *PhiStage) Run(t int, eps float64, nodes []int32, beta []float64, newPhi []float64) error {
 	if len(nodes) == 0 {
 		return nil
 	}
 	k := p.Cfg.K
-	chunkN := p.ChunkNodes
-	if chunkN <= 0 {
-		chunkN = len(nodes)
-	}
+	pipelined, chunkN, depth := p.plan(len(nodes))
 	nChunks := (len(nodes) + chunkN - 1) / chunkN
-
-	var bufs [2]phiChunk
+	for len(p.bufs) < depth {
+		p.bufs = append(p.bufs, phiChunk{})
+	}
+	bufs := p.bufs
 	// errVal is shared between the pipeline's load goroutine and the compute
 	// caller; guard it with a mutex rather than relying on ordering.
 	var errMu sync.Mutex
@@ -118,18 +173,21 @@ func (p *PhiStage) Run(t int, eps float64, nodes []int32, beta []float64, newPhi
 		b.lo = c * chunkN
 		b.hi = min(b.lo+chunkN, len(nodes))
 		cnt := b.hi - b.lo
-		b.rngs = b.rngs[:0]
 		b.keys = b.keys[:0]
 		b.nodeOff = b.nodeOff[:0]
+		if cap(b.rngs) < cnt {
+			b.rngs = make([]mathx.RNG, cnt)
+		}
+		b.rngs = b.rngs[:cnt]
 		if cap(b.samples) < cnt {
 			b.samples = make([]sampling.NeighborSample, cnt)
 		}
 		b.samples = b.samples[:cnt]
 		for i := 0; i < cnt; i++ {
 			a := nodes[b.lo+i]
-			rng := mathx.NewStream(p.Cfg.Seed, StreamVertex(t, int(a)))
+			rng := &b.rngs[i]
+			rng.SeedStream(p.Cfg.Seed, StreamVertex(t, int(a)))
 			p.Neigh.Sample(a, rng, &b.samples[i])
-			b.rngs = append(b.rngs, rng)
 			b.nodeOff = append(b.nodeOff, len(b.keys))
 			b.keys = append(b.keys, a)
 			b.keys = append(b.keys, b.samples[i].Nodes...)
@@ -144,15 +202,24 @@ func (p *PhiStage) Run(t int, eps float64, nodes []int32, beta []float64, newPhi
 		}
 	}
 
+	// Per-worker scratch is pooled on the stage and indexed by ForWorkers'
+	// worker id. Only one compute runs at a time (chunks are computed
+	// strictly in order even when pipelined) and workers own disjoint ids,
+	// so the pool needs no locking.
+	workers := par.Workers(len(nodes), p.Threads)
+	for len(p.scratch) < workers {
+		p.scratch = append(p.scratch, NewPhiScratch(k))
+	}
+
 	compute := func(c, slot int) {
 		if hasErr() {
 			return
 		}
 		defer record(engine.PhaseComputePhi, time.Now())
 		b := &bufs[slot]
-		par.For(b.hi-b.lo, p.Threads, func(wLo, wHi int) {
-			sc := NewPhiScratch(k)
-			var rows [][]float32
+		par.ForWorkers(b.hi-b.lo, p.Threads, func(w, wLo, wHi int) {
+			sc := p.scratch[w]
+			rows := sc.Rows()
 			for i := wLo; i < wHi; i++ {
 				ns := &b.samples[i]
 				base := b.nodeOff[i]
@@ -162,14 +229,15 @@ func (p *PhiStage) Run(t int, eps float64, nodes []int32, beta []float64, newPhi
 				}
 				idx := b.lo + i
 				UpdatePhi(p.Cfg, eps, b.rows.PiRow(base), b.rows.PhiSum[base],
-					rows, ns.Linked, ns.Scale, beta, b.rngs[i],
+					rows, ns.Linked, ns.Scale, beta, &b.rngs[i],
 					newPhi[idx*k:(idx+1)*k], sc)
 			}
+			sc.SetRows(rows)
 		})
 	}
 
-	if p.Pipelined {
-		par.Pipeline(nChunks, load, compute)
+	if pipelined {
+		par.PipelineDepth(nChunks, depth, load, compute)
 	} else {
 		par.Serial(nChunks, load, compute)
 	}

@@ -51,6 +51,10 @@ type Sampler struct {
 	batch sampling.Batch
 	loop  *engine.Loop
 	eval  *HeldOutEval
+	// phi is the persistent update_phi stage; it owns the staging buffers
+	// and per-worker scratch that make the steady-state iteration
+	// allocation-free. Store is reassigned per iteration (see pistore).
+	phi *PhiStage
 
 	// staging area for the φ phase: newPhi[i] is the pending row for
 	// batch.Nodes[i]; committed only after every row is computed.
@@ -151,6 +155,13 @@ func NewSampler(cfg Config, g *graph.Graph, held *graph.HeldOut, opt SamplerOpti
 	if held != nil {
 		s.eval = NewHeldOutEval(held, cfg.Delta, 0, held.Len())
 	}
+	s.phi = &PhiStage{
+		Cfg:     &s.Cfg,
+		Neigh:   s.Neighbors,
+		Threads: s.Threads,
+		Trace:   s.Phases,
+		Rec:     s.rec,
+	}
 	s.loop = s.buildLoop()
 	if err := s.loop.Validate([]string{"graph", "pi", "theta", "beta"}); err != nil {
 		return nil, err
@@ -192,15 +203,9 @@ func (s *Sampler) buildLoop() *engine.Loop {
 						s.newPhi = make([]float64, n*k)
 					}
 					s.newPhi = s.newPhi[:n*k]
-					phi := &PhiStage{
-						Cfg:     &s.Cfg,
-						Store:   s.pistore(),
-						Neigh:   s.Neighbors,
-						Threads: s.Threads,
-						Trace:   s.Phases,
-						Rec:     s.rec,
-					}
-					return phi.Run(t, s.Cfg.StepSize(t), s.batch.Nodes, s.State.Beta, s.newPhi)
+					s.phi.Store = s.pistore()
+					s.phi.Threads = s.Threads
+					return s.phi.Run(t, s.Cfg.StepSize(t), s.batch.Nodes, s.State.Beta, s.newPhi)
 				},
 			},
 			{

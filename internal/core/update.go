@@ -7,12 +7,14 @@ import (
 )
 
 // PhiScratch holds the per-worker buffers for UpdatePhi so the inner loops
-// allocate nothing. One instance per goroutine.
+// allocate nothing. One instance per goroutine; the φ stage pools one per
+// worker slot across chunks and iterations (see PhiStage).
 type PhiScratch struct {
 	grad []float64
 	q    []float64
-	w    []float64
-	phi  []float64
+	// rows is the neighbor π-row view assembled per vertex; pooling it here
+	// keeps the per-vertex staging loop allocation-free.
+	rows [][]float32
 }
 
 // NewPhiScratch allocates scratch for dimension k.
@@ -20,16 +22,25 @@ func NewPhiScratch(k int) *PhiScratch {
 	return &PhiScratch{
 		grad: make([]float64, k),
 		q:    make([]float64, k),
-		w:    make([]float64, k),
-		phi:  make([]float64, k),
 	}
 }
+
+// Rows returns the pooled neighbor-row buffer, emptied, with capacity
+// retained across calls.
+func (sc *PhiScratch) Rows() [][]float32 { return sc.rows[:0] }
+
+// SetRows stores the buffer back so the capacity grown this vertex is kept.
+func (sc *PhiScratch) SetRows(rows [][]float32) { sc.rows = rows }
 
 // UpdatePhi computes the SGRLD update of Eqn (5) for one vertex a and writes
 // the new φ_a into newPhi (length K). The neighbor set is given as parallel
 // slices: piB[j] is neighbor j's π row, linked[j] the observation y_ab, and
 // weight[j] the estimator weight (Σ weights replaces the paper's N/|V_n|
 // factor). rng must be the vertex's deterministic stream for this iteration.
+//
+// The gradient accumulation runs the fused kernel (phiGradientFused): the
+// link-weight table w_k is expanded inline instead of materialised, so each
+// neighbor costs two passes over k and no scratch beyond grad/q.
 //
 // The caller applies the result with State.SetPhiRow after all vertices of
 // the minibatch have been computed — the same read/write phase separation
@@ -39,19 +50,21 @@ func UpdatePhi(cfg *Config, eps float64, piA []float32, phiSumA float64,
 	beta []float64, rng *mathx.RNG, newPhi []float64, sc *PhiScratch) {
 
 	k := cfg.K
-	for i := 0; i < k; i++ {
-		sc.grad[i] = 0
+	grad := sc.grad[:k]
+	q := sc.q[:k]
+	for i := range grad {
+		grad[i] = 0
 	}
 	for j, rowB := range piB {
-		phiGradient(piA, rowB, beta, cfg.Delta, linked[j], weight[j], sc.grad, sc.q, sc.w)
+		phiGradientFused(piA, rowB, beta, cfg.Delta, linked[j], weight[j], grad, q)
 	}
 	invPhiSum := 1 / phiSumA
 	halfEps := eps / 2
 	noiseStd := math.Sqrt(eps)
 	for i := 0; i < k; i++ {
 		phi := float64(piA[i]) * phiSumA
-		grad := sc.grad[i] * invPhiSum
-		v := phi + halfEps*(cfg.Alpha-phi+grad) + math.Sqrt(phi)*noiseStd*rng.Norm()
+		g := grad[i] * invPhiSum
+		v := phi + halfEps*(cfg.Alpha-phi+g) + math.Sqrt(phi)*noiseStd*rng.Norm()
 		if v < 0 {
 			v = -v // the reflection |·| of Eqn (5)
 		}

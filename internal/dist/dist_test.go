@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -510,6 +511,64 @@ func TestSeedParityTrajectoryCrossIterCache(t *testing.T) {
 		}
 		if it == iters && res.DKV.CacheHits == 0 {
 			t.Fatal("cross-iteration cached run recorded no hits")
+		}
+	}
+}
+
+// TestSeedParityTrajectoryThreads pins the intra-rank threading contract:
+// the per-iteration state must be bit-identical for Threads ∈ {1, 4} on both
+// the sequential sampler and the 2-rank pipelined engine. Threading only
+// moves which goroutine computes which vertex — every random draw comes from
+// the per-(iteration, vertex) stream and every fold runs in fixed chunk
+// order — so the fused kernels and scratch pooling must not change any
+// summation order observably.
+func TestSeedParityTrajectoryThreads(t *testing.T) {
+	train, held := fixture(t, 150, 4, 700, 59)
+	cfg := core.DefaultConfig(4, 4242)
+	const iters = 5
+
+	ref, err := core.NewSampler(cfg, train, held, core.SamplerOptions{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	threaded, err := core.NewSampler(cfg, train, held, core.SamplerOptions{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(it int, label string, pi []float32, phiSum, theta []float64) {
+		t.Helper()
+		for i, v := range ref.State.Pi {
+			if math.Float32bits(v) != math.Float32bits(pi[i]) {
+				t.Fatalf("iteration %d: %s π[%d] = %v vs %v (1-thread seq); must be bit-identical",
+					it, label, i, pi[i], v)
+			}
+		}
+		for i, v := range ref.State.PhiSum {
+			if math.Float64bits(v) != math.Float64bits(phiSum[i]) {
+				t.Fatalf("iteration %d: %s Σφ[%d] diverged", it, label, i)
+			}
+		}
+		for i, v := range ref.State.Theta {
+			if math.Float64bits(v) != math.Float64bits(theta[i]) {
+				t.Fatalf("iteration %d: %s θ[%d] = %v vs %v (1-thread seq)",
+					it, label, i, theta[i], v)
+			}
+		}
+	}
+
+	for it := 1; it <= iters; it++ {
+		ref.Step()
+		threaded.Step()
+		check(it, "4-thread sequential", threaded.State.Pi, threaded.State.PhiSum, threaded.State.Theta)
+		for _, threads := range []int{1, 4} {
+			res, err := Run(cfg, train, held, Options{
+				Ranks: 2, Threads: threads, Iterations: it, Pipeline: true,
+			})
+			if err != nil {
+				t.Fatalf("iteration %d threads=%d: %v", it, threads, err)
+			}
+			check(it, fmt.Sprintf("2-rank %d-thread", threads), res.State.Pi, res.State.PhiSum, res.State.Theta)
 		}
 	}
 }

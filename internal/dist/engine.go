@@ -157,6 +157,7 @@ func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, h
 		Threads:    opt.Threads,
 		ChunkNodes: opt.PhiChunkNodes,
 		Pipelined:  opt.Pipeline,
+		Depth:      opt.PipelineDepth,
 		Trace:      nd.phases,
 	}
 	if nd.rec != nil { // assign through the guard: a typed-nil Recorder would defeat the nil checks

@@ -39,11 +39,20 @@ type Options struct {
 
 	// Pipeline enables both pipelining schemes of Section III-D: the master
 	// samples iteration t+1's minibatch while computing t, and each rank
-	// double-buffers π loading against the update_phi compute.
+	// overlaps π loading against the update_phi compute. The per-rank
+	// overlap only actually engages when the store's reads leave the
+	// process (core.PhiStage demotes it to the fused serial path against
+	// local readers — pipelining a memcpy is pure overhead).
 	Pipeline bool
 	// PhiChunkNodes is the pipeline chunk size in minibatch vertices;
-	// 0 defaults to 16.
+	// 0 selects the automatic policy (enough chunks to fill the pipeline a
+	// few times over, floored so per-chunk overhead stays negligible — see
+	// core.PhiStage.plan).
 	PhiChunkNodes int
+	// PipelineDepth is the number of π-load buffer slots per rank; values
+	// <= 2 mean double buffering, the paper's scheme. Deeper pipelines let
+	// the loader run further ahead when fetch latency is bursty.
+	PipelineDepth int
 
 	// HotRowCache bounds the per-rank DKV hot-row cache in rows; 0 disables
 	// it. The trained model is byte-identical with the cache on or off in
@@ -102,9 +111,6 @@ type Options struct {
 func (o *Options) setDefaults() {
 	if o.Ranks == 0 {
 		o.Ranks = 2
-	}
-	if o.PhiChunkNodes == 0 {
-		o.PhiChunkNodes = 16
 	}
 	if o.MinibatchPairs == 0 {
 		o.MinibatchPairs = 128

@@ -37,9 +37,18 @@ func NewRNG(seed uint64) *RNG {
 // seed. It is the canonical way to hand per-vertex or per-thread RNGs out of
 // a single experiment seed.
 func NewStream(master uint64, stream uint64) *RNG {
+	r := &RNG{}
+	r.SeedStream(master, stream)
+	return r
+}
+
+// SeedStream reseeds r in place to the exact state NewStream(master, stream)
+// would construct — the allocation-free form for hot loops that derive one
+// stream per vertex per iteration and keep a pooled RNG value per slot.
+func (r *RNG) SeedStream(master uint64, stream uint64) {
 	// Mix the stream id through SplitMix64 twice so that adjacent stream
 	// ids land far apart in the seed space.
-	return NewRNG(splitmix64(&master) ^ bitsMix(stream))
+	r.Seed(splitmix64(&master) ^ bitsMix(stream))
 }
 
 func bitsMix(x uint64) uint64 {

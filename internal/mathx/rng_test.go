@@ -201,3 +201,23 @@ func TestPermUniformity(t *testing.T) {
 		}
 	}
 }
+
+func TestSeedStreamMatchesNewStream(t *testing.T) {
+	// SeedStream is the in-place form pooled RNG values rely on; it must
+	// reproduce NewStream's state exactly, including after reuse.
+	var pooled RNG
+	pooled.Seed(999) // dirty the state (and the Box-Muller spare) first
+	pooled.Norm()
+	for _, stream := range []uint64{0, 1, 7, 1 << 40} {
+		fresh := NewStream(42, stream)
+		pooled.SeedStream(42, stream)
+		for i := 0; i < 64; i++ {
+			if a, b := fresh.Uint64(), pooled.Uint64(); a != b {
+				t.Fatalf("stream %d draw %d: NewStream %x != SeedStream %x", stream, i, a, b)
+			}
+		}
+		if a, b := fresh.Norm(), pooled.Norm(); a != b {
+			t.Fatalf("stream %d: Norm diverged", stream)
+		}
+	}
+}

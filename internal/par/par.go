@@ -1,6 +1,6 @@
 // Package par provides the shared-memory parallelism primitives that play
 // the role OpenMP plays in the paper: a chunked parallel-for over index
-// ranges and a double-buffered two-stage pipeline used to overlap loading π
+// ranges and a multi-buffered load/compute pipeline used to overlap loading π
 // with the update_phi computation.
 package par
 
@@ -9,12 +9,13 @@ import (
 	"sync"
 )
 
-// For splits [0, n) into contiguous chunks and runs body(lo, hi) on up to
-// workers goroutines. workers <= 1 (or n small) degrades to a plain loop, so
-// the sequential and parallel engines share one code path.
-func For(n, workers int, body func(lo, hi int)) {
+// Workers resolves the effective worker count for a range of n items:
+// workers <= 0 means GOMAXPROCS, and the count never exceeds n. Callers that
+// pre-size per-worker scratch (one buffer per ForWorkers index) use this to
+// agree with For's split.
+func Workers(n, workers int) int {
 	if n <= 0 {
-		return
+		return 0
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -22,24 +23,54 @@ func For(n, workers int, body func(lo, hi int)) {
 	if workers > n {
 		workers = n
 	}
-	if workers == 1 {
-		body(0, n)
+	return workers
+}
+
+// ForWorkers splits [0, n) into exactly `workers` contiguous chunks whose
+// sizes differ by at most one and runs body(w, lo, hi) with w the worker
+// index in [0, workers). workers <= 1 (or n <= 1) degrades to a single
+// inline body(0, 0, n) call, so the sequential and parallel engines share
+// one code path and the single-thread path spawns no goroutines.
+//
+// The worker index is what lets callers own per-worker scratch buffers
+// (sized with Workers) instead of allocating inside body — the inner-loop
+// pooling contract of the φ kernels.
+func ForWorkers(n, workers int, body func(w, lo, hi int)) {
+	workers = Workers(n, workers)
+	if workers == 0 {
 		return
 	}
+	if workers == 1 {
+		body(0, 0, n)
+		return
+	}
+	// Balanced split: the first n%workers chunks get one extra item, so
+	// chunk sizes differ by ≤ 1 and exactly `workers` goroutines launch.
+	// (The previous ceil-divide split could launch fewer goroutines than
+	// workers and strand an undersized tail chunk on one of them.)
+	base, rem := n/workers, n%workers
 	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
+	wg.Add(workers)
+	lo := 0
+	for w := 0; w < workers; w++ {
+		size := base
+		if w < rem {
+			size++
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
+		hi := lo + size
+		go func(w, lo, hi int) {
 			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+			body(w, lo, hi)
+		}(w, lo, hi)
+		lo = hi
 	}
 	wg.Wait()
+}
+
+// For splits [0, n) into contiguous chunks and runs body(lo, hi) on up to
+// `workers` goroutines; see ForWorkers for the split guarantees.
+func For(n, workers int, body func(lo, hi int)) {
+	ForWorkers(n, workers, func(_, lo, hi int) { body(lo, hi) })
 }
 
 // ForEach runs body(i) for every i in [0, n) with the same chunking as For.
@@ -52,38 +83,21 @@ func ForEach(n, workers int, body func(i int)) {
 }
 
 // Reduce runs body over chunks, each chunk contributing a float64 partial
-// that is summed (an OpenMP reduction clause).
+// that is summed (an OpenMP reduction clause). The fold order depends on the
+// worker count; use ChunkedReduce where bit-stability across thread counts
+// matters.
 func Reduce(n, workers int, body func(lo, hi int) float64) float64 {
-	if n <= 0 {
+	workers = Workers(n, workers)
+	if workers == 0 {
 		return 0
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
 	}
 	if workers == 1 {
 		return body(0, n)
 	}
-	chunk := (n + workers - 1) / workers
-	nChunks := (n + chunk - 1) / chunk
-	partials := make([]float64, nChunks)
-	var wg sync.WaitGroup
-	idx := 0
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		wg.Add(1)
-		go func(slot, lo, hi int) {
-			defer wg.Done()
-			partials[slot] = body(lo, hi)
-		}(idx, lo, hi)
-		idx++
-	}
-	wg.Wait()
+	partials := make([]float64, workers)
+	ForWorkers(n, workers, func(w, lo, hi int) {
+		partials[w] = body(lo, hi)
+	})
 	var total float64
 	for _, p := range partials {
 		total += p
@@ -157,35 +171,90 @@ func ChunkedReduceVec(n, chunkSize, workers, dim int, body func(lo, hi int, acc 
 // with double buffering: load(c) fetches chunk c's inputs while compute(c-1)
 // processes the previous chunk. It reproduces the paper's Section III-D
 // scheme where loading π for the next chunk overlaps update_phi on the
-// current one.
-//
-// load and compute both receive the chunk index and a buffer slot in {0, 1};
-// the caller owns two sets of buffers and indexes them by slot.
+// current one. See PipelineDepth for the buffering and panic contract.
 func Pipeline(nChunks int, load func(chunk, slot int), compute func(chunk, slot int)) {
+	PipelineDepth(nChunks, 2, load, compute)
+}
+
+// PipelineDepth is Pipeline with `depth` buffer slots: the loader may run up
+// to depth-1 chunks ahead of the consumer, so a store whose fetch latency is
+// bursty (one slow remote round among fast ones) keeps the compute stage
+// fed. depth < 2 is treated as 2 (double buffering, the paper's scheme).
+//
+// load and compute receive the chunk index and a buffer slot in [0, depth);
+// the caller owns depth sets of buffers and indexes them by slot. Chunks are
+// computed strictly in order, on the caller's goroutine.
+//
+// Panic contract: a panic in either stage propagates to the caller — a
+// loader panic is re-thrown from PipelineDepth on the calling goroutine, and
+// a compute panic unwinds the caller directly — and in both cases the other
+// stage's goroutine is released rather than left blocked on a slot that will
+// never free.
+//
+// nChunks <= 1 degrades to the inline serial schedule: no goroutine, panics
+// propagate natively.
+func PipelineDepth(nChunks, depth int, load func(chunk, slot int), compute func(chunk, slot int)) {
 	if nChunks <= 0 {
 		return
 	}
-	// ready[s] signals that slot s holds loaded data for the chunk the
-	// consumer expects next; free[s] signals the consumer is done with it.
-	type token struct{}
-	ready := [2]chan token{make(chan token, 1), make(chan token, 1)}
-	free := [2]chan token{make(chan token, 1), make(chan token, 1)}
-	free[0] <- token{}
-	free[1] <- token{}
+	if nChunks == 1 {
+		load(0, 0)
+		compute(0, 0)
+		return
+	}
+	if depth < 2 {
+		depth = 2
+	}
+	if depth > nChunks {
+		depth = nChunks
+	}
+
+	// free holds slot-release tokens (the loader may claim up to depth of
+	// them before the consumer returns any); ready carries loaded chunk
+	// indices in order. Both are buffered to depth so neither side ever
+	// blocks on its send — the only blocking points are the loader awaiting
+	// a free slot and the consumer awaiting a loaded chunk, and both of
+	// those also watch the abort channels so a panic on the other side can
+	// never strand them.
+	free := make(chan struct{}, depth)
+	ready := make(chan int, depth)
+	loadFailed := make(chan any, 1) // loader's recovered panic value
+	quit := make(chan struct{})     // closed when the consumer unwinds
+	for i := 0; i < depth; i++ {
+		free <- struct{}{}
+	}
 
 	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				loadFailed <- p
+				close(ready)
+			}
+		}()
 		for c := 0; c < nChunks; c++ {
-			slot := c & 1
-			<-free[slot]
-			load(c, slot)
-			ready[slot] <- token{}
+			select {
+			case <-free:
+			case <-quit:
+				return
+			}
+			load(c, c%depth)
+			ready <- c
 		}
 	}()
+
+	defer close(quit)
 	for c := 0; c < nChunks; c++ {
-		slot := c & 1
-		<-ready[slot]
-		compute(c, slot)
-		free[slot] <- token{}
+		loaded, ok := <-ready
+		if !ok {
+			// The loader panicked; re-throw its panic value here so the
+			// caller sees the failure on its own goroutine.
+			panic(<-loadFailed)
+		}
+		if loaded != c {
+			panic("par: pipeline chunks delivered out of order")
+		}
+		compute(c, c%depth)
+		free <- struct{}{}
 	}
 }
 

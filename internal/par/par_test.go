@@ -221,3 +221,189 @@ func TestChunkedReduceDefaultChunk(t *testing.T) {
 		t.Fatalf("got %v, want 100", got)
 	}
 }
+
+func TestForWorkersBalancedChunks(t *testing.T) {
+	// Table over (n, workers) edge cases: chunk sizes must differ by at most
+	// one, cover [0, n) contiguously, and use exactly Workers(n, workers)
+	// distinct worker ids — including workers > n and n == 0.
+	cases := []struct{ n, workers int }{
+		{0, 4}, {1, 1}, {1, 8}, {5, 2}, {5, 5}, {5, 8},
+		{7, 3}, {100, 7}, {1000, 64}, {63, 64}, {65, 64}, {10, 0},
+	}
+	for _, tc := range cases {
+		want := Workers(tc.n, tc.workers)
+		var mu sync.Mutex
+		type chunk struct{ w, lo, hi int }
+		var chunks []chunk
+		ForWorkers(tc.n, tc.workers, func(w, lo, hi int) {
+			mu.Lock()
+			chunks = append(chunks, chunk{w, lo, hi})
+			mu.Unlock()
+		})
+		if tc.n == 0 {
+			if len(chunks) != 0 {
+				t.Fatalf("n=0 workers=%d: body invoked %d times", tc.workers, len(chunks))
+			}
+			continue
+		}
+		if len(chunks) != want {
+			t.Fatalf("n=%d workers=%d: %d chunks, want %d", tc.n, tc.workers, len(chunks), want)
+		}
+		covered := make([]int, tc.n)
+		seenW := make([]bool, want)
+		minSz, maxSz := tc.n, 0
+		for _, c := range chunks {
+			if c.w < 0 || c.w >= want || seenW[c.w] {
+				t.Fatalf("n=%d workers=%d: bad or repeated worker id %d", tc.n, tc.workers, c.w)
+			}
+			seenW[c.w] = true
+			sz := c.hi - c.lo
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			for i := c.lo; i < c.hi; i++ {
+				covered[i]++
+			}
+		}
+		for i, h := range covered {
+			if h != 1 {
+				t.Fatalf("n=%d workers=%d: index %d covered %d times", tc.n, tc.workers, i, h)
+			}
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("n=%d workers=%d: chunk sizes range [%d, %d], want spread <= 1",
+				tc.n, tc.workers, minSz, maxSz)
+		}
+	}
+}
+
+func TestWorkersResolver(t *testing.T) {
+	if got := Workers(0, 4); got != 0 {
+		t.Fatalf("Workers(0, 4) = %d, want 0", got)
+	}
+	if got := Workers(3, 8); got != 3 {
+		t.Fatalf("Workers(3, 8) = %d, want 3", got)
+	}
+	if got := Workers(100, 4); got != 4 {
+		t.Fatalf("Workers(100, 4) = %d, want 4", got)
+	}
+	if got := Workers(100, 0); got < 1 {
+		t.Fatalf("Workers(100, 0) = %d, want >= 1", got)
+	}
+}
+
+func TestPipelineSingleChunkInline(t *testing.T) {
+	// nChunks == 1 must degrade to the serial schedule: load then compute,
+	// both on the calling goroutine, slot 0.
+	var order []string
+	Pipeline(1, func(c, slot int) {
+		if c != 0 || slot != 0 {
+			t.Fatalf("load got (c=%d, slot=%d), want (0, 0)", c, slot)
+		}
+		order = append(order, "load")
+	}, func(c, slot int) {
+		if c != 0 || slot != 0 {
+			t.Fatalf("compute got (c=%d, slot=%d), want (0, 0)", c, slot)
+		}
+		order = append(order, "compute")
+	})
+	if len(order) != 2 || order[0] != "load" || order[1] != "compute" {
+		t.Fatalf("order = %v, want [load compute]", order)
+	}
+}
+
+// expectPanic runs f and fails unless it panics with want.
+func expectPanic(t *testing.T, want any, f func()) {
+	t.Helper()
+	done := make(chan any, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		f()
+	}()
+	select {
+	case got := <-done:
+		if got != want {
+			t.Fatalf("panic value = %v, want %v", got, want)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock: panic did not propagate within 5s")
+	}
+}
+
+func TestPipelineLoadPanicPropagates(t *testing.T) {
+	// A panic in the load stage must reach the caller, not deadlock the
+	// consumer waiting on a chunk that will never arrive.
+	expectPanic(t, "load boom", func() {
+		Pipeline(8, func(c, slot int) {
+			if c == 3 {
+				panic("load boom")
+			}
+		}, func(c, slot int) {})
+	})
+}
+
+func TestPipelineComputePanicPropagates(t *testing.T) {
+	// A panic in the compute stage must unwind the caller and release the
+	// loader (which may be blocked waiting for a free slot).
+	expectPanic(t, "compute boom", func() {
+		Pipeline(64, func(c, slot int) {}, func(c, slot int) {
+			if c == 2 {
+				panic("compute boom")
+			}
+		})
+	})
+}
+
+func TestPipelineDepthVariants(t *testing.T) {
+	for _, depth := range []int{0, 1, 2, 3, 8, 100} {
+		const chunks = 12
+		var computed []int
+		PipelineDepth(chunks, depth, func(c, slot int) {
+			if slot < 0 || (depth >= 2 && slot >= depth) {
+				t.Fatalf("depth=%d: slot %d out of range", depth, slot)
+			}
+		}, func(c, slot int) {
+			computed = append(computed, c)
+		})
+		if len(computed) != chunks {
+			t.Fatalf("depth=%d: computed %d chunks, want %d", depth, len(computed), chunks)
+		}
+		for i, c := range computed {
+			if c != i {
+				t.Fatalf("depth=%d: compute order %v not sequential", depth, computed)
+			}
+		}
+	}
+}
+
+func TestPipelineDepthLoaderRunsAhead(t *testing.T) {
+	// With depth d, the loader must be able to finish up to d chunks before
+	// the first compute completes.
+	const depth = 4
+	loads := make(chan int, depth)
+	computeGate := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		PipelineDepth(8, depth, func(c, slot int) {
+			loads <- c
+		}, func(c, slot int) {
+			if c == 0 {
+				<-computeGate
+			}
+		})
+	}()
+	// While compute(0) is blocked, the loader should deliver depth loads.
+	for i := 0; i < depth; i++ {
+		select {
+		case <-loads:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("loader stalled after %d loads; want %d ahead of compute", i, depth)
+		}
+	}
+	close(computeGate)
+	<-done
+}

@@ -165,19 +165,34 @@ type Estimate struct {
 	Total           float64
 }
 
-// Iteration models one training iteration on C cluster nodes.
+// Iteration models one training iteration on C cluster nodes with every
+// core of each node computing (threads = Cores).
 func Iteration(m Machine, net simnet.Model, w Workload, c int, pipelined bool) Estimate {
+	return IterationThreads(m, net, w, c, m.Cores, pipelined)
+}
+
+// IterationThreads is Iteration with an explicit intra-rank thread count —
+// the model's counterpart of the engine's Threads knob, so Figure-1-style
+// projections can cover rank×thread sweeps. The compute terms of every phase
+// divide by threads (the OpenMP-style parallel-for over vertices, pairs, and
+// held-out chunks); the network terms do not, which is why thread scaling
+// flattens once a phase goes communication-bound. threads is clamped to
+// [1, m.Cores].
+func IterationThreads(m Machine, net simnet.Model, w Workload, c, threads int, pipelined bool) Estimate {
 	w = w.withDefaults()
 	var e Estimate
 	if c < 1 {
 		c = 1
+	}
+	if threads < 1 || threads > m.Cores {
+		threads = m.Cores
 	}
 	mPer := ceilDiv(w.M, c)
 	pairsPer := ceilDiv(w.MinibatchPairs, c)
 	rowB := float64(w.RowBytes())
 	remote := float64(c-1) / float64(c)
 	readBW := net.BandwidthBytesPerSec * m.ReadEfficiency
-	cores := float64(m.Cores)
+	cores := float64(threads)
 
 	// draw/deploy mini-batch (master). Deployment ships each vertex id, its
 	// adjacency, and the pair list.

@@ -287,3 +287,57 @@ func TestBatchTime(t *testing.T) {
 		t.Fatal("BatchTime not increasing in bytes")
 	}
 }
+
+func TestIterationThreadsIntraRankTerm(t *testing.T) {
+	m := DAS5()
+	net := simnet.FDRInfiniBand()
+	w := PaperFriendster()
+
+	// threads = Cores must reproduce Iteration exactly (it is the same
+	// computation), and out-of-range thread counts clamp to it.
+	for _, c := range []int{1, 8, 64} {
+		for _, pipelined := range []bool{false, true} {
+			full := Iteration(m, net, w, c, pipelined)
+			for _, threads := range []int{m.Cores, 0, -3, m.Cores + 10} {
+				got := IterationThreads(m, net, w, c, threads, pipelined)
+				if got.Total != full.Total || got.ComputePhi != full.ComputePhi {
+					t.Fatalf("c=%d threads=%d pipelined=%v: total %v != Iteration's %v",
+						c, threads, pipelined, got.Total, full.Total)
+				}
+			}
+		}
+	}
+
+	// More threads must monotonically shrink the compute term and never
+	// hurt the total; with one thread, compute dominates by Cores×.
+	for _, c := range []int{1, 16, 64} {
+		prev := IterationThreads(m, net, w, c, 1, true)
+		one := prev
+		for threads := 2; threads <= m.Cores; threads *= 2 {
+			cur := IterationThreads(m, net, w, c, threads, true)
+			if cur.ComputePhi >= prev.ComputePhi {
+				t.Fatalf("c=%d: compute_phi did not shrink going to %d threads (%v >= %v)",
+					c, threads, cur.ComputePhi, prev.ComputePhi)
+			}
+			if cur.Total > prev.Total {
+				t.Fatalf("c=%d: total grew going to %d threads (%v > %v)",
+					c, threads, cur.Total, prev.Total)
+			}
+			prev = cur
+		}
+		wantRatio := float64(m.Cores)
+		if got := one.ComputePhi / prev.ComputePhi; math.Abs(got-wantRatio) > 1e-9*wantRatio {
+			t.Fatalf("c=%d: 1-thread/%d-thread compute ratio %v, want %v", c, m.Cores, got, wantRatio)
+		}
+	}
+
+	// The network terms must NOT scale with threads: a communication-bound
+	// configuration (many ranks, huge K) improves far less than linearly.
+	big := w
+	big.K = 12288
+	lo := IterationThreads(m, net, big, 64, 1, true)
+	hi := IterationThreads(m, net, big, 64, m.Cores, true)
+	if lo.LoadPi != hi.LoadPi {
+		t.Fatalf("load_pi changed with threads: %v vs %v", lo.LoadPi, hi.LoadPi)
+	}
+}

@@ -28,6 +28,21 @@ func (s *NeighborSample) add(node int32, linked bool, scale float64) {
 	s.Scale = append(s.Scale, scale)
 }
 
+// containsFrom reports whether node appears in nodes[start:]. The rejection
+// loops below use it as their duplicate check instead of a per-call map: the
+// candidate sets are tiny (≈ the neighbor count), so a linear scan beats the
+// map on both time and — the point in the update_phi hot loop — allocation.
+// The accept/reject decisions are identical to the map's, so the RNG draw
+// sequence (and every downstream trajectory) is unchanged.
+func containsFrom(nodes []int32, start int, node int32) bool {
+	for _, v := range nodes[start:] {
+		if v == node {
+			return true
+		}
+	}
+	return false
+}
+
 // NeighborStrategy draws the neighbor set used by update_phi (Eqn 5).
 // Implementations are stateless after construction and safe for concurrent
 // Sample calls as long as each goroutine passes its own rng and out.
@@ -63,7 +78,6 @@ func (s *UniformNeighbors) Name() string { return "uniform" }
 func (s *UniformNeighbors) Sample(a int32, rng *mathx.RNG, out *NeighborSample) {
 	out.Reset()
 	n := s.view.NumVertices()
-	seen := map[int32]struct{}{}
 	// Population size excludes a itself and a's held-out pairs.
 	pop := n - 1 - s.view.ExcludedCount(a)
 	if pop < s.count {
@@ -78,10 +92,9 @@ func (s *UniformNeighbors) Sample(a int32, rng *mathx.RNG, out *NeighborSample) 
 		if s.view.IsExcluded(a, b) {
 			continue
 		}
-		if _, dup := seen[b]; dup {
+		if containsFrom(out.Nodes, 0, b) {
 			continue
 		}
-		seen[b] = struct{}{}
 		out.add(b, s.view.HasEdge(a, b), w)
 	}
 }
@@ -127,7 +140,10 @@ func (s *LinkPlusUniform) Sample(a int32, rng *mathx.RNG, out *NeighborSample) {
 		take = nonlinks
 	}
 	w := float64(nonlinks) / float64(take)
-	seen := map[int32]struct{}{}
+	// Duplicates can only collide with other sampled non-links (a candidate
+	// that is a link was already rejected), so the scan starts after the
+	// link prefix.
+	start := len(out.Nodes)
 	added := 0
 	for added < take {
 		b := int32(rng.Intn(n))
@@ -137,10 +153,9 @@ func (s *LinkPlusUniform) Sample(a int32, rng *mathx.RNG, out *NeighborSample) {
 		if s.view.IsExcluded(a, b) {
 			continue
 		}
-		if _, dup := seen[b]; dup {
+		if containsFrom(out.Nodes, start, b) {
 			continue
 		}
-		seen[b] = struct{}{}
 		out.add(b, false, w)
 		added++
 	}

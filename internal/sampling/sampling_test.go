@@ -406,3 +406,99 @@ func mustLPU(t *testing.T, g *graph.Graph, c int) NeighborStrategy {
 	}
 	return s
 }
+
+// mapDupReference replays a strategy's rejection loop with the map-based
+// duplicate check the linear-scan version replaced. The accept/reject
+// decisions must be identical, so from the same RNG stream both produce the
+// same sample — which pins that the deforested loop did not perturb any RNG
+// draw sequence (and therefore no trained trajectory).
+func mapDupUniformReference(s *UniformNeighbors, a int32, rng *mathx.RNG, out *NeighborSample) {
+	out.Reset()
+	n := s.view.NumVertices()
+	seen := map[int32]struct{}{}
+	pop := n - 1 - s.view.ExcludedCount(a)
+	if pop < s.count {
+		pop = s.count
+	}
+	w := float64(pop) / float64(s.count)
+	for len(out.Nodes) < s.count {
+		b := int32(rng.Intn(n))
+		if b == a || s.view.IsExcluded(a, b) {
+			continue
+		}
+		if _, dup := seen[b]; dup {
+			continue
+		}
+		seen[b] = struct{}{}
+		out.add(b, s.view.HasEdge(a, b), w)
+	}
+}
+
+func mapDupLPUReference(s *LinkPlusUniform, a int32, rng *mathx.RNG, out *NeighborSample) {
+	out.Reset()
+	n := s.view.NumVertices()
+	for _, b := range s.view.Neighbors(a) {
+		out.add(b, true, 1)
+	}
+	deg := s.view.Degree(a)
+	nonlinks := n - 1 - deg - s.view.ExcludedCount(a)
+	if nonlinks <= 0 {
+		return
+	}
+	take := s.count
+	if take > nonlinks {
+		take = nonlinks
+	}
+	w := float64(nonlinks) / float64(take)
+	seen := map[int32]struct{}{}
+	added := 0
+	for added < take {
+		b := int32(rng.Intn(n))
+		if b == a || s.view.HasEdge(a, b) || s.view.IsExcluded(a, b) {
+			continue
+		}
+		if _, dup := seen[b]; dup {
+			continue
+		}
+		seen[b] = struct{}{}
+		out.add(b, false, w)
+		added++
+	}
+}
+
+func sameSample(a, b *NeighborSample) bool {
+	if len(a.Nodes) != len(b.Nodes) {
+		return false
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] || a.Linked[i] != b.Linked[i] || a.Scale[i] != b.Scale[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNeighborSampleMatchesMapReference(t *testing.T) {
+	g := testGraph(t, 200, 900, 11)
+	uni, err := NewUniformNeighbors(NewGraphView(g, nil), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpu, err := NewLinkPlusUniform(NewGraphView(g, nil), 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got, want NeighborSample
+	for a := int32(0); a < 200; a += 7 {
+		uni.Sample(a, mathx.NewStream(5, uint64(a)), &got)
+		mapDupUniformReference(uni, a, mathx.NewStream(5, uint64(a)), &want)
+		if !sameSample(&got, &want) {
+			t.Fatalf("uniform: vertex %d diverged from map-based reference", a)
+		}
+		lpu.Sample(a, mathx.NewStream(5, uint64(a)), &got)
+		mapDupLPUReference(lpu, a, mathx.NewStream(5, uint64(a)), &want)
+		if !sameSample(&got, &want) {
+			t.Fatalf("link-plus-uniform: vertex %d diverged from map-based reference", a)
+		}
+	}
+}

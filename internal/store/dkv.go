@@ -169,6 +169,14 @@ func (s *DKVStore) K() int { return s.k }
 // OwnedRange returns this rank's key shard [lo, hi).
 func (s *DKVStore) OwnedRange() (lo, hi int) { return s.kv.OwnedRange() }
 
+// ReadsAreLocal implements LocalReader: reads stay in-process exactly when
+// this rank owns every key, i.e. the Ranks=1 degenerate case. Multi-rank
+// stores answer false and the φ stage keeps the fetch/compute overlap.
+func (s *DKVStore) ReadsAreLocal() bool {
+	lo, hi := s.kv.OwnedRange()
+	return lo == 0 && hi == s.n
+}
+
 // Stats exposes the underlying DKV traffic counters.
 func (s *DKVStore) Stats() *dkv.Stats { return s.kv.Stats() }
 
@@ -425,4 +433,7 @@ func (s *DKVStore) Flush() error {
 }
 
 // interface conformance
-var _ PiStore = (*DKVStore)(nil)
+var (
+	_ PiStore     = (*DKVStore)(nil)
+	_ LocalReader = (*DKVStore)(nil)
+)

@@ -94,6 +94,24 @@ type PiStore interface {
 	Flush() error
 }
 
+// LocalReader is an optional PiStore capability: backends whose reads are
+// answered from local memory (no transport round trip) report it, and the φ
+// stage uses the answer to pick its schedule — a pipeline that overlaps
+// fetches with compute only pays off when fetches actually leave the
+// process, so local readers get the fused serial path instead.
+type LocalReader interface {
+	// ReadsAreLocal reports whether every ReadRows/ReadRowsAsync on this
+	// store completes without remote communication.
+	ReadsAreLocal() bool
+}
+
+// ReadsAreLocal reports the LocalReader answer for ps, defaulting to false
+// (assume remote) for backends that don't implement the capability.
+func ReadsAreLocal(ps PiStore) bool {
+	lr, ok := ps.(LocalReader)
+	return ok && lr.ReadsAreLocal()
+}
+
 // RowBytes is the wire size of one vertex's value: K float32 π entries plus
 // the float64 Σφ.
 func RowBytes(k int) int { return 4*k + 8 }
@@ -258,5 +276,11 @@ func (s *LocalStore) WriteRows(ids []int32, phi []float64) error {
 // Flush implements PiStore; in-memory writes are immediately visible.
 func (s *LocalStore) Flush() error { return nil }
 
+// ReadsAreLocal implements LocalReader: every read is a memory copy.
+func (s *LocalStore) ReadsAreLocal() bool { return true }
+
 // interface conformance
-var _ PiStore = (*LocalStore)(nil)
+var (
+	_ PiStore     = (*LocalStore)(nil)
+	_ LocalReader = (*LocalStore)(nil)
+)

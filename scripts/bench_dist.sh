@@ -1,24 +1,41 @@
 #!/usr/bin/env sh
-# Append a BenchmarkDistIteration snapshot to BENCH_dist.json so the perf
-# trajectory of the distributed iteration loop is tracked in-repo as a
-# series: one record per invocation, keyed by git SHA and UTC date, appended
-# (never overwritten) so regressions are visible as a diff in history.
+# Append a distributed-loop benchmark snapshot to BENCH_dist.json so the perf
+# trajectory of the iteration loop is tracked in-repo as a series: one record
+# per invocation, keyed by git SHA and UTC date, appended (never overwritten)
+# so regressions are visible as a diff in history.
 #
-# Each record carries two views of the same loop: the Go benchmark's ns/op
-# (serial, pipelined, and the hot-row cache per-phase vs cross-iteration,
-# with hit rates), and the per-stage phase breakdown digested from the JSONL
-# telemetry stream of a short instrumented cluster run with the
-# cross-iteration cache on (ocd-cluster -metrics-out → ocd-analyze -events
-# -events-json). cache_hit_rate and peer_skew are hoisted to the record's
-# top level so a series-wide trend query is one grep away.
-# Usage: scripts/bench_dist.sh [benchtime]   (default 20x)
+# Each record carries three views of the same loop:
+#   - BenchmarkDistIteration ns/op (serial, pipelined, hot-row cache per-phase
+#     vs cross-iteration, with hit rates) on the in-proc fabric;
+#   - the BenchmarkDistSweep rank×thread×transport grid (ns/op, allocs/op and
+#     pipelined speedup per {transport, threads} cell over inproc, the simnet
+#     wire model, and a TCP loopback mesh);
+#   - the per-stage phase breakdown digested from the JSONL telemetry stream
+#     of a short instrumented cluster run with the cross-iteration cache on
+#     (ocd-cluster -metrics-out → ocd-analyze -events -events-json).
+# cache_hit_rate and peer_skew are hoisted to the record's top level so a
+# series-wide trend query is one grep away.
+#
+# The script FAILS (exit 1) if pipelining is not a win on a remote transport:
+# for each of simnet and tcp, the best pipelined speedup across the thread
+# cells must exceed 1.0. Per-cell hard gating is not statistically meaningful
+# on small shared CI boxes (single-core runners timeshare both ranks, so
+# individual cells carry ±5-8% noise); the regression class this guards
+# against — a chunking policy that makes pipelining lose everywhere, like the
+# pre-fix 0.92× — fails the best-cell criterion decisively.
+# Usage: scripts/bench_dist.sh [benchtime] [sweeptime]   (default 20x / 10x)
 set -eu
 cd "$(dirname "$0")/.."
 BENCHTIME="${1:-20x}"
+SWEEPTIME="${2:-10x}"
 
 out="$(go test ./internal/dist/ -run NONE -bench BenchmarkDistIteration \
 	-benchtime "$BENCHTIME" -count 1)"
 echo "$out"
+
+sweep="$(go test ./internal/dist/ -run NONE -bench BenchmarkDistSweep \
+	-benchmem -benchtime "$SWEEPTIME" -count 1)"
+echo "$sweep"
 
 # Telemetry run: small planted graph, 2 ranks, pipelined — the same shape
 # as the benchmark config — digested into one Summary object.
@@ -39,6 +56,39 @@ num() {
 
 GIT_SHA="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+
+# The sweep grid as a JSON fragment: one element per {transport, threads}
+# cell, carrying both schedules' ns/op and allocs/op plus their ratio. With
+# -benchmem the benchmark line is: name N ns/op B/op allocs/op ($3/$5/$7).
+echo "$sweep" | awk '
+	/^BenchmarkDistSweep\// {
+		split($1, p, "/")
+		t = p[2]
+		th = p[3]; sub(/^r2t/, "", th)
+		m = p[4]; sub(/-[0-9]+$/, "", m)
+		ns[t "," th "," m] = $3
+		al[t "," th "," m] = $7
+	}
+	END {
+		ntr = split("inproc simnet tcp", trs, " ")
+		nth = split("1 2 4", ths, " ")
+		printf "    \"sweep\": [\n"
+		first = 1
+		for (i = 1; i <= ntr; i++) for (j = 1; j <= nth; j++) {
+			t = trs[i]; th = ths[j]
+			s = ns[t "," th ",serial"]; q = ns[t "," th ",pipelined"]
+			if (s == "" || q == "") continue
+			if (!first) printf ",\n"
+			first = 0
+			printf "      {\"transport\": \"%s\", \"ranks\": 2, \"threads\": %s, " \
+				"\"serial_ns_per_op\": %s, \"pipelined_ns_per_op\": %s, " \
+				"\"serial_allocs_per_op\": %s, \"pipelined_allocs_per_op\": %s, " \
+				"\"pipelined_speedup\": %.4f}", \
+				t, th, s, q, al[t "," th ",serial"], al[t "," th ",pipelined"], s / q
+		}
+		printf "\n    ],\n"
+	}
+' > "$tmp/sweep.json"
 
 # One series record, indented two spaces to sit inside the top-level array.
 {
@@ -70,9 +120,10 @@ DATE="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
 			printf "    \"pipelined_speedup\": %.4f,\n", ns["serial"] / ns["pipelined"]
 			printf "    \"cache_hit_rate\": %s,\n", cache_hit_rate
 			printf "    \"peer_skew\": %s,\n", peer_skew
-			printf "    \"telemetry\":\n"
 		}
 	'
+	cat "$tmp/sweep.json"
+	printf '    "telemetry":\n'
 	sed 's/^/    /' "$tmp/summary.json"
 	printf '  }\n'
 } > "$tmp/record.json"
@@ -91,3 +142,32 @@ mv "$tmp/series.json" BENCH_dist.json
 
 echo "appended record $GIT_SHA to BENCH_dist.json:"
 cat BENCH_dist.json
+
+# Gate: on each remote transport, pipelining must beat the serial schedule in
+# at least one thread cell. Runs last so the record above survives for
+# forensics even when the gate trips.
+echo "$sweep" | awk '
+	/^BenchmarkDistSweep\// {
+		split($1, p, "/")
+		t = p[2]
+		th = p[3]; sub(/^r2t/, "", th)
+		m = p[4]; sub(/-[0-9]+$/, "", m)
+		ns[t "," th "," m] = $3
+	}
+	END {
+		ntr = split("simnet tcp", trs, " ")
+		nth = split("1 2 4", ths, " ")
+		fail = 0
+		for (i = 1; i <= ntr; i++) {
+			t = trs[i]; best = 0
+			for (j = 1; j <= nth; j++) {
+				s = ns[t "," ths[j] ",serial"]; q = ns[t "," ths[j] ",pipelined"]
+				if (s > 0 && q > 0 && s / q > best) best = s / q
+			}
+			if (best == 0) { printf "bench_dist: FAIL: no %s sweep cells found\n", t; fail = 1 }
+			else if (best <= 1.0) { printf "bench_dist: FAIL: pipelining never beats serial on %s (best speedup %.4f <= 1.0)\n", t, best; fail = 1 }
+			else printf "bench_dist: gate ok: %s best pipelined speedup %.4f\n", t, best
+		}
+		exit fail
+	}
+'
