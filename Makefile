@@ -1,8 +1,8 @@
 GO ?= go
 
-DIST_PKGS = ./internal/par/... ./internal/transport/... ./internal/cluster/... ./internal/dkv/... ./internal/store/... ./internal/engine/... ./internal/dist/...
+DIST_PKGS = ./internal/par/... ./internal/transport/... ./internal/cluster/... ./internal/dkv/... ./internal/store/... ./internal/engine/... ./internal/dist/... ./internal/serve/...
 
-.PHONY: build fmt vet test race bench-dist check
+.PHONY: build fmt vet test race bench-dist bench-serve check
 
 build:
 	$(GO) build ./...
@@ -26,5 +26,10 @@ race:
 # bench-dist refreshes the BENCH_dist.json perf snapshot.
 bench-dist:
 	scripts/bench_dist.sh
+
+# bench-serve appends a serving-tier record (qps / p99 / flip latency)
+# to the same BENCH_dist.json series.
+bench-serve:
+	scripts/bench_serve.sh
 
 check: fmt vet build race test

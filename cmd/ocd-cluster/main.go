@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -23,6 +24,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/mathx"
 	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/store"
 	"repro/internal/transport"
 )
 
@@ -52,6 +55,8 @@ func main() {
 		slowSend  = flag.Duration("slow-send", time.Millisecond, "per-send delay injected at -slow-rank")
 		metrics   = flag.String("metrics-out", "", "write the JSONL telemetry event stream to this file (- = stdout)")
 		monitor   = flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. :6060 or 127.0.0.1:0)")
+		serveAt   = flag.String("serve", "", "answer membership queries over HTTP on this address while training (e.g. :7070)")
+		pubEvery  = flag.Int("publish-every", 1, "with -serve, publish a fresh snapshot every this many iterations")
 		rankTable = flag.Bool("rank-table", false, "print the per-rank × per-stage time table after the run")
 	)
 	flag.Parse()
@@ -103,6 +108,27 @@ func main() {
 		defer mon.Close()
 		fmt.Printf("monitor: http://%s/metrics\n", addr)
 		opts.Monitor = mon
+	}
+	// -serve: the master publishes the assembled π view every -publish-every
+	// iterations and this process answers queries against the freshest
+	// snapshot while the run continues. Bit-identical training either way.
+	if *serveAt != "" {
+		pub := store.NewPublisher()
+		opts.Publisher = pub
+		opts.PublishEvery = *pubEvery
+		eng := serve.NewEngine(0)
+		eng.Attach(pub)
+		srv := serve.New(*serveAt, eng, pub)
+		bound, err := srv.Start()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving queries: http://%s/ (endpoints: /topk /members /shared /stats)\n", bound)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
 	}
 	// Both interconnects go through RunOnTransport over an explicit conn
 	// slice so fault wrappers (the -slow-rank straggler injection) apply

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +20,8 @@ import (
 	"repro/internal/mathx"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/serve"
+	"repro/internal/store"
 )
 
 func main() {
@@ -41,6 +44,7 @@ func main() {
 		avgTail  = flag.Int("posterior-samples", 0, "average this many chain samples (20 iterations apart) for the final estimate")
 		auc      = flag.Bool("auc", false, "also report held-out link-prediction AUC")
 		metricsO = flag.String("metrics-out", "", "write the JSONL telemetry event stream to this file (- = stdout)")
+		serveAt  = flag.String("serve", "", "answer membership queries over HTTP on this address while training (e.g. :7070)")
 	)
 	flag.Parse()
 	if *path == "" {
@@ -78,6 +82,26 @@ func main() {
 		}
 		rec = obs.NewRunRecorder(sink, 0, nil)
 		sopts.Recorder = rec
+	}
+	// -serve: publish a sealed π snapshot after every iteration and answer
+	// queries against the freshest one while training continues. Publication
+	// only reads, so the trained model is bit-identical with or without it.
+	if *serveAt != "" {
+		pub := store.NewPublisher()
+		sopts.Publisher = pub
+		eng := serve.NewEngine(0)
+		eng.Attach(pub)
+		srv := serve.New(*serveAt, eng, pub)
+		bound, err := srv.Start()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("serving queries: http://%s/ (endpoints: /topk /members /shared /stats)\n", bound)
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = srv.Shutdown(ctx)
+		}()
 	}
 	s, err := core.NewSampler(cfg, train, held, sopts)
 	if err != nil {

@@ -59,6 +59,11 @@ type Sampler struct {
 	// staging area for the φ phase: newPhi[i] is the pending row for
 	// batch.Nodes[i]; committed only after every row is computed.
 	newPhi []float64
+
+	// pub/pubEvery drive the optional snapshot publication stage
+	// (SamplerOptions.Publisher).
+	pub      *store.Publisher
+	pubEvery int
 }
 
 // SamplerOptions configures NewSampler beyond the model Config.
@@ -87,6 +92,15 @@ type SamplerOptions struct {
 	// durations, one event per iteration, perplexity points) — see
 	// internal/obs. Nil keeps the iteration loop telemetry-free.
 	Recorder obs.Recorder
+	// Publisher, when non-nil, receives a sealed store.Snapshot of π/β after
+	// the write barrier of every PublishEvery-th iteration (version = number
+	// of completed iterations) — the feed of the internal/serve read tier.
+	// Publication only reads sealed state, so the trained trajectory is
+	// bit-identical with or without it.
+	Publisher *store.Publisher
+	// PublishEvery is the publication interval in iterations; 0 defaults to
+	// 1 (every iteration). Ignored when Publisher is nil.
+	PublishEvery int
 }
 
 // NewSampler wires a sampler for a training graph and held-out set. held may
@@ -151,6 +165,8 @@ func NewSampler(cfg Config, g *graph.Graph, held *graph.HeldOut, opt SamplerOpti
 		Threads:   opt.Threads,
 		Phases:    trace.NewPhases(),
 		rec:       opt.Recorder,
+		pub:       opt.Publisher,
+		pubEvery:  max(opt.PublishEvery, 1),
 	}
 	if held != nil {
 		s.eval = NewHeldOutEval(held, cfg.Delta, 0, held.Len())
@@ -179,7 +195,7 @@ func (s *Sampler) pistore() *store.LocalStore {
 // is the local specialisation of the paper's Table III: no deploy/collective
 // stages, and the in-memory store makes every load local.
 func (s *Sampler) buildLoop() *engine.Loop {
-	return &engine.Loop{
+	loop := &engine.Loop{
 		Trace:    s.Phases,
 		Recorder: s.rec,
 		Stages: []engine.Stage{
@@ -237,6 +253,34 @@ func (s *Sampler) buildLoop() *engine.Loop {
 			},
 		},
 	}
+	if s.pub != nil {
+		// The sequential loop has no collective barriers: a stage boundary at
+		// the end of the iteration IS the phase barrier (no writes can be in
+		// flight), so the publication stage carries the Barrier mark itself.
+		loop.Stages = append(loop.Stages, engine.Stage{
+			Name:      engine.PhasePublish,
+			Reads:     []string{"pi", "beta"},
+			Publishes: []string{"pi"},
+			Barrier:   true,
+			Run:       s.publishStage,
+		})
+	}
+	return loop
+}
+
+// publishStage seals the post-iteration state into an immutable snapshot and
+// hands it to the publisher. Version t+1 = iterations completed. The stage
+// only reads — π through the same store view the training stages use, β from
+// the state — so enabling it cannot perturb the trained trajectory.
+func (s *Sampler) publishStage(t int) error {
+	if (t+1)%s.pubEvery != 0 {
+		return nil
+	}
+	snap, err := s.pistore().Snapshot(t+1, s.State.Beta)
+	if err != nil {
+		return err
+	}
+	return s.pub.Publish(snap)
 }
 
 // Iteration returns the number of completed iterations.

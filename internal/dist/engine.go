@@ -196,14 +196,14 @@ func (nd *node) buildLoop() *engine.Loop {
 				Writes: []string{"new_phi"},
 				Run:    nd.phiStage,
 			},
-			{Run: nd.barrierStage}, // update_phi reads old π; fence before overwriting
+			{Run: nd.barrierStage, Barrier: true}, // update_phi reads old π; fence before overwriting
 			{
 				Name:   PhaseUpdatePi,
 				Reads:  []string{"batch", "new_phi"},
 				Writes: []string{"pi"},
 				Run:    nd.piStage,
 			},
-			{Run: nd.barrierStage}, // update_beta_theta reads the new π everywhere
+			{Run: nd.barrierStage, Barrier: true}, // update_beta_theta reads the new π everywhere
 			{
 				Name:   PhaseUpdateBetaTheta,
 				Reads:  []string{"batch", "pi", "theta"},
@@ -211,6 +211,20 @@ func (nd *node) buildLoop() *engine.Loop {
 				Run:    nd.thetaStage,
 			},
 		},
+	}
+	if nd.opt.Publisher != nil {
+		// π was fenced by the barrier before update_beta_theta, so the
+		// publication after it is legal (Validate checks exactly this). At
+		// runtime the stage runs last in the iteration: the serving rank (the
+		// master) gathers while its peers sit in the next deploy's scatter
+		// receive — no rank can reach its next π write until the master, and
+		// therefore this gather, is done.
+		loop.Stages = append(loop.Stages, engine.Stage{
+			Name:      PhasePublish,
+			Reads:     []string{"pi", "beta"},
+			Publishes: []string{"pi"},
+			Run:       nd.publishStage,
+		})
 	}
 	if nd.rec != nil { // assign through the guard: a typed-nil Recorder would defeat the nil checks
 		loop.Recorder = nd.rec
@@ -388,6 +402,21 @@ func (nd *node) exchangeWriteSets(local []int32) ([]int32, error) {
 		off += k
 	}
 	return union, nil
+}
+
+// publishStage seals the full post-iteration π view into an immutable
+// snapshot and hands it to Options.Publisher; serving rank (master) only —
+// peers pass through and serve the gather with their DKV goroutines.
+// Version t+1 = iterations completed.
+func (nd *node) publishStage(t int) error {
+	if nd.rank != 0 || (t+1)%nd.opt.PublishEvery != 0 {
+		return nil
+	}
+	snap, err := nd.store.Snapshot(t+1, nd.beta)
+	if err != nil {
+		return err
+	}
+	return nd.opt.Publisher.Publish(snap)
 }
 
 // thetaStage computes this rank's per-chunk θ-gradient partials through the

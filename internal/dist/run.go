@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -29,6 +30,7 @@ const (
 	PhaseUpdatePi        = engine.PhaseUpdatePi
 	PhaseUpdateBetaTheta = engine.PhaseUpdateBetaTheta
 	PhasePerplexity      = engine.PhasePerplexity
+	PhasePublish         = engine.PhasePublish
 	PhaseTotal           = engine.PhaseTotal
 )
 
@@ -100,6 +102,18 @@ type Options struct {
 	// (every rank; a discard-backed sink is created when Events is nil).
 	Monitor *obs.Monitor
 
+	// Publisher, when non-nil, receives a sealed full-view store.Snapshot of
+	// π/β from the serving rank (the master, rank 0) after the write barrier
+	// of every PublishEvery-th iteration — the feed of the internal/serve
+	// read tier. The master gathers peer shards through the raw DKV read
+	// path while the peers are fenced waiting on its next scatter, so the
+	// gather is consistent and the trained trajectory stays bit-identical
+	// with publication on or off.
+	Publisher *store.Publisher
+	// PublishEvery is the publication interval in iterations; 0 defaults to
+	// 1 (every iteration). Ignored when Publisher is nil.
+	PublishEvery int
+
 	// FaultHook, when non-nil, is called by every rank at the top of each
 	// iteration; a non-nil return makes that rank fail exactly as if the
 	// iteration itself had errored, triggering the fabric-wide abort. It
@@ -123,6 +137,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.NeighborCount == 0 {
 		o.NeighborCount = 32
+	}
+	if o.PublishEvery == 0 {
+		o.PublishEvery = 1
 	}
 }
 
@@ -222,6 +239,16 @@ func RunOnTransport(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Op
 			opt.Events = obs.NewSink(io.Discard)
 		}
 		opt.Events.Tee(opt.Monitor.EventStream())
+		// The run owns the monitor's serving lifetime: once every rank has
+		// returned there will be no more events or metric updates, so drain
+		// open SSE streams and release the port instead of leaving a zombie
+		// endpoint behind. Shutdown is idempotent — callers that Close in
+		// their own defer are unaffected.
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			_ = opt.Monitor.Shutdown(ctx)
+		}()
 	}
 
 	nodes := make([]*node, opt.Ranks)

@@ -28,6 +28,7 @@ const (
 	PhaseUpdatePi        = "update_pi"
 	PhaseUpdateBetaTheta = "update_beta_theta"
 	PhasePerplexity      = "perplexity"
+	PhasePublish         = "publish_snapshot"
 	PhaseTotal           = "total"
 )
 
@@ -43,7 +44,19 @@ type Stage struct {
 	Name   string
 	Reads  []string
 	Writes []string
-	Run    func(t int) error
+	// Publishes names resources this stage exposes to readers OUTSIDE the
+	// loop (the snapshot publication of internal/store). Publication is a
+	// dataflow effect like a read, but with a stricter precondition: the
+	// resource must not have been written since the last Barrier stage,
+	// because a snapshot sealed mid-phase could capture a half-written
+	// iteration. Loop.Validate enforces this.
+	Publishes []string
+	// Barrier marks this stage as a phase fence: writes before it are
+	// committed and globally visible after it (the engines put their
+	// collective barrier + store.Flush here). Validate uses it to decide
+	// when a written resource becomes publishable.
+	Barrier bool
+	Run     func(t int) error
 }
 
 // Loop runs a fixed stage list once per iteration, timing each named stage
@@ -128,20 +141,37 @@ func (l *Loop) Run(n int) error {
 // Validate checks the declared dataflow: walking the stages in order, every
 // Read must name a resource provided initially or written by an earlier
 // stage (a resource written by a later stage only is exactly the read-own-
-// write hazard the phase barriers exist to prevent).
+// write hazard the phase barriers exist to prevent), and every Publish must
+// name a resource that is not dirty — written since the last Barrier stage —
+// because publication seals the resource for readers outside the loop, and a
+// seal taken between a write and its fence could expose a half-written
+// iteration.
 func (l *Loop) Validate(initial []string) error {
 	have := make(map[string]bool, len(initial))
+	dirty := make(map[string]bool)
 	for _, r := range initial {
 		have[r] = true
 	}
 	for _, st := range l.Stages {
+		if st.Barrier {
+			clear(dirty)
+		}
 		for _, r := range st.Reads {
 			if !have[r] {
 				return fmt.Errorf("engine: stage %q reads %q before any stage writes it", st.Name, r)
 			}
 		}
+		for _, p := range st.Publishes {
+			if !have[p] {
+				return fmt.Errorf("engine: stage %q publishes %q before any stage writes it", st.Name, p)
+			}
+			if dirty[p] {
+				return fmt.Errorf("engine: stage %q publishes %q before the write barrier", st.Name, p)
+			}
+		}
 		for _, w := range st.Writes {
 			have[w] = true
+			dirty[w] = true
 		}
 	}
 	return nil

@@ -131,6 +131,49 @@ func TestLoopValidate(t *testing.T) {
 	}
 }
 
+func TestLoopValidatePublishes(t *testing.T) {
+	// Publishing a resource after the barrier that fences its write is legal.
+	ok := &Loop{Stages: []Stage{
+		{Name: "pi", Reads: []string{"new_phi"}, Writes: []string{"pi"}},
+		{Barrier: true},
+		{Name: "publish", Reads: []string{"pi"}, Publishes: []string{"pi"}},
+	}}
+	if err := ok.Validate([]string{"new_phi", "pi"}); err != nil {
+		t.Fatalf("valid publish dataflow rejected: %v", err)
+	}
+
+	// Publishing between the write and its barrier would seal a half-written
+	// iteration; Validate must reject it.
+	unfenced := &Loop{Stages: []Stage{
+		{Name: "pi", Reads: []string{"new_phi"}, Writes: []string{"pi"}},
+		{Name: "publish", Reads: []string{"pi"}, Publishes: []string{"pi"}},
+		{Barrier: true},
+	}}
+	if err := unfenced.Validate([]string{"new_phi", "pi"}); err == nil {
+		t.Fatal("publish-before-barrier dataflow accepted")
+	}
+
+	// Publishing a resource nothing provides is a plain dataflow error.
+	unknown := &Loop{Stages: []Stage{
+		{Name: "publish", Publishes: []string{"pi"}},
+	}}
+	if err := unknown.Validate(nil); err == nil {
+		t.Fatal("publish of an unprovided resource accepted")
+	}
+
+	// A barrier clears dirtiness only for writes before it: a later write
+	// re-dirties the resource for subsequent publishes.
+	rewrite := &Loop{Stages: []Stage{
+		{Name: "pi", Writes: []string{"pi"}},
+		{Barrier: true},
+		{Name: "pi2", Writes: []string{"pi"}},
+		{Name: "publish", Publishes: []string{"pi"}},
+	}}
+	if err := rewrite.Validate(nil); err == nil {
+		t.Fatal("publish after re-dirtying write accepted")
+	}
+}
+
 func TestPrefetcher(t *testing.T) {
 	var produced []int
 	p := NewPrefetcher(func(t int) int {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -27,8 +28,8 @@ import (
 // run, and detects the loss as a gap in the ids.
 //
 // Lifecycle: NewMonitor(addr) → Start (binds and serves in the background)
-// → Attach(registry) once the run's rank-0 registry exists → Close. A GET
-// before Attach answers {"status":"waiting"}.
+// → Attach(registry) once the run's rank-0 registry exists → Shutdown (or
+// Close). A GET before Attach answers {"status":"waiting"}.
 type Monitor struct {
 	addr string
 
@@ -37,6 +38,7 @@ type Monitor struct {
 	stream *Stream
 	ln     net.Listener
 	srv    *http.Server
+	done   chan struct{} // closed on Shutdown/Close; SSE handlers watch it
 }
 
 // NewMonitor creates a monitor that will listen on addr (host:port; an
@@ -70,28 +72,21 @@ func (m *Monitor) Start() (string, error) {
 	if err != nil {
 		return "", err
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/", m.handleRoot)
-	mux.HandleFunc("/metrics", m.handleMetrics)
-	mux.HandleFunc("/events", m.handleEvents)
+	// The explicit route table 404s everything it doesn't name — including
+	// sub-paths of "/", which net/http would otherwise catch-all.
+	mux := Routes{
+		"/":        m.handleMetrics,
+		"/metrics": m.handleMetrics,
+		"/events":  m.handleEvents,
+	}.Mux()
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	m.mu.Lock()
 	m.ln = ln
 	m.srv = srv
+	m.done = make(chan struct{})
 	m.mu.Unlock()
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), nil
-}
-
-// handleRoot serves the metrics document for exactly "/" and 404s every
-// other path — net/http's "/" pattern is a catch-all, so without this check
-// /favicon.ico or a typo'd /metric would silently serve the full document.
-func (m *Monitor) handleRoot(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/" {
-		http.NotFound(w, r)
-		return
-	}
-	m.handleMetrics(w, r)
 }
 
 // handleMetrics renders the registry snapshot as indented JSON.
@@ -139,6 +134,10 @@ func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Accel-Buffering", "no")
 	w.WriteHeader(http.StatusOK)
 
+	m.mu.Lock()
+	done := m.done
+	m.mu.Unlock()
+
 	backlog, sub, cancel := m.EventStream().SubscribeFrom(lastID, 0)
 	defer cancel()
 
@@ -154,6 +153,10 @@ func (m *Monitor) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-done:
+			// Graceful shutdown: an SSE stream never ends on its own, so
+			// Shutdown's drain would wait forever without this exit.
 			return
 		case ev := <-sub.C:
 			writeSSE(w, ev)
@@ -171,14 +174,43 @@ func writeSSE(w http.ResponseWriter, ev StreamEvent) {
 	fmt.Fprintf(w, "id: %d\ndata: %s\n\n", ev.ID, ev.Data)
 }
 
-// Close stops the server (active SSE connections are torn down, which
-// cancels their request contexts); a monitor that was never started closes
-// cleanly.
-func (m *Monitor) Close() error {
+// detach takes ownership of the server for teardown: it returns the live
+// *http.Server (nil if never started or already torn down) and closes the
+// done channel so streaming handlers finish their in-flight frame and
+// return. Idempotent; Shutdown and Close race safely through it.
+func (m *Monitor) detach() *http.Server {
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	srv := m.srv
 	m.srv = nil
-	m.mu.Unlock()
+	if m.done != nil {
+		close(m.done)
+		m.done = nil
+	}
+	return srv
+}
+
+// Shutdown stops the server gracefully: the listener closes immediately (no
+// new connections), streaming handlers are told to return, and in-flight
+// requests drain until done or ctx expires — at which point the remaining
+// connections are closed hard. A monitor that was never started shuts down
+// cleanly.
+func (m *Monitor) Shutdown(ctx context.Context) error {
+	srv := m.detach()
+	if srv == nil {
+		return nil
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		return srv.Close()
+	}
+	return nil
+}
+
+// Close stops the server immediately (active SSE connections are torn down,
+// which cancels their request contexts); a monitor that was never started
+// closes cleanly.
+func (m *Monitor) Close() error {
+	srv := m.detach()
 	if srv == nil {
 		return nil
 	}

@@ -2,7 +2,9 @@ package obs
 
 import (
 	"bufio"
+	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"testing"
@@ -177,5 +179,45 @@ func TestSinkTeeFeedsStream(t *testing.T) {
 	}
 	if got, want := string(evs[0].Data)+"\n", sb.String(); got != want {
 		t.Fatalf("teed line %q differs from sink line %q", got, want)
+	}
+}
+
+// TestMonitorShutdownDrainsSSE: Shutdown must return promptly even with a
+// live SSE stream open — the handler watches the done channel — and the
+// listener must stop accepting afterwards. A second Shutdown (or Close) is a
+// no-op.
+func TestMonitorShutdownDrainsSSE(t *testing.T) {
+	m, addr := startMonitor(t)
+	m.Attach(NewRegistry())
+
+	resp, err := http.Get("http://" + addr + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	readSSEFrames(t, br, 1) // the ": stream open" handshake — handler is live
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("Shutdown took %v with one SSE client, want prompt drain", d)
+	}
+	// The open SSE body must now terminate instead of hanging.
+	if _, err := io.ReadAll(br); err != nil && !strings.Contains(err.Error(), "EOF") {
+		t.Logf("SSE body ended with: %v", err) // any termination is fine
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+	if err := m.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close after Shutdown: %v", err)
 	}
 }

@@ -1,0 +1,32 @@
+package obs
+
+import "net/http"
+
+// Routes is an explicit route table: exact path → handler. It exists
+// because net/http's "/" pattern is a catch-all — without a guard, a typo'd
+// path or /favicon.ico silently falls through to whatever was registered at
+// "/" (the Monitor originally carried this workaround inline; ocd-serve
+// reuses it through this helper instead of copy-pasting the trap).
+type Routes map[string]http.HandlerFunc
+
+// Mux builds a ServeMux that serves exactly the table's paths and answers
+// 404 for everything else, including sub-paths of "/". A "/" entry, when
+// present, serves only the literal root path.
+func (rt Routes) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	for path, h := range rt {
+		if path == "/" {
+			continue // folded into the guarded catch-all below
+		}
+		mux.HandleFunc(path, h)
+	}
+	root := rt["/"]
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" || root == nil {
+			http.NotFound(w, r)
+			return
+		}
+		root(w, r)
+	})
+	return mux
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// TestRoutesMux pins the helper's contract: exact table paths answer, the
+// "/" entry serves only the literal root, and every unknown path — notably
+// sub-paths that net/http's "/" pattern would otherwise catch — is a 404.
+func TestRoutesMux(t *testing.T) {
+	echo := func(tag string) http.HandlerFunc {
+		return func(w http.ResponseWriter, _ *http.Request) { fmt.Fprint(w, tag) }
+	}
+	srv := httptest.NewServer(Routes{
+		"/":    echo("root"),
+		"/one": echo("one"),
+	}.Mux())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		buf := make([]byte, 64)
+		n, _ := resp.Body.Read(buf)
+		return resp.StatusCode, string(buf[:n])
+	}
+
+	if code, body := get("/"); code != 200 || body != "root" {
+		t.Fatalf("GET / = %d %q, want 200 root", code, body)
+	}
+	if code, body := get("/one"); code != 200 || body != "one" {
+		t.Fatalf("GET /one = %d %q, want 200 one", code, body)
+	}
+	for _, path := range []string{"/two", "/favicon.ico", "/one/extra"} {
+		if code, _ := get(path); code != 404 {
+			t.Fatalf("GET %s = %d, want 404", path, code)
+		}
+	}
+}
+
+// TestRoutesMuxWithoutRoot: a table with no "/" entry 404s the root too.
+func TestRoutesMuxWithoutRoot(t *testing.T) {
+	srv := httptest.NewServer(Routes{
+		"/only": func(w http.ResponseWriter, _ *http.Request) {},
+	}.Mux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("GET / with no root entry = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+// benchSnap is a realistic serving shape: most mass on a handful of
+// communities per vertex, deterministic so runs are comparable.
+func benchSnap(v, n, k int) *store.Snapshot {
+	pi := make([]float32, n*k)
+	for a := 0; a < n; a++ {
+		row := pi[a*k : (a+1)*k]
+		rest := float32(1)
+		for j := 0; j < 3; j++ { // three strong memberships
+			c := (a*7 + j*13 + v) % k
+			row[c] += 0.25
+			rest -= 0.25
+		}
+		for c := 0; c < k; c++ {
+			row[c] += rest / float32(k)
+		}
+	}
+	return &store.Snapshot{Version: v, N: n, K: k, Pi: pi, SealedAt: time.Now()}
+}
+
+// BenchmarkTopK measures the raw engine query path (one atomic load plus a
+// partial selection over a K-wide row).
+func BenchmarkTopK(b *testing.B) {
+	const n, k = 100_000, 64
+	eng := NewEngine(0)
+	eng.Install(benchSnap(1, n, k))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := eng.TopK(i%n, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServeHTTP measures end-to-end query throughput and latency over
+// real TCP with concurrent clients, reporting the qps and p99_us custom
+// metrics that scripts/bench_serve.sh records in BENCH_dist.json.
+func BenchmarkServeHTTP(b *testing.B) {
+	const n, k, clients = 100_000, 64, 8
+	eng := NewEngine(0)
+	eng.Install(benchSnap(1, n, k))
+	srv := New("127.0.0.1:0", eng, nil)
+	addr, err := srv.Start()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	var mu sync.Mutex
+	var lat []time.Duration
+	var wg sync.WaitGroup
+	per := b.N/clients + 1
+	b.ResetTimer()
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			mine := make([]time.Duration, 0, per)
+			for i := 0; i < per; i++ {
+				url := fmt.Sprintf("http://%s/topk?v=%d&k=10", addr, (c*per+i)%n)
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				mine = append(mine, time.Since(t0))
+				if resp.StatusCode != 200 {
+					b.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+			mu.Lock()
+			lat = append(lat, mine...)
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	b.StopTimer()
+	if len(lat) == 0 {
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p99 := lat[len(lat)*99/100]
+	b.ReportMetric(float64(len(lat))/elapsed.Seconds(), "qps")
+	b.ReportMetric(float64(p99.Microseconds()), "p99_us")
+}
+
+// BenchmarkSnapshotFlip measures publish-to-visible latency: sealing cost is
+// the caller's (Snapshotter); this is index build plus the atomic flip, the
+// path scripts/bench_serve.sh reports as snapshot_flip_ns.
+func BenchmarkSnapshotFlip(b *testing.B) {
+	const n, k = 100_000, 64
+	pub := store.NewPublisher()
+	eng := NewEngine(0)
+	eng.Attach(pub)
+	// Two alternating pre-built snapshots so the measurement excludes slab
+	// construction; versions must keep rising for Publish to accept them.
+	a0, a1 := benchSnap(0, n, k), benchSnap(1, n, k)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := a0
+		if i%2 == 1 {
+			s = a1
+		}
+		s.Version = i + 1
+		if err := pub.Publish(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(pub.LastFlipNS()), "last_flip_ns")
+}

@@ -1,0 +1,263 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/store"
+)
+
+// Response headers carried by every answer that had a snapshot to serve
+// from: the version it was computed against and how stale that snapshot was
+// at response time. Clients use them to detect lag and to assert that a
+// whole multi-request session observed monotone versions.
+const (
+	HeaderVersion = "X-Snapshot-Version"
+	HeaderAgeMS   = "X-Snapshot-Age-Ms"
+)
+
+// Server is the HTTP/JSON query surface over an Engine. Routes (everything
+// else is a 404, via the obs.Routes table):
+//
+//	/        serving status: version, dimensions, staleness
+//	/topk    ?v=<vertex>&k=<n>      top-k communities for a vertex
+//	/members ?c=<community>&limit=<n>  members of a community
+//	/shared  ?u=<vertex>&v=<vertex>  communities shared by u and v
+//	/stats   query counters, last flip latency
+//
+// Every response carries X-Snapshot-Version / X-Snapshot-Age-Ms headers;
+// before the first publication query routes answer 503.
+//
+// Lifecycle mirrors obs.Monitor: New → Start (binds, serves in the
+// background) → Shutdown (graceful drain) or Close.
+type Server struct {
+	addr string
+	eng  *Engine
+	pub  *store.Publisher // optional; /stats reports its flip latency
+
+	srv *http.Server
+	ln  net.Listener
+
+	queries [3]int64 // topk, members, shared — accessed via sync/atomic
+	started time.Time
+}
+
+func (s *Server) count(i int) { atomic.AddInt64(&s.queries[i], 1) }
+
+func (s *Server) load(i int) int64 { return atomic.LoadInt64(&s.queries[i]) }
+
+// New creates a server for engine on addr (host:port; port 0 picks a free
+// port). pub, when non-nil, lets /stats report publication flip latency.
+func New(addr string, eng *Engine, pub *store.Publisher) *Server {
+	return &Server{addr: addr, eng: eng, pub: pub}
+}
+
+// Start binds the listener and serves in a background goroutine, returning
+// the bound address.
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.addr)
+	if err != nil {
+		return "", err
+	}
+	mux := obs.Routes{
+		"/":        s.handleStatus,
+		"/topk":    s.handleTopK,
+		"/members": s.handleMembers,
+		"/shared":  s.handleShared,
+		"/stats":   s.handleStats,
+	}.Mux()
+	s.ln = ln
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.started = time.Now()
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Shutdown stops the server gracefully: no new connections, in-flight
+// requests drain until done or ctx expires. Queries here are short-lived
+// JSON responses, so the drain is prompt.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return s.srv.Close()
+	}
+	return nil
+}
+
+// Close stops the server immediately.
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// stamp sets the snapshot version/staleness headers from snap (no-op when
+// nil — the not-ready 503 carries no version).
+func stamp(w http.ResponseWriter, snap *store.Snapshot) {
+	if snap == nil {
+		return
+	}
+	w.Header().Set(HeaderVersion, strconv.Itoa(snap.Version))
+	w.Header().Set(HeaderAgeMS, strconv.FormatInt(Staleness(snap, time.Now()).Milliseconds(), 10))
+}
+
+// writeJSON renders doc with the standard headers; code is the HTTP status.
+func writeJSON(w http.ResponseWriter, code int, snap *store.Snapshot, doc any) {
+	stamp(w, snap)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	buf, err := json.Marshal(doc)
+	if err != nil {
+		// Headers are gone; all we can do is drop the body.
+		return
+	}
+	buf = append(buf, '\n')
+	_, _ = w.Write(buf)
+}
+
+type errorDoc struct {
+	Error string `json:"error"`
+}
+
+// fail classifies an engine error: not-ready → 503, out-of-range → 404.
+func fail(w http.ResponseWriter, snap *store.Snapshot, err error) {
+	code := http.StatusNotFound
+	if err == ErrNotReady {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, snap, errorDoc{Error: err.Error()})
+}
+
+// intParam parses query parameter name as an int; missing uses def (and
+// ok=true), malformed reports ok=false.
+func intParam(r *http.Request, name string, def int) (int, bool) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, true
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+func badParam(w http.ResponseWriter, snap *store.Snapshot, name string) {
+	writeJSON(w, http.StatusBadRequest, snap, errorDoc{Error: "bad query parameter " + name})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	snap := s.eng.Snapshot()
+	if snap == nil {
+		writeJSON(w, http.StatusOK, nil, map[string]string{"status": "waiting"})
+		return
+	}
+	writeJSON(w, http.StatusOK, snap, map[string]any{
+		"status":    "serving",
+		"version":   snap.Version,
+		"vertices":  snap.N,
+		"k":         snap.K,
+		"sealed_at": snap.SealedAt.UTC().Format(time.RFC3339Nano),
+		"age_ms":    Staleness(snap, time.Now()).Milliseconds(),
+	})
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	v, ok := intParam(r, "v", -1)
+	if !ok || v < 0 {
+		badParam(w, s.eng.Snapshot(), "v")
+		return
+	}
+	k, ok := intParam(r, "k", 10)
+	if !ok {
+		badParam(w, s.eng.Snapshot(), "k")
+		return
+	}
+	top, snap, err := s.eng.TopK(v, k)
+	if err != nil {
+		fail(w, snap, err)
+		return
+	}
+	s.count(0)
+	writeJSON(w, http.StatusOK, snap, map[string]any{
+		"vertex": v, "version": snap.Version, "topk": top,
+	})
+}
+
+func (s *Server) handleMembers(w http.ResponseWriter, r *http.Request) {
+	c, ok := intParam(r, "c", -1)
+	if !ok || c < 0 {
+		badParam(w, s.eng.Snapshot(), "c")
+		return
+	}
+	limit, ok := intParam(r, "limit", 100)
+	if !ok {
+		badParam(w, s.eng.Snapshot(), "limit")
+		return
+	}
+	members, snap, err := s.eng.Members(c, limit)
+	if err != nil {
+		fail(w, snap, err)
+		return
+	}
+	if members == nil {
+		members = []Member{} // render [] rather than null
+	}
+	s.count(1)
+	writeJSON(w, http.StatusOK, snap, map[string]any{
+		"community": c, "version": snap.Version, "members": members,
+	})
+}
+
+func (s *Server) handleShared(w http.ResponseWriter, r *http.Request) {
+	u, okU := intParam(r, "u", -1)
+	v, okV := intParam(r, "v", -1)
+	if !okU || u < 0 {
+		badParam(w, s.eng.Snapshot(), "u")
+		return
+	}
+	if !okV || v < 0 {
+		badParam(w, s.eng.Snapshot(), "v")
+		return
+	}
+	shared, snap, err := s.eng.SharedCommunity(u, v)
+	if err != nil {
+		fail(w, snap, err)
+		return
+	}
+	if shared == nil {
+		shared = []Membership{}
+	}
+	s.count(2)
+	writeJSON(w, http.StatusOK, snap, map[string]any{
+		"u": u, "v": v, "version": snap.Version,
+		"share": len(shared) > 0, "shared": shared,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	snap := s.eng.Snapshot()
+	doc := map[string]any{
+		"uptime_ms":       time.Since(s.started).Milliseconds(),
+		"queries_topk":    s.load(0),
+		"queries_members": s.load(1),
+		"queries_shared":  s.load(2),
+	}
+	if snap != nil {
+		doc["version"] = snap.Version
+		doc["age_ms"] = Staleness(snap, time.Now()).Milliseconds()
+	}
+	if s.pub != nil {
+		doc["snapshot_flip_ns"] = s.pub.LastFlipNS()
+	}
+	writeJSON(w, http.StatusOK, snap, doc)
+}

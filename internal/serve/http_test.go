@@ -1,0 +1,228 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/store"
+)
+
+func startServer(t *testing.T, eng *Engine, pub *store.Publisher) (*Server, string) {
+	t.Helper()
+	s := New("127.0.0.1:0", eng, pub)
+	addr, err := s.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, addr
+}
+
+func getJSON(t *testing.T, url string) (int, http.Header, map[string]any) {
+	t.Helper()
+	resp, err := (&http.Client{Timeout: 5 * time.Second}).Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if len(body) > 0 && resp.Header.Get("Content-Type") == "application/json" {
+		if err := json.Unmarshal(body, &doc); err != nil {
+			t.Fatalf("GET %s: non-JSON body %q: %v", url, body, err)
+		}
+	}
+	return resp.StatusCode, resp.Header, doc
+}
+
+// TestServerNotReady: before the first publication, query routes answer 503
+// (and carry no version header); the status route reports waiting.
+func TestServerNotReady(t *testing.T) {
+	_, addr := startServer(t, NewEngine(0), nil)
+	base := "http://" + addr
+
+	code, hdr, doc := getJSON(t, base+"/")
+	if code != 200 || doc["status"] != "waiting" {
+		t.Fatalf("GET / before publish = %d %v, want 200 waiting", code, doc)
+	}
+	if hdr.Get(HeaderVersion) != "" {
+		t.Fatalf("waiting status carries version header %q", hdr.Get(HeaderVersion))
+	}
+	for _, path := range []string{"/topk?v=0", "/members?c=0", "/shared?u=0&v=1"} {
+		code, hdr, _ := getJSON(t, base+path)
+		if code != http.StatusServiceUnavailable {
+			t.Errorf("GET %s before publish = %d, want 503", path, code)
+		}
+		if hdr.Get(HeaderVersion) != "" {
+			t.Errorf("GET %s 503 carries version header", path)
+		}
+	}
+}
+
+// TestServerEndpoints drives every route against a published snapshot and
+// checks bodies, headers, and error codes.
+func TestServerEndpoints(t *testing.T) {
+	const n, k = 64, 8
+	pub := store.NewPublisher()
+	eng := NewEngine(0)
+	eng.Attach(pub)
+	if err := pub.Publish(versionSnap(3, n, k)); err != nil {
+		t.Fatal(err)
+	}
+	s, addr := startServer(t, eng, pub)
+	base := "http://" + addr
+	hot := 3 % k
+
+	checkStamp := func(hdr http.Header, path string) {
+		t.Helper()
+		if v := hdr.Get(HeaderVersion); v != "3" {
+			t.Errorf("GET %s %s = %q, want 3", path, HeaderVersion, v)
+		}
+		if age, err := strconv.Atoi(hdr.Get(HeaderAgeMS)); err != nil || age < 0 {
+			t.Errorf("GET %s %s = %q, want non-negative int", path, HeaderAgeMS, hdr.Get(HeaderAgeMS))
+		}
+	}
+
+	// Status.
+	code, hdr, doc := getJSON(t, base+"/")
+	if code != 200 || doc["status"] != "serving" || doc["version"] != float64(3) {
+		t.Fatalf("GET / = %d %v", code, doc)
+	}
+	checkStamp(hdr, "/")
+
+	// TopK: default k=10 clamps to K; explicit k=1 returns the hot community.
+	code, hdr, doc = getJSON(t, base+"/topk?v=5&k=1")
+	if code != 200 {
+		t.Fatalf("GET /topk = %d %v", code, doc)
+	}
+	checkStamp(hdr, "/topk")
+	topk := doc["topk"].([]any)
+	if len(topk) != 1 || topk[0].(map[string]any)["community"] != float64(hot) {
+		t.Fatalf("topk body = %v, want community %d", doc, hot)
+	}
+	if _, _, d := getJSON(t, base+"/topk?v=5"); len(d["topk"].([]any)) != k {
+		t.Fatalf("default k: got %d entries, want %d", len(d["topk"].([]any)), k)
+	}
+
+	// Members: hot community has all n vertices (default limit 100 > n);
+	// a cold community renders [] rather than null.
+	code, hdr, doc = getJSON(t, base+"/members?c="+strconv.Itoa(hot))
+	if code != 200 {
+		t.Fatalf("GET /members = %d %v", code, doc)
+	}
+	checkStamp(hdr, "/members")
+	if got := len(doc["members"].([]any)); got != n {
+		t.Fatalf("hot community served %d members, want %d", got, n)
+	}
+	if _, _, d := getJSON(t, base+"/members?c="+strconv.Itoa((hot+1)%k)); d["members"] == nil {
+		t.Fatal("cold community rendered null, want []")
+	}
+	if _, _, d := getJSON(t, base+"/members?c="+strconv.Itoa(hot)+"&limit=7"); len(d["members"].([]any)) != 7 {
+		t.Fatalf("limit=7 served %d members", len(d["members"].([]any)))
+	}
+
+	// Shared: every pair shares exactly the hot community.
+	code, hdr, doc = getJSON(t, base+"/shared?u=1&v=2")
+	if code != 200 {
+		t.Fatalf("GET /shared = %d %v", code, doc)
+	}
+	checkStamp(hdr, "/shared")
+	if doc["share"] != true || len(doc["shared"].([]any)) != 1 {
+		t.Fatalf("shared body = %v", doc)
+	}
+
+	// Stats counts the successful queries above and reports flip latency.
+	_, _, doc = getJSON(t, base+"/stats")
+	if doc["queries_topk"].(float64) < 2 || doc["queries_members"].(float64) < 3 ||
+		doc["queries_shared"].(float64) < 1 {
+		t.Fatalf("stats counters = %v", doc)
+	}
+	if doc["version"] != float64(3) {
+		t.Fatalf("stats version = %v", doc["version"])
+	}
+	if _, ok := doc["snapshot_flip_ns"]; !ok {
+		t.Fatalf("stats missing snapshot_flip_ns: %v", doc)
+	}
+
+	// Error contract: malformed/missing params are 400, out-of-range 404,
+	// unknown paths 404 via the route table.
+	for path, want := range map[string]int{
+		"/topk":               400, // v required
+		"/topk?v=abc":         400,
+		"/topk?v=5&k=abc":     400,
+		"/members":            400,
+		"/shared?u=1":         400,
+		"/topk?v=99999":       404,
+		"/members?c=99":       404,
+		"/shared?u=0&v=99999": 404,
+		"/unknown":            404,
+		"/topk/extra":         404,
+		"/favicon.ico":        404,
+	} {
+		if code, _, _ := getJSON(t, base+path); code != want {
+			t.Errorf("GET %s = %d, want %d", path, code, want)
+		}
+	}
+	_ = s
+}
+
+// TestServerVersionAdvances: a second publication is visible to HTTP clients
+// with a bumped version header and consistent body.
+func TestServerVersionAdvances(t *testing.T) {
+	const n, k = 16, 4
+	pub := store.NewPublisher()
+	eng := NewEngine(0)
+	eng.Attach(pub)
+	_, addr := startServer(t, eng, pub)
+	base := "http://" + addr
+
+	for v := 1; v <= 3; v++ {
+		if err := pub.Publish(versionSnap(v, n, k)); err != nil {
+			t.Fatal(err)
+		}
+		code, hdr, doc := getJSON(t, base+"/topk?v=0&k=1")
+		if code != 200 {
+			t.Fatalf("publish %d: GET /topk = %d", v, code)
+		}
+		if hdr.Get(HeaderVersion) != strconv.Itoa(v) {
+			t.Fatalf("publish %d: header version %q", v, hdr.Get(HeaderVersion))
+		}
+		top := doc["topk"].([]any)[0].(map[string]any)
+		if top["community"] != float64(v%k) {
+			t.Fatalf("publish %d: body serves community %v, want %d", v, top["community"], v%k)
+		}
+	}
+}
+
+// TestServerShutdown: graceful shutdown drains, the port closes, and a
+// second Shutdown/Close is a no-op.
+func TestServerShutdown(t *testing.T) {
+	eng := NewEngine(0)
+	eng.Install(versionSnap(1, 8, 4))
+	s, addr := startServer(t, eng, nil)
+	if code, _, _ := getJSON(t, "http://"+addr+"/topk?v=0"); code != 200 {
+		t.Fatalf("pre-shutdown query = %d", code)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/"); err == nil {
+		t.Fatal("listener still accepting after Shutdown")
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close after Shutdown: %v", err)
+	}
+}

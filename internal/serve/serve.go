@@ -1,0 +1,246 @@
+// Package serve is the read tier that turns training output into a
+// queryable product: a lock-free query engine over the current immutable π
+// snapshot (store.Snapshot) plus an HTTP/JSON API (http.go).
+//
+// The data plane is RCU all the way down. The training engine seals a
+// snapshot at a phase barrier and hands it to a store.Publisher; the
+// publisher runs this package's subscriber — which builds the per-snapshot
+// inverted index, off the read path — and then flips one atomic pointer.
+// Every query loads that pointer exactly once, so each response is
+// internally consistent with exactly one snapshot version even while the
+// next iteration is being trained and published underneath it. Readers
+// never take a lock; publishers never wait for readers.
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/store"
+)
+
+// Membership is one (community, weight) entry of a vertex's π row.
+type Membership struct {
+	Community int     `json:"community"`
+	Weight    float32 `json:"weight"`
+}
+
+// Member is one (vertex, weight) entry of a community's member list.
+type Member struct {
+	Vertex int     `json:"vertex"`
+	Weight float32 `json:"weight"`
+}
+
+// Index is the per-snapshot inverted view: for each community, the member
+// vertices whose membership weight clears the threshold, sorted by weight
+// descending (ties by vertex id for determinism). It is built once at
+// publish time and never mutated, so reads need no synchronisation.
+type Index struct {
+	// Threshold is the membership cut-off used to build the lists.
+	Threshold float32
+	members   [][]Member
+}
+
+// Members returns community c's list (strongest first); nil when c is out
+// of range.
+func (ix *Index) Members(c int) []Member {
+	if c < 0 || c >= len(ix.members) {
+		return nil
+	}
+	return ix.members[c]
+}
+
+// DefaultThreshold is the adaptive membership cut-off used when none is
+// given: 1.5/K separates active memberships from the Dirichlet floor (the
+// same default internal/metrics uses for covers).
+func DefaultThreshold(k int) float32 { return 1.5 / float32(k) }
+
+// BuildIndex scans the snapshot once and assembles the inverted index.
+// O(N·K) plus the sort of each member list; runs inside Publish, never on
+// the query path.
+func BuildIndex(s *store.Snapshot, threshold float32) *Index {
+	if threshold <= 0 {
+		threshold = DefaultThreshold(s.K)
+	}
+	ix := &Index{Threshold: threshold, members: make([][]Member, s.K)}
+	for a := 0; a < s.N; a++ {
+		row := s.PiRow(a)
+		for c, w := range row {
+			if w >= threshold {
+				ix.members[c] = append(ix.members[c], Member{Vertex: a, Weight: w})
+			}
+		}
+	}
+	for c := range ix.members {
+		m := ix.members[c]
+		sort.Slice(m, func(i, j int) bool {
+			if m[i].Weight != m[j].Weight {
+				return m[i].Weight > m[j].Weight
+			}
+			return m[i].Vertex < m[j].Vertex
+		})
+	}
+	return ix
+}
+
+// view pairs a snapshot with its index; the engine flips one pointer to
+// both, so a query can never see snapshot v with index v-1.
+type view struct {
+	snap *store.Snapshot
+	idx  *Index
+}
+
+// Engine answers membership queries against the current snapshot. Install
+// (or a subscribed Publisher) is the only writer; queries are wait-free
+// pointer loads. The zero Engine is not ready — construct with NewEngine.
+type Engine struct {
+	cur       atomic.Pointer[view]
+	threshold float32
+}
+
+// NewEngine returns an engine with the given membership threshold for its
+// inverted indexes (<= 0 selects DefaultThreshold at install time).
+func NewEngine(threshold float32) *Engine {
+	return &Engine{threshold: threshold}
+}
+
+// Attach subscribes the engine to a publisher: every published snapshot is
+// indexed and installed before the publisher's pointer flip completes, so
+// the engine's version can never lag what the publisher reports current.
+func (e *Engine) Attach(p *store.Publisher) {
+	p.Subscribe(e.Install)
+}
+
+// Install indexes snap and flips the engine's view to it.
+func (e *Engine) Install(snap *store.Snapshot) {
+	v := &view{snap: snap, idx: BuildIndex(snap, e.threshold)}
+	e.cur.Store(v)
+}
+
+// Ready reports whether a snapshot has been installed.
+func (e *Engine) Ready() bool { return e.cur.Load() != nil }
+
+// Snapshot returns the currently served snapshot (nil before the first
+// install).
+func (e *Engine) Snapshot() *store.Snapshot {
+	if v := e.cur.Load(); v != nil {
+		return v.snap
+	}
+	return nil
+}
+
+// ErrNotReady is returned (wrapped) by queries before the first snapshot.
+var ErrNotReady = fmt.Errorf("serve: no snapshot published yet")
+
+// load returns the current view or ErrNotReady. Each query calls it exactly
+// once — the single atomic load that makes a response one-version-consistent.
+func (e *Engine) load() (*view, error) {
+	v := e.cur.Load()
+	if v == nil {
+		return nil, ErrNotReady
+	}
+	return v, nil
+}
+
+// TopK returns vertex v's k strongest community memberships (descending
+// weight, ties by community id), with the snapshot they came from.
+func (e *Engine) TopK(vertex, k int) ([]Membership, *store.Snapshot, error) {
+	vw, err := e.load()
+	if err != nil {
+		return nil, nil, err
+	}
+	s := vw.snap
+	if vertex < 0 || vertex >= s.N {
+		return nil, s, fmt.Errorf("serve: vertex %d out of range [0,%d)", vertex, s.N)
+	}
+	if k <= 0 || k > s.K {
+		k = s.K
+	}
+	row := s.PiRow(vertex)
+	top := make([]Membership, 0, k)
+	for c, w := range row {
+		if len(top) < k {
+			top = append(top, Membership{Community: c, Weight: w})
+			if len(top) == k {
+				sortMemberships(top)
+			}
+			continue
+		}
+		if w > top[k-1].Weight {
+			top[k-1] = Membership{Community: c, Weight: w}
+			// Re-sift the new entry into place (k is small; insertion beats
+			// a heap for the serving workload's k ≈ 10).
+			for i := k - 1; i > 0 && greater(top[i], top[i-1]); i-- {
+				top[i], top[i-1] = top[i-1], top[i]
+			}
+		}
+	}
+	if len(top) < k {
+		sortMemberships(top)
+	}
+	return top, s, nil
+}
+
+func greater(a, b Membership) bool {
+	if a.Weight != b.Weight {
+		return a.Weight > b.Weight
+	}
+	return a.Community < b.Community
+}
+
+func sortMemberships(m []Membership) {
+	sort.Slice(m, func(i, j int) bool { return greater(m[i], m[j]) })
+}
+
+// Members returns up to limit members of community c (strongest first) from
+// the per-snapshot inverted index; limit <= 0 returns the whole list.
+func (e *Engine) Members(c, limit int) ([]Member, *store.Snapshot, error) {
+	vw, err := e.load()
+	if err != nil {
+		return nil, nil, err
+	}
+	s := vw.snap
+	if c < 0 || c >= s.K {
+		return nil, s, fmt.Errorf("serve: community %d out of range [0,%d)", c, s.K)
+	}
+	m := vw.idx.Members(c)
+	if limit > 0 && limit < len(m) {
+		m = m[:limit]
+	}
+	return m, s, nil
+}
+
+// SharedCommunity reports the communities vertices u and v both belong to
+// at the index's membership threshold, strongest (by the pairwise minimum
+// weight) first. Share is true when the list is non-empty.
+func (e *Engine) SharedCommunity(u, v int) ([]Membership, *store.Snapshot, error) {
+	vw, err := e.load()
+	if err != nil {
+		return nil, nil, err
+	}
+	s := vw.snap
+	if u < 0 || u >= s.N || v < 0 || v >= s.N {
+		return nil, s, fmt.Errorf("serve: vertex pair (%d,%d) out of range [0,%d)", u, v, s.N)
+	}
+	thr := vw.idx.Threshold
+	ru, rv := s.PiRow(u), s.PiRow(v)
+	var shared []Membership
+	for c := 0; c < s.K; c++ {
+		if ru[c] >= thr && rv[c] >= thr {
+			w := ru[c]
+			if rv[c] < w {
+				w = rv[c]
+			}
+			shared = append(shared, Membership{Community: c, Weight: w})
+		}
+	}
+	sortMemberships(shared)
+	return shared, s, nil
+}
+
+// Staleness returns the age of snapshot s at time now.
+func Staleness(s *store.Snapshot, now time.Time) time.Duration {
+	return now.Sub(s.SealedAt)
+}

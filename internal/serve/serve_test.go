@@ -1,0 +1,276 @@
+package serve
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/store"
+)
+
+// stateSnapshot seals a freshly initialised core.State through the
+// LocalStore Snapshotter — the exact publication path the sampler uses.
+func stateSnapshot(t *testing.T, n, k, version int) (*core.State, *store.Snapshot) {
+	t.Helper()
+	cfg := core.DefaultConfig(k, 7)
+	cfg.Alpha = 1 / float64(k)
+	st, err := core.NewState(cfg, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := store.NewLocal(st.Pi, st.PhiSum, k, 1)
+	snap, err := ls.Snapshot(version, st.Beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st, snap
+}
+
+// TestTopKMatchesState is the quantisation-parity test: TopK served from a
+// sealed snapshot must equal TopK computed directly from the core.State the
+// snapshot was taken of — same float32 values, same ordering rule.
+func TestTopKMatchesState(t *testing.T) {
+	const n, k, topN = 50, 16, 5
+	st, snap := stateSnapshot(t, n, k, 1)
+	eng := NewEngine(0)
+	eng.Install(snap)
+
+	for a := 0; a < n; a++ {
+		got, s, err := eng.TopK(a, topN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Version != 1 {
+			t.Fatalf("vertex %d served from version %d", a, s.Version)
+		}
+		// Reference: full sort of the state's own π row.
+		row := st.PiRow(a)
+		want := make([]Membership, k)
+		for c, w := range row {
+			want[c] = Membership{Community: c, Weight: w}
+		}
+		sort.Slice(want, func(i, j int) bool { return greater(want[i], want[j]) })
+		want = want[:topN]
+		if len(got) != topN {
+			t.Fatalf("vertex %d: got %d entries, want %d", a, len(got), topN)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("vertex %d entry %d: got %+v, want %+v (full: %v vs %v)",
+					a, i, got[i], want[i], got, want)
+			}
+		}
+	}
+
+	// k <= 0 and k > K both mean "the whole row".
+	all, _, err := eng.TopK(0, 0)
+	if err != nil || len(all) != k {
+		t.Fatalf("TopK(0,0) = %d entries, err %v; want %d", len(all), err, k)
+	}
+	for i := 1; i < len(all); i++ {
+		if greater(all[i], all[i-1]) {
+			t.Fatalf("TopK full row out of order at %d: %v", i, all)
+		}
+	}
+}
+
+// TestMembersMatchesThreshold: the inverted index must contain exactly the
+// (vertex, weight) pairs clearing the threshold, sorted strongest-first,
+// and the limit must truncate from the top.
+func TestMembersMatchesThreshold(t *testing.T) {
+	const n, k = 40, 8
+	st, snap := stateSnapshot(t, n, k, 1)
+	eng := NewEngine(0)
+	eng.Install(snap)
+	thr := DefaultThreshold(k)
+
+	for c := 0; c < k; c++ {
+		members, _, err := eng.Members(c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantSet := map[int]float32{}
+		for a := 0; a < n; a++ {
+			if w := st.PiRow(a)[c]; w >= thr {
+				wantSet[a] = w
+			}
+		}
+		if len(members) != len(wantSet) {
+			t.Fatalf("community %d: %d members, want %d", c, len(members), len(wantSet))
+		}
+		for i, m := range members {
+			if w, ok := wantSet[m.Vertex]; !ok || w != m.Weight {
+				t.Fatalf("community %d member %d: %+v not in reference set", c, i, m)
+			}
+			if i > 0 && (m.Weight > members[i-1].Weight ||
+				(m.Weight == members[i-1].Weight && m.Vertex < members[i-1].Vertex)) {
+				t.Fatalf("community %d member list out of order at %d", c, i)
+			}
+		}
+		limited, _, err := eng.Members(c, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := min(2, len(members)); len(limited) != want {
+			t.Fatalf("community %d limit 2: %d members, want %d", c, len(limited), want)
+		}
+	}
+}
+
+// TestSharedCommunity: shared membership is the intersection of the two
+// thresholded rows, weighted by the pairwise minimum.
+func TestSharedCommunity(t *testing.T) {
+	const n, k = 4, 4
+	pi := []float32{
+		0.7, 0.2, 0.05, 0.05, // vertex 0: in 0 (and 1 at thr 0.2)
+		0.6, 0.3, 0.05, 0.05, // vertex 1: in 0 and 1
+		0.05, 0.05, 0.8, 0.1, // vertex 2: in 2
+		0.25, 0.25, 0.25, 0.25, // vertex 3: in everything at thr 0.25
+	}
+	snap := &store.Snapshot{Version: 1, N: n, K: k, Pi: pi, SealedAt: time.Now()}
+	eng := NewEngine(0.2)
+	eng.Install(snap)
+
+	shared, _, err := eng.SharedCommunity(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Membership{{Community: 0, Weight: 0.6}, {Community: 1, Weight: 0.2}}
+	if len(shared) != 2 || shared[0] != want[0] || shared[1] != want[1] {
+		t.Fatalf("shared(0,1) = %v, want %v", shared, want)
+	}
+	if s, _, _ := eng.SharedCommunity(0, 2); len(s) != 0 {
+		t.Fatalf("shared(0,2) = %v, want none", s)
+	}
+	if s, _, _ := eng.SharedCommunity(2, 3); len(s) != 1 || s[0].Community != 2 {
+		t.Fatalf("shared(2,3) = %v, want community 2 only", s)
+	}
+	if _, _, err := eng.SharedCommunity(0, n); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+}
+
+// TestQueriesBeforePublication: every query fails with ErrNotReady until a
+// snapshot is installed.
+func TestQueriesBeforePublication(t *testing.T) {
+	eng := NewEngine(0)
+	if _, _, err := eng.TopK(0, 1); err != ErrNotReady {
+		t.Fatalf("TopK before publish: %v, want ErrNotReady", err)
+	}
+	if _, _, err := eng.Members(0, 1); err != ErrNotReady {
+		t.Fatalf("Members before publish: %v, want ErrNotReady", err)
+	}
+	if _, _, err := eng.SharedCommunity(0, 1); err != ErrNotReady {
+		t.Fatalf("SharedCommunity before publish: %v, want ErrNotReady", err)
+	}
+}
+
+// versionSnap builds a snapshot whose contents encode its version: every
+// vertex's strongest community is version%k with weight 0.9. A reader that
+// mixed two versions would see a TopK entry or member list inconsistent
+// with the version it reports.
+func versionSnap(v, n, k int) *store.Snapshot {
+	pi := make([]float32, n*k)
+	hot := v % k
+	cold := float32(0.1) / float32(k-1)
+	for a := 0; a < n; a++ {
+		for c := 0; c < k; c++ {
+			if c == hot {
+				pi[a*k+c] = 0.9
+			} else {
+				pi[a*k+c] = cold
+			}
+		}
+	}
+	return &store.Snapshot{Version: v, N: n, K: k, Pi: pi, SealedAt: time.Now()}
+}
+
+// TestConcurrentPublishReadStress is the RCU acceptance test, meaningful
+// under -race: one goroutine publishes a new snapshot every few hundred
+// microseconds while readers hammer TopK and Members, asserting every
+// response is internally consistent with exactly one snapshot version —
+// the version the returned snapshot reports is the version its data
+// encodes, and versions never move backwards per reader.
+func TestConcurrentPublishReadStress(t *testing.T) {
+	const n, k, readers, versions = 64, 8, 4, 300
+	pub := store.NewPublisher()
+	eng := NewEngine(0)
+	eng.Attach(pub)
+
+	stop := make(chan struct{})
+	errc := make(chan error, readers)
+	for r := 0; r < readers; r++ {
+		go func(seed int64) {
+			rng := rand.New(rand.NewSource(seed))
+			last := 0
+			for {
+				select {
+				case <-stop:
+					errc <- nil
+					return
+				default:
+				}
+				if !eng.Ready() {
+					continue
+				}
+				// TopK: the single strongest community must encode the
+				// version of the snapshot the response reports.
+				top, snap, err := eng.TopK(rng.Intn(n), 1)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if snap.Version < last {
+					t.Errorf("version went backwards: %d after %d", snap.Version, last)
+					errc <- nil
+					return
+				}
+				last = snap.Version
+				if want := snap.Version % k; top[0].Community != want || top[0].Weight != 0.9 {
+					t.Errorf("inconsistent response: v%d serves top community %d (w=%v), want %d",
+						snap.Version, top[0].Community, top[0].Weight, want)
+					errc <- nil
+					return
+				}
+				// Members: the hot community of the reported version holds
+				// every vertex; any other community is empty.
+				members, snap2, err := eng.Members(rng.Intn(k), 0)
+				if err != nil {
+					errc <- err
+					return
+				}
+				hot := snap2.Version % k
+				// (we don't know which c we asked for without tracking it;
+				// re-derive from the result: full house ⇔ hot community)
+				if len(members) != 0 && len(members) != n {
+					t.Errorf("inconsistent member list: %d of %d vertices", len(members), n)
+					errc <- nil
+					return
+				}
+				if len(members) == n && members[0].Weight != 0.9 {
+					t.Errorf("v%d hot community %d served weight %v", snap2.Version, hot, members[0].Weight)
+					errc <- nil
+					return
+				}
+			}
+		}(int64(r + 1))
+	}
+
+	for v := 1; v <= versions; v++ {
+		if err := pub.Publish(versionSnap(v, n, k)); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	close(stop)
+	for r := 0; r < readers; r++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := eng.Snapshot().Version; got != versions {
+		t.Fatalf("final engine version %d, want %d", got, versions)
+	}
+}

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Snapshot is an immutable, versioned copy of the model's π matrix sealed at
+// a phase barrier: a row-major float32 slab plus the β strengths, with no
+// references into live training state. Once constructed it is never mutated,
+// which is what lets the serving tier hand it to concurrently running
+// readers through a single atomic pointer flip — readers take no lock and
+// can never observe a half-written iteration, because the writer seals the
+// copy completely before the flip.
+type Snapshot struct {
+	// Version is the number of completed training iterations the snapshot
+	// reflects (a checkpoint-backed snapshot carries the stored iteration).
+	// Versions published by one run are strictly increasing.
+	Version int
+	// N and K are the matrix dimensions.
+	N, K int
+	// Pi is the sealed row-major N×K membership matrix; row a is
+	// Pi[a*K : (a+1)*K] and sums to 1.
+	Pi []float32
+	// Beta[k] is the community strength at seal time (nil when the sealing
+	// store had no θ view; query semantics do not depend on it).
+	Beta []float64
+	// SealedAt is the wall-clock instant the copy completed; the serving
+	// tier derives response staleness from it.
+	SealedAt time.Time
+}
+
+// PiRow returns vertex a's sealed membership row.
+func (s *Snapshot) PiRow(a int) []float32 { return s.Pi[a*s.K : (a+1)*s.K] }
+
+// Snapshotter is an optional PiStore capability: backends that can seal the
+// current rows into an immutable Snapshot implement it. Callers must invoke
+// it only at a phase barrier (no writes in flight), the same discipline
+// Flush documents; the returned snapshot shares no memory with the store.
+//
+//   - LocalStore copies its backing slices — one memcpy, always consistent
+//     because the local engine is single-threaded between barriers.
+//   - DKVStore gathers the full table through its batched read path: every
+//     rank serves its owned shard and the calling (serving) rank assembles
+//     the complete row-major view. Only the serving rank needs to call it;
+//     peers participate passively through their DKV server goroutines.
+type Snapshotter interface {
+	// Snapshot seals the current rows. beta (copied, may be nil) is the β
+	// vector at the barrier — the store itself holds only π/Σφ.
+	Snapshot(version int, beta []float64) (*Snapshot, error)
+}
+
+// Snapshot implements Snapshotter for the local backend: plain copies of the
+// π slab, sealed in one pass.
+func (s *LocalStore) Snapshot(version int, beta []float64) (*Snapshot, error) {
+	snap := &Snapshot{
+		Version: version,
+		N:       len(s.phiSum),
+		K:       s.k,
+		Pi:      append([]float32(nil), s.pi...),
+		Beta:    append([]float64(nil), beta...),
+	}
+	snap.SealedAt = time.Now()
+	return snap, nil
+}
+
+// snapshotGatherKeys bounds one gather batch; matches the DKV read batching
+// the training path uses.
+const snapshotGatherKeys = 4096
+
+// Snapshot implements Snapshotter for the distributed backend: the gatherer.
+// The serving rank reads every key in owner-grouped batches — each peer
+// streams exactly its shard — and assembles the full row-major slab. The
+// gather deliberately goes through the raw DKV layer rather than ReadRows:
+// a full-table sweep through the hot-row cache would evict every genuinely
+// hot row and distort the hit-rate counters, and the training path's cache
+// is bit-transparent anyway. The phase discipline makes the gather
+// consistent: at a barrier no rank has writes in flight, and the master's
+// next scatter cannot start until the serving rank (the master) finishes
+// sealing, so no row can change mid-gather.
+func (s *DKVStore) Snapshot(version int, beta []float64) (*Snapshot, error) {
+	snap := &Snapshot{
+		Version: version,
+		N:       s.n,
+		K:       s.k,
+		Pi:      make([]float32, s.n*s.k),
+		Beta:    append([]float64(nil), beta...),
+	}
+	rb := RowBytes(s.k)
+	keys := make([]int32, 0, snapshotGatherKeys)
+	raw := make([]byte, snapshotGatherKeys*rb)
+	for base := 0; base < s.n; base += snapshotGatherKeys {
+		hi := min(base+snapshotGatherKeys, s.n)
+		keys = keys[:0]
+		for a := base; a < hi; a++ {
+			keys = append(keys, int32(a))
+		}
+		fut, err := s.kv.ReadBatchAsync(keys, raw[:len(keys)*rb])
+		if err == nil {
+			err = fut.Wait()
+		}
+		if err != nil {
+			return nil, fmt.Errorf("store: snapshot gather at key %d: %w", base, err)
+		}
+		for i, a := range keys {
+			DecodeRow(raw[i*rb:(i+1)*rb], snap.Pi[int(a)*s.k:(int(a)+1)*s.k])
+		}
+	}
+	snap.SealedAt = time.Now()
+	return snap, nil
+}
+
+// Publisher is the RCU write side of snapshot publication: Publish installs
+// a sealed snapshot with one atomic pointer store, Current returns the most
+// recently published one with one atomic load. Readers therefore never block
+// a publisher and never see a torn view; a reader that loaded version v
+// keeps a fully consistent v even while v+1 is being published.
+//
+// Subscribers (Subscribe) run synchronously inside Publish, BEFORE the
+// pointer flip — this is where the serving tier builds its per-snapshot
+// inverted index, off the read path, so by the time a version becomes
+// Current every derived structure for it already exists.
+type Publisher struct {
+	cur atomic.Pointer[Snapshot]
+
+	mu   sync.Mutex
+	subs []func(*Snapshot)
+
+	lastVersion atomic.Int64
+	flipNS      atomic.Int64
+}
+
+// NewPublisher returns an empty publisher; Current is nil until the first
+// Publish.
+func NewPublisher() *Publisher { return &Publisher{} }
+
+// Current returns the most recently published snapshot, or nil before the
+// first publication. The returned snapshot is immutable and safe to read
+// for as long as the caller holds it, regardless of later publications.
+func (p *Publisher) Current() *Snapshot { return p.cur.Load() }
+
+// Subscribe registers f to run inside every subsequent Publish, before the
+// snapshot becomes Current. If a snapshot is already published, f runs on it
+// immediately, so a late subscriber never misses the current state.
+func (p *Publisher) Subscribe(f func(*Snapshot)) {
+	p.mu.Lock()
+	p.subs = append(p.subs, f)
+	p.mu.Unlock()
+	if s := p.cur.Load(); s != nil {
+		f(s)
+	}
+}
+
+// Publish installs snap: subscribers first (index builds), then the atomic
+// pointer flip. Versions must be strictly increasing — a stale or replayed
+// version is rejected so readers can rely on monotonicity.
+func (p *Publisher) Publish(snap *Snapshot) error {
+	if snap == nil {
+		return fmt.Errorf("store: publish of nil snapshot")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if cur := p.cur.Load(); cur != nil && snap.Version <= cur.Version {
+		return fmt.Errorf("store: publish version %d not after current %d", snap.Version, cur.Version)
+	}
+	start := time.Now()
+	for _, f := range p.subs {
+		f(snap)
+	}
+	p.cur.Store(snap)
+	p.flipNS.Store(time.Since(start).Nanoseconds())
+	p.lastVersion.Store(int64(snap.Version))
+	return nil
+}
+
+// LastFlipNS returns the wall-clock nanoseconds the most recent Publish
+// spent between seal and visibility (subscriber fan-out + pointer flip);
+// 0 before the first publication.
+func (p *Publisher) LastFlipNS() int64 { return p.flipNS.Load() }
