@@ -2,7 +2,7 @@ GO ?= go
 
 DIST_PKGS = ./internal/par/... ./internal/transport/... ./internal/cluster/... ./internal/dkv/... ./internal/store/... ./internal/engine/... ./internal/dist/... ./internal/serve/...
 
-.PHONY: build fmt vet test race bench-dist bench-serve check
+.PHONY: build fmt vet test race bench-dist bench-serve bench-gate check
 
 build:
 	$(GO) build ./...
@@ -31,5 +31,10 @@ bench-dist:
 # to the same BENCH_dist.json series.
 bench-serve:
 	scripts/bench_serve.sh
+
+# bench-gate fails if the latest BENCH_dist.json records regress more than
+# BENCH_GATE_THRESHOLD_PCT (default 25%) against the trailing same-cpu median.
+bench-gate:
+	scripts/bench_gate.sh
 
 check: fmt vet build race test

@@ -10,6 +10,13 @@
 //
 //	ocd-analyze -events run.jsonl          # human-readable digest
 //	ocd-analyze -events run.jsonl -events-json  # machine-readable Summary
+//
+// And the Chrome trace-event file a run writes with -trace-out: the
+// critical-path digest names the rank that bounds each iteration and splits
+// its time into compute, peer-imposed wait, and DKV service:
+//
+//	ocd-analyze -trace run.trace.json
+//	ocd-analyze -trace run.trace.json -trace-json
 package main
 
 import (
@@ -34,8 +41,18 @@ func main() {
 		ccSample   = flag.Int("clustering-samples", 2000, "vertices sampled for the clustering coefficient")
 		events     = flag.String("events", "", "telemetry JSONL stream to digest (- = stdin)")
 		eventsJSON = flag.Bool("events-json", false, "emit the -events digest as one JSON Summary object")
+		traceIn    = flag.String("trace", "", "Chrome trace-event file (a run's -trace-out) to analyze for the critical path")
+		traceJSON  = flag.Bool("trace-json", false, "emit the -trace report as one JSON CritReport object")
 	)
 	flag.Parse()
+	if *traceIn != "" {
+		if err := digestTrace(*traceIn, *traceJSON); err != nil {
+			fatal(err)
+		}
+		if *path == "" && *events == "" {
+			return
+		}
+	}
 	if *events != "" {
 		if err := digestEvents(*events, *eventsJSON); err != nil {
 			fatal(err)
@@ -45,7 +62,7 @@ func main() {
 		}
 	}
 	if *path == "" {
-		fatal(fmt.Errorf("-graph is required (or -events)"))
+		fatal(fmt.Errorf("-graph is required (or -events, or -trace)"))
 	}
 	g, _, err := graph.ReadSNAPFile(*path)
 	if err != nil {
@@ -181,6 +198,32 @@ func digestEvents(path string, asJSON bool) error {
 		}
 		fmt.Println()
 	}
+	return nil
+}
+
+// digestTrace loads a Chrome trace-event file back into span bundles and
+// prints the per-iteration critical-path attribution, either as the stable
+// human-readable report or as one JSON CritReport (asJSON).
+func digestTrace(path string, asJSON bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	bundles, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		return fmt.Errorf("reading trace %s: %w", path, err)
+	}
+	rep := obs.AnalyzeCriticalPath(bundles)
+	if asJSON {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(buf))
+		return nil
+	}
+	fmt.Print(rep.String())
 	return nil
 }
 

@@ -55,6 +55,8 @@ func main() {
 		slowSend  = flag.Duration("slow-send", time.Millisecond, "per-send delay injected at -slow-rank")
 		metrics   = flag.String("metrics-out", "", "write the JSONL telemetry event stream to this file (- = stdout)")
 		monitor   = flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. :6060 or 127.0.0.1:0)")
+		pprofOn   = flag.Bool("pprof", false, "with -monitor, expose net/http/pprof under /debug/pprof/ (explicit opt-in; enables block profiling)")
+		traceOut  = flag.String("trace-out", "", "write a Chrome trace-event file (Perfetto-loadable) with every rank's spans at run end")
 		serveAt   = flag.String("serve", "", "answer membership queries over HTTP on this address while training (e.g. :7070)")
 		pubEvery  = flag.Int("publish-every", 1, "with -serve, publish a fresh snapshot every this many iterations")
 		rankTable = flag.Bool("rank-table", false, "print the per-rank × per-stage time table after the run")
@@ -99,16 +101,26 @@ func main() {
 		}
 		opts.Events = sink
 	}
+	if *pprofOn && *monitor == "" {
+		fatal(fmt.Errorf("-pprof requires -monitor (the profiles are served on the monitor address)"))
+	}
 	if *monitor != "" {
 		mon := obs.NewMonitor(*monitor)
+		if *pprofOn {
+			mon.EnablePprof() // before Start: the route table is built at bind time
+		}
 		addr, err := mon.Start()
 		if err != nil {
 			fatal(err)
 		}
 		defer mon.Close()
 		fmt.Printf("monitor: http://%s/metrics\n", addr)
+		if *pprofOn {
+			fmt.Printf("pprof:   http://%s/debug/pprof/\n", addr)
+		}
 		opts.Monitor = mon
 	}
+	opts.TraceOut = *traceOut
 	// -serve: the master publishes the assembled π view every -publish-every
 	// iterations and this process answers queries against the freshest
 	// snapshot while the run continues. Bit-identical training either way.
@@ -210,6 +222,10 @@ func main() {
 	if res.Peers != nil {
 		rep := res.Peers.Straggler()
 		fmt.Println(rep)
+	}
+	if *traceOut != "" {
+		fmt.Printf("trace: wrote %d rank bundles to %s (load in Perfetto, or feed to ocd-analyze -trace)\n",
+			len(res.Trace), *traceOut)
 	}
 	fmt.Printf("total wall time: %.2fs for %d iterations (%.1f ms/iteration)\n",
 		res.Elapsed.Seconds(), *iters, res.Elapsed.Seconds()*1000/float64(*iters))

@@ -44,6 +44,7 @@ func main() {
 		avgTail  = flag.Int("posterior-samples", 0, "average this many chain samples (20 iterations apart) for the final estimate")
 		auc      = flag.Bool("auc", false, "also report held-out link-prediction AUC")
 		metricsO = flag.String("metrics-out", "", "write the JSONL telemetry event stream to this file (- = stdout)")
+		traceOut = flag.String("trace-out", "", "write a Chrome trace-event file (Perfetto-loadable) of the iteration/stage spans at run end")
 		serveAt  = flag.String("serve", "", "answer membership queries over HTTP on this address while training (e.g. :7070)")
 	)
 	flag.Parse()
@@ -82,6 +83,14 @@ func main() {
 		}
 		rec = obs.NewRunRecorder(sink, 0, nil)
 		sopts.Recorder = rec
+	}
+	// -trace-out: the single-rank timeline (iteration + stage spans; no
+	// collectives or DKV traffic exist here). Same file format as the
+	// distributed engine's trace, so the Perfetto workflow is identical.
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0, 0)
+		sopts.Tracer = tracer
 	}
 	// -serve: publish a sealed π snapshot after every iteration and answer
 	// queries against the freshest one while training continues. Publication
@@ -136,6 +145,12 @@ func main() {
 		}
 	}
 	fmt.Printf("trained %d iterations in %.2fs\n", *iters, time.Since(start).Seconds())
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: wrote %d spans to %s (%d dropped)\n", tracer.Len(), *traceOut, tracer.Dropped())
+	}
 
 	final := s.State
 	if *avgTail > 0 {
@@ -184,6 +199,19 @@ func openSink(path string) (*obs.Sink, error) {
 		return nil, err
 	}
 	return obs.NewFileSink(f), nil
+}
+
+// writeTrace renders the single local bundle as a Chrome trace-event file.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, []obs.TraceBundle{tr.Bundle()}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

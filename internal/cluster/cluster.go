@@ -22,6 +22,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -46,6 +47,7 @@ type AbortError = transport.AbortError
 type Comm struct {
 	conn    transport.Conn
 	labeler transport.PhaseLabeler // conn's phase hook, nil if uninstrumented
+	tracer  *obs.Tracer            // span emission, nil when tracing is off
 	seq     uint32
 }
 
@@ -82,6 +84,51 @@ func (c *Comm) nextTag() uint32 {
 	return c.seq & tagCollectiveMask
 }
 
+// SetTracer turns on span emission: each collective becomes a span under the
+// engine's current scope (the running stage), and every blocking receive
+// inside it becomes a child span naming the sender — the raw material of the
+// critical-path walk. Like SetPhase, collectives are issued from a single
+// goroutine per rank, so no synchronisation is needed around the field.
+func (c *Comm) SetTracer(tr *obs.Tracer) { c.tracer = tr }
+
+// beginOp opens a collective span and makes it the tracer scope, returning
+// the closure that closes both; nil when tracing is off, so call sites stay
+// a one-line guard: if end := c.beginOp(...); end != nil { defer end() }.
+func (c *Comm) beginOp(name string, tag uint32) func() {
+	tr := c.tracer
+	if tr == nil {
+		return nil
+	}
+	id := tr.NewID()
+	parent := tr.SetScope(id)
+	start := tr.Now()
+	return func() {
+		tr.Emit(obs.Span{
+			ID: id, Parent: parent, Name: name, Cat: obs.CatCollective,
+			Track: obs.TrackEngine, Peer: obs.NoPeer, Iter: tr.Iter(), Tag: tag,
+			StartNS: start, DurNS: tr.Now() - start,
+		})
+		tr.SetScope(parent)
+	}
+}
+
+// recv is conn.Recv plus a CatRecv span naming the sender — the blocked
+// interval the critical-path analyzer follows from waiter to waited-on.
+func (c *Comm) recv(from int, tag uint32) ([]byte, error) {
+	tr := c.tracer
+	if tr == nil {
+		return c.conn.Recv(from, tag)
+	}
+	start := tr.Now()
+	got, err := c.conn.Recv(from, tag)
+	tr.Emit(obs.Span{
+		ID: tr.NewID(), Parent: tr.Scope(), Name: "recv", Cat: obs.CatRecv,
+		Track: obs.TrackEngine, Peer: from, Iter: tr.Iter(), Tag: tag,
+		StartNS: start, DurNS: tr.Now() - start,
+	})
+	return got, err
+}
+
 // Abort declares this rank failed: the cause is broadcast on the reserved
 // abort tag and the fabric is poisoned, so every peer blocked in (or later
 // entering) a collective or receive returns an *AbortError naming this rank
@@ -94,9 +141,12 @@ func (c *Comm) Abort(cause error) {
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() error {
 	tag := c.nextTag()
+	if end := c.beginOp("barrier", tag); end != nil {
+		defer end()
+	}
 	if c.Rank() == 0 {
 		for r := 1; r < c.Size(); r++ {
-			if _, err := c.conn.Recv(r, tag); err != nil {
+			if _, err := c.recv(r, tag); err != nil {
 				return fmt.Errorf("cluster: barrier gather: %w", err)
 			}
 		}
@@ -110,7 +160,7 @@ func (c *Comm) Barrier() error {
 	if err := c.conn.Send(0, tag, nil); err != nil {
 		return fmt.Errorf("cluster: barrier enter: %w", err)
 	}
-	if _, err := c.conn.Recv(0, tag); err != nil {
+	if _, err := c.recv(0, tag); err != nil {
 		return fmt.Errorf("cluster: barrier wait: %w", err)
 	}
 	return nil
@@ -123,6 +173,9 @@ func (c *Comm) Barrier() error {
 // their result freely.
 func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 	tag := c.nextTag()
+	if end := c.beginOp("bcast", tag); end != nil {
+		defer end()
+	}
 	if c.Rank() == root {
 		for r := 0; r < c.Size(); r++ {
 			if r == root {
@@ -134,7 +187,7 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 		}
 		return data, nil
 	}
-	got, err := c.conn.Recv(root, tag)
+	got, err := c.recv(root, tag)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: bcast recv: %w", err)
 	}
@@ -146,6 +199,9 @@ func (c *Comm) Bcast(root int, data []byte) ([]byte, error) {
 // ranks get nil.
 func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 	tag := c.nextTag()
+	if end := c.beginOp("gather", tag); end != nil {
+		defer end()
+	}
 	if c.Rank() == root {
 		out := make([][]byte, c.Size())
 		out[root] = data
@@ -153,7 +209,7 @@ func (c *Comm) Gather(root int, data []byte) ([][]byte, error) {
 			if r == root {
 				continue
 			}
-			got, err := c.conn.Recv(r, tag)
+			got, err := c.recv(r, tag)
 			if err != nil {
 				return nil, fmt.Errorf("cluster: gather from %d: %w", r, err)
 			}
@@ -225,6 +281,9 @@ func (c *Comm) AllGather(data []byte) ([][]byte, error) {
 // part. Non-root callers pass nil. len(parts) must equal Size at root.
 func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 	tag := c.nextTag()
+	if end := c.beginOp("scatter", tag); end != nil {
+		defer end()
+	}
 	if c.Rank() == root {
 		if len(parts) != c.Size() {
 			return nil, fmt.Errorf("cluster: scatter with %d parts for %d ranks", len(parts), c.Size())
@@ -239,7 +298,7 @@ func (c *Comm) Scatter(root int, parts [][]byte) ([]byte, error) {
 		}
 		return parts[root], nil
 	}
-	got, err := c.conn.Recv(root, tag)
+	got, err := c.recv(root, tag)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: scatter recv: %w", err)
 	}

@@ -47,6 +47,9 @@ type Sampler struct {
 	// distributed engine's rank events.
 	rec obs.Recorder
 
+	// tracer is the optional span recorder (SamplerOptions.Tracer).
+	tracer *obs.Tracer
+
 	t     int
 	batch sampling.Batch
 	loop  *engine.Loop
@@ -92,6 +95,10 @@ type SamplerOptions struct {
 	// durations, one event per iteration, perplexity points) — see
 	// internal/obs. Nil keeps the iteration loop telemetry-free.
 	Recorder obs.Recorder
+	// Tracer, when non-nil, records per-iteration and per-stage spans (the
+	// single-rank timeline; no collectives or DKV traffic exist here). Feed
+	// its Bundle to obs.WriteChromeTrace — ocd-train's -trace-out does.
+	Tracer *obs.Tracer
 	// Publisher, when non-nil, receives a sealed store.Snapshot of π/β after
 	// the write barrier of every PublishEvery-th iteration (version = number
 	// of completed iterations) — the feed of the internal/serve read tier.
@@ -165,6 +172,7 @@ func NewSampler(cfg Config, g *graph.Graph, held *graph.HeldOut, opt SamplerOpti
 		Threads:   opt.Threads,
 		Phases:    trace.NewPhases(),
 		rec:       opt.Recorder,
+		tracer:    opt.Tracer,
 		pub:       opt.Publisher,
 		pubEvery:  max(opt.PublishEvery, 1),
 	}
@@ -198,6 +206,7 @@ func (s *Sampler) buildLoop() *engine.Loop {
 	loop := &engine.Loop{
 		Trace:    s.Phases,
 		Recorder: s.rec,
+		Tracer:   s.tracer,
 		Stages: []engine.Stage{
 			{
 				Name:   engine.PhaseDrawMinibatch,

@@ -46,9 +46,14 @@ type node struct {
 	phases *trace.Phases
 	reg    *obs.Registry    // this rank's telemetry registry
 	rec    *obs.RunRecorder // nil unless Options.Events/Monitor ask for telemetry
+	tracer *obs.Tracer      // nil unless Options.Trace; feeds engine/cluster/dkv spans
 	phi    *core.PhiStage
 	eval   *core.HeldOutEval // held-out shard, PerplexityChunk-aligned
 	loop   *engine.Loop
+
+	// bundles is every rank's gathered span buffer, filled by gatherTrace at
+	// run end; identical across ranks (AllGather).
+	bundles []obs.TraceBundle
 
 	// per-iteration dataflow between stages
 	dep    *deployment
@@ -82,6 +87,11 @@ func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, h
 	}
 	if opt.Monitor != nil && nd.rank == 0 {
 		opt.Monitor.Attach(reg)
+	}
+	if opt.Trace {
+		nd.tracer = obs.NewTracer(nd.rank, 0)
+		nd.tracer.SetDropCounter(reg.Counter(obs.CtrSpansDropped))
+		comm.SetTracer(nd.tracer)
 	}
 
 	var heldSet *graph.EdgeSet
@@ -150,6 +160,9 @@ func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, h
 	if opt.HotRowCache > 0 && opt.HotCacheCrossIter {
 		nd.store.SetWriteSetExchange(nd.exchangeWriteSets)
 	}
+	if nd.tracer != nil {
+		nd.store.SetTracer(nd.tracer)
+	}
 	nd.phi = &core.PhiStage{
 		Cfg:        &nd.cfg,
 		Store:      nd.store,
@@ -182,7 +195,8 @@ func (nd *node) refreshBeta() {
 // write sets would otherwise overlap.
 func (nd *node) buildLoop() *engine.Loop {
 	loop := &engine.Loop{
-		Trace: nd.phases,
+		Trace:  nd.phases,
+		Tracer: nd.tracer,
 		Stages: []engine.Stage{
 			{
 				Name:   PhaseDeployMinibatch,
@@ -312,6 +326,16 @@ func (nd *node) run() (err error) {
 		nd.rec.RunEnd(nd.opt.Iterations)
 	}
 
+	// Gather every rank's span buffer before state collection: identical
+	// program order on all ranks keeps the collective tag sequence aligned,
+	// and the Bundle snapshot is taken before the gather so the gather's own
+	// spans are excluded symmetrically everywhere.
+	if nd.tracer != nil {
+		if err := nd.gatherTrace(); err != nil {
+			return fmt.Errorf("gathering trace: %w", err)
+		}
+	}
+
 	// Assemble the full state at the master while all stores still serve.
 	if nd.rank == 0 {
 		st, err := nd.collectState()
@@ -379,6 +403,25 @@ func (nd *node) barrierStage(int) error {
 		return err
 	}
 	return nd.store.Flush()
+}
+
+// gatherTrace exchanges every rank's span bundle (Comm.AllGather of the
+// JSON-encoded form), leaving the full rank-ordered set in nd.bundles on
+// every rank.
+func (nd *node) gatherTrace() error {
+	parts, err := nd.comm.AllGather(nd.tracer.Bundle().Encode())
+	if err != nil {
+		return err
+	}
+	nd.bundles = make([]obs.TraceBundle, 0, len(parts))
+	for r, p := range parts {
+		b, err := obs.DecodeTraceBundle(p)
+		if err != nil {
+			return fmt.Errorf("bundle from rank %d: %w", r, err)
+		}
+		nd.bundles = append(nd.bundles, b)
+	}
+	return nil
 }
 
 // exchangeWriteSets is the cross-iteration cache's invalidation collective:

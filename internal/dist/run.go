@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
 	"time"
 
 	"repro/internal/cluster"
@@ -102,6 +103,17 @@ type Options struct {
 	// (every rank; a discard-backed sink is created when Events is nil).
 	Monitor *obs.Monitor
 
+	// Trace enables span tracing: every rank records stage, collective, and
+	// DKV spans (client and server side) into a bounded per-rank buffer, the
+	// buffers are gathered at run end over the ordinary collectives, and
+	// Result.Trace carries every rank's bundle. Tracing only observes — the
+	// trained trajectory is bit-identical with it on or off.
+	Trace bool
+	// TraceOut, when non-empty, additionally writes the gathered spans as a
+	// Chrome trace-event JSON file (Perfetto / chrome://tracing loadable) at
+	// that path. Implies Trace.
+	TraceOut string
+
 	// Publisher, when non-nil, receives a sealed full-view store.Snapshot of
 	// π/β from the serving rank (the master, rank 0) after the write barrier
 	// of every PublishEvery-th iteration — the feed of the internal/serve
@@ -189,6 +201,10 @@ type Result struct {
 	Iterations int
 	Elapsed    time.Duration
 	RemoteFrac float64 // fraction of DKV keys served remotely
+	// Trace holds every rank's span bundle when Options.Trace was set
+	// (rank-ordered, identical on every rank after the end-of-run AllGather);
+	// feed it to obs.WriteChromeTrace or obs.AnalyzeCriticalPath.
+	Trace []obs.TraceBundle
 }
 
 // Run executes a distributed training run over an in-process fabric with
@@ -224,6 +240,9 @@ func RunOnTransport(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Op
 	}
 	opt.setDefaults()
 	opt.Ranks = len(conns)
+	if opt.TraceOut != "" {
+		opt.Trace = true
+	}
 	if opt.Iterations < 1 {
 		return nil, fmt.Errorf("dist: Iterations = %d, need at least 1", opt.Iterations)
 	}
@@ -263,6 +282,19 @@ func RunOnTransport(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Op
 		}
 		nodes[r] = nd
 	}
+	if opt.Trace && opt.Monitor != nil {
+		// The /trace route downloads a live snapshot of every rank's span
+		// buffer — mid-run state, before the end-of-run gather merges them.
+		opt.Monitor.AttachTrace(func() []obs.TraceBundle {
+			bundles := make([]obs.TraceBundle, 0, len(nodes))
+			for _, nd := range nodes {
+				if nd.tracer != nil {
+					bundles = append(bundles, nd.tracer.Bundle())
+				}
+			}
+			return bundles
+		})
+	}
 
 	errs := make([]error, opt.Ranks)
 	done := make(chan int, opt.Ranks)
@@ -297,7 +329,26 @@ func RunOnTransport(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Op
 	if abortErr != nil {
 		return nil, abortErr
 	}
-	return assembleResult(nodes), nil
+	res := assembleResult(nodes)
+	if opt.TraceOut != "" {
+		if err := writeTraceFile(opt.TraceOut, res.Trace); err != nil {
+			return nil, fmt.Errorf("dist: writing trace: %w", err)
+		}
+	}
+	return res, nil
+}
+
+// writeTraceFile renders the gathered bundles as a Chrome trace-event file.
+func writeTraceFile(path string, bundles []obs.TraceBundle) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, bundles); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func assembleResult(nodes []*node) *Result {
@@ -320,6 +371,9 @@ func assembleResult(nodes []*node) *Result {
 		res.Metrics.Fold(snap)
 	}
 	res.Peers = obs.NewPeerMatrix(res.RankMetrics)
+	// All ranks hold identical gathered bundles after gatherTrace's
+	// AllGather; the master's copy is the result's.
+	res.Trace = master.bundles
 	c := res.Metrics.Counters
 	res.DKV = DKVTotals{
 		LocalKeys:    c[obs.CtrDKVLocalKeys],

@@ -1,0 +1,203 @@
+package dist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/mathx"
+	"repro/internal/obs"
+	"repro/internal/transport"
+)
+
+// dialTestMesh builds a TCP loopback mesh for the test's rank count.
+func dialTestMesh(t *testing.T, ranks int) []transport.Conn {
+	t.Helper()
+	addrs := freeLoopbackAddrs(t, ranks)
+	conns := make([]transport.Conn, ranks)
+	errs := make([]error, ranks)
+	var wg sync.WaitGroup
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			conns[r], errs[r] = transport.DialMesh(r, addrs)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("mesh rank %d: %v", r, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	})
+	return conns
+}
+
+// TestTraceGatherTCP runs two ranks over a real TCP mesh with tracing on and
+// checks the gathered result: one bundle per rank, nested iteration/stage
+// spans from both, DKV server-side spans whose Peer names the REQUESTING
+// rank, and a written Chrome trace file that loads back losslessly.
+func TestTraceGatherTCP(t *testing.T) {
+	train, held := fixture(t, 180, 4, 900, 91)
+	cfg := core.DefaultConfig(4, 17)
+	const ranks, iters = 2, 6
+
+	out := filepath.Join(t.TempDir(), "run.trace.json")
+	conns := dialTestMesh(t, ranks)
+	res, err := RunOnTransport(cfg, train, held, Options{
+		Iterations: iters, EvalEvery: 0, TraceOut: out,
+	}, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(res.Trace) != ranks {
+		t.Fatalf("gathered %d bundles, want %d", len(res.Trace), ranks)
+	}
+	byRank := map[int]obs.TraceBundle{}
+	for _, b := range res.Trace {
+		byRank[b.Rank] = b
+	}
+	for r := 0; r < ranks; r++ {
+		b, ok := byRank[r]
+		if !ok {
+			t.Fatalf("no bundle for rank %d", r)
+		}
+		iterCount := 0
+		serveSpans := 0
+		stageUnderIter := 0
+		iterIDs := map[obs.SpanID]bool{}
+		for _, sp := range b.Spans {
+			if sp.Cat == obs.CatIter {
+				iterCount++
+				iterIDs[sp.ID] = true
+			}
+		}
+		for _, sp := range b.Spans {
+			switch sp.Cat {
+			case obs.CatStage:
+				if iterIDs[sp.Parent] {
+					stageUnderIter++
+				}
+			case obs.CatDKVServe:
+				if sp.Parent == 0 {
+					serveSpans++
+					// The whole point of server-side spans: Peer is the rank
+					// that ASKED, i.e. the other rank in a 2-rank run.
+					if sp.Peer != 1-r {
+						t.Errorf("rank %d serve span peer = %d, want requester %d", r, sp.Peer, 1-r)
+					}
+				}
+			}
+		}
+		if iterCount != iters {
+			t.Errorf("rank %d recorded %d iter spans, want %d", r, iterCount, iters)
+		}
+		if stageUnderIter == 0 {
+			t.Errorf("rank %d has no stage spans parented under an iteration", r)
+		}
+		if serveSpans == 0 {
+			t.Errorf("rank %d recorded no DKV server-side spans", r)
+		}
+	}
+
+	// The written file is the same data, losslessly.
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	read, err := obs.ReadChromeTrace(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(read) != ranks {
+		t.Fatalf("trace file carries %d ranks, want %d", len(read), ranks)
+	}
+	var rebuf, wbuf bytes.Buffer
+	if err := obs.WriteChromeTrace(&wbuf, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.WriteChromeTrace(&rebuf, read); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wbuf.Bytes(), rebuf.Bytes()) {
+		t.Error("re-exporting the read-back trace is not byte-identical (lossy round trip)")
+	}
+}
+
+// TestTraceDoesNotPerturbTraining: tracing observes, never synchronizes — a
+// traced run must be bit-identical to an untraced one.
+func TestTraceDoesNotPerturbTraining(t *testing.T) {
+	train, held := fixture(t, 240, 5, 1200, 51)
+	cfg := core.DefaultConfig(5, 1234)
+	const ranks, iters = 3, 8
+
+	plain, err := Run(cfg, train, held, Options{Ranks: ranks, Iterations: iters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Run(cfg, train, held, Options{Ranks: ranks, Iterations: iters, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.Trace) != ranks {
+		t.Fatalf("traced run gathered %d bundles, want %d", len(traced.Trace), ranks)
+	}
+	if d := mathx.MaxAbsDiff32(plain.State.Pi, traced.State.Pi); d != 0 {
+		t.Fatalf("tracing perturbed π by %v; want bit-exact", d)
+	}
+	if d := mathx.MaxAbsDiff(plain.State.Theta, traced.State.Theta); d != 0 {
+		t.Fatalf("tracing perturbed θ by %v; want bit-exact", d)
+	}
+}
+
+// TestCriticalPathNamesInjectedStraggler is the end-to-end acceptance check:
+// delay one rank's collective sends (the ocd-cluster -slow-rank injection),
+// trace the run over TCP, and demand the analyzer attribute the majority of
+// the critical path to the injected rank.
+func TestCriticalPathNamesInjectedStraggler(t *testing.T) {
+	train, held := fixture(t, 180, 4, 900, 91)
+	cfg := core.DefaultConfig(4, 17)
+	const ranks, iters, slow = 2, 8, 1
+
+	conns := dialTestMesh(t, ranks)
+	conns[slow] = &transport.FaultConn{
+		Conn: conns[slow],
+		DelaySend: func(_ int, tag uint32) time.Duration {
+			if tag < cluster.TagUserBase {
+				return 2 * time.Millisecond
+			}
+			return 0
+		},
+	}
+	res, err := RunOnTransport(cfg, train, held, Options{
+		Iterations: iters, EvalEvery: 0, Trace: true,
+	}, conns)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rep := obs.AnalyzeCriticalPath(res.Trace)
+	if len(rep.Iters) != iters {
+		t.Fatalf("analyzer found %d iteration windows, want %d", len(rep.Iters), iters)
+	}
+	if rep.Verdict != slow {
+		t.Fatalf("verdict = rank %d, want the injected straggler rank %d\n%s",
+			rep.Verdict, slow, rep.String())
+	}
+	if rep.VerdictFrac < 0.5 {
+		t.Fatalf("injected rank owns only %.1f%% of the critical path, want >= 50%%\n%s",
+			100*rep.VerdictFrac, rep.String())
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cluster"
 	"repro/internal/obs"
@@ -73,8 +74,23 @@ const (
 	respMalformed uint32 = 2
 )
 
-// reqHeaderBytes is the fixed [op][id][count] request prefix.
-const reqHeaderBytes = 12
+// reqHeaderBytes is the fixed [op u32][id u32][count u32][send-ns u64]
+// request prefix. The send timestamp (obs.TraceNow at request build) lets a
+// tracing server split service time into queue wait (send → pickup) versus
+// handler + reply time — the clock is process-wide monotonic, so the two
+// ends are directly comparable (see internal/obs/span.go).
+const reqHeaderBytes = 20
+
+// appendHeader builds the request prefix. The timestamp is stamped
+// unconditionally — it is one time.Since against the package epoch, and
+// stamping it always means a tracing SERVER attributes queue wait correctly
+// even when the requesting rank itself has tracing off.
+func appendHeader(op, id, count uint32) []byte {
+	b := wire.AppendUint32(make([]byte, 0, reqHeaderBytes), op)
+	b = wire.AppendUint32(b, id)
+	b = wire.AppendUint32(b, count)
+	return wire.AppendUint64(b, uint64(obs.TraceNow()))
+}
 
 // KeyRangeError is the typed error a DKV server returns when a request
 // names a key outside the shard it owns — a misrouted key is a protocol bug
@@ -130,6 +146,22 @@ type Store struct {
 
 	stats   *Stats
 	serveWG sync.WaitGroup
+
+	// tracer is atomic because the server goroutine is already running when
+	// SetTracer attaches (the store starts serving at New; the engine wires
+	// tracing afterwards). Nil while tracing is off.
+	tracer atomic.Pointer[obs.Tracer]
+}
+
+// SetTracer turns on span emission for both sides of the protocol: client
+// response waits (dkv.wait.*, Peer = serving rank) and the server request
+// loop (dkv.serve.*, Peer = REQUESTING rank, with queue/handle/reply child
+// spans) — the server side is what finally attributes DKV service time to
+// the rank that asked for it.
+func (s *Store) SetTracer(tr *obs.Tracer) {
+	if tr != nil {
+		s.tracer.Store(tr)
+	}
 }
 
 // New creates the store and starts this rank's server goroutine. All ranks
@@ -239,6 +271,11 @@ func (s *Store) serve() {
 		if err != nil {
 			return // transport closed or poisoned
 		}
+		tr := s.tracer.Load()
+		var pickup int64
+		if tr != nil {
+			pickup = obs.TraceNow()
+		}
 		if len(req) < reqHeaderBytes {
 			// No request id to respond under; drop the frame.
 			continue
@@ -246,6 +283,7 @@ func (s *Store) serve() {
 		op := wire.Uint32At(req, 0)
 		id := wire.Uint32At(req, 4)
 		count := int(wire.Uint32At(req, 8))
+		sendNS := int64(wire.Uint64At(req, 12))
 		switch op {
 		case opStop:
 			return
@@ -269,8 +307,15 @@ func (s *Store) serve() {
 			for i, k := range keys {
 				copy(resp[4+i*s.valBytes:], s.localValue(int(k)))
 			}
+			var handled int64
+			if tr != nil {
+				handled = obs.TraceNow()
+			}
 			if err := s.conn.Send(from, tagRespBase+id, resp); err != nil {
 				return
+			}
+			if tr != nil {
+				s.emitServeSpans(tr, "dkv.serve.read", from, id, sendNS, pickup, handled, obs.TraceNow())
 			}
 		case opWrite:
 			if count < 0 || len(req) < reqHeaderBytes+count*(4+s.valBytes) {
@@ -291,11 +336,56 @@ func (s *Store) serve() {
 			for i, k := range keys {
 				copy(s.localValue(int(k)), req[off+i*s.valBytes:off+(i+1)*s.valBytes])
 			}
+			var handled int64
+			if tr != nil {
+				handled = obs.TraceNow()
+			}
 			if err := s.conn.Send(from, tagRespBase+id, wire.AppendUint32(nil, respOK)); err != nil {
 				return
 			}
+			if tr != nil {
+				s.emitServeSpans(tr, "dkv.serve.write", from, id, sendNS, pickup, handled, obs.TraceNow())
+			}
 		}
 	}
+}
+
+// emitServeSpans records one served request as a parentless root span on the
+// DKV server track plus three children splitting where the time went:
+//
+//	queue  — request send (client clock) to server pickup: backlog wait
+//	handle — pickup to response built: shard copy / apply
+//	reply  — response Send call: wire back-pressure
+//
+// Every span carries Peer = the REQUESTING rank, so trace viewers and the
+// critical-path analyzer attribute this server's busy time to whoever asked.
+// A zero or future sendNS (client clock unset or skewed) clamps queue to
+// empty rather than fabricating negative time.
+func (s *Store) emitServeSpans(tr *obs.Tracer, name string, from int, id uint32, sendNS, pickup, handled, done int64) {
+	if sendNS <= 0 || sendNS > pickup {
+		sendNS = pickup
+	}
+	root := tr.NewID()
+	tr.Emit(obs.Span{
+		ID: root, Name: name, Cat: obs.CatDKVServe,
+		Track: obs.TrackDKVServer, Peer: from, Iter: -1, Tag: id,
+		StartNS: sendNS, DurNS: done - sendNS,
+	})
+	tr.Emit(obs.Span{
+		ID: tr.NewID(), Parent: root, Name: "queue", Cat: obs.CatDKVServe,
+		Track: obs.TrackDKVServer, Peer: from, Iter: -1, Tag: id,
+		StartNS: sendNS, DurNS: pickup - sendNS,
+	})
+	tr.Emit(obs.Span{
+		ID: tr.NewID(), Parent: root, Name: "handle", Cat: obs.CatDKVServe,
+		Track: obs.TrackDKVServer, Peer: from, Iter: -1, Tag: id,
+		StartNS: pickup, DurNS: handled - pickup,
+	})
+	tr.Emit(obs.Span{
+		ID: tr.NewID(), Parent: root, Name: "reply", Cat: obs.CatDKVServe,
+		Track: obs.TrackDKVServer, Peer: from, Iter: -1, Tag: id,
+		StartNS: handled, DurNS: done - handled,
+	})
 }
 
 // findMisroutedKey returns (key, false) for the first key outside this
@@ -311,9 +401,7 @@ func (s *Store) findMisroutedKey(keys []int32) (int32, bool) {
 
 // Close stops the server goroutine. The underlying transport stays open.
 func (s *Store) Close() error {
-	req := wire.AppendUint32(nil, opStop)
-	req = wire.AppendUint32(req, 0)
-	req = wire.AppendUint32(req, 0)
+	req := appendHeader(opStop, 0, 0)
 	if err := s.conn.Send(s.conn.Rank(), tagRequest, req); err != nil {
 		// Transport already closed or poisoned; the server loop has exited.
 		s.serveWG.Wait()
@@ -423,8 +511,25 @@ func (f *Future) Wait() error {
 		return f.err
 	}
 	f.done = true
+	tr := f.store.tracer.Load()
 	for _, p := range f.pending {
+		var waitStart int64
+		if tr != nil {
+			waitStart = obs.TraceNow()
+		}
 		resp, err := f.store.conn.Recv(p.rank, tagRespBase+p.id)
+		if tr != nil {
+			// Parent is the tracer's current scope — the engine stage running
+			// when the response landed. Wait may run on the pipelined loader
+			// goroutine, so this is a best-effort parent; Peer (the serving
+			// rank) is what the critical-path walk needs and is exact.
+			tr.Emit(obs.Span{
+				ID: tr.NewID(), Parent: tr.Scope(), Name: "dkv.wait.read",
+				Cat: obs.CatDKVWait, Track: obs.TrackDKVClient,
+				Peer: p.rank, Iter: tr.Iter(), Tag: p.id,
+				StartNS: waitStart, DurNS: obs.TraceNow() - waitStart,
+			})
+		}
 		if err != nil {
 			// The response may still arrive later; make sure its tag can
 			// never be matched against a future request.
@@ -466,9 +571,7 @@ func (s *Store) ReadBatchAsync(keys []int32, dst []byte) (*Future, error) {
 			continue
 		}
 		id := s.nextID(rank)
-		req := wire.AppendUint32(nil, opRead)
-		req = wire.AppendUint32(req, id)
-		req = wire.AppendUint32(req, uint32(len(g.keys)))
+		req := appendHeader(opRead, id, uint32(len(g.keys)))
 		req = wire.AppendInt32s(req, g.keys)
 		if err := s.conn.Send(rank, tagRequest, req); err != nil {
 			// Sends that never left cannot produce responses; only the
@@ -521,9 +624,7 @@ func (s *Store) WriteBatch(keys []int32, values []byte) error {
 			continue
 		}
 		id := s.nextID(rank)
-		req := wire.AppendUint32(nil, opWrite)
-		req = wire.AppendUint32(req, id)
-		req = wire.AppendUint32(req, uint32(len(g.keys)))
+		req := appendHeader(opWrite, id, uint32(len(g.keys)))
 		req = wire.AppendInt32s(req, g.keys)
 		for _, pos := range g.pos {
 			req = append(req, values[pos*s.valBytes:(pos+1)*s.valBytes]...)
@@ -540,8 +641,21 @@ func (s *Store) WriteBatch(keys []int32, values []byte) error {
 		acks = append(acks, ack{rank, id})
 	}
 	var errAll error
+	tr := s.tracer.Load()
 	for _, a := range acks {
+		var waitStart int64
+		if tr != nil {
+			waitStart = obs.TraceNow()
+		}
 		resp, err := s.conn.Recv(a.rank, tagRespBase+a.id)
+		if tr != nil {
+			tr.Emit(obs.Span{
+				ID: tr.NewID(), Parent: tr.Scope(), Name: "dkv.wait.ack",
+				Cat: obs.CatDKVWait, Track: obs.TrackDKVClient,
+				Peer: a.rank, Iter: tr.Iter(), Tag: a.id,
+				StartNS: waitStart, DurNS: obs.TraceNow() - waitStart,
+			})
+		}
 		if err != nil {
 			s.noteLost(a.rank, a.id)
 			errAll = errors.Join(errAll, err)

@@ -343,15 +343,19 @@ func TestSingleRankStore(t *testing.T) {
 func TestWireHelpersUsedByProtocol(t *testing.T) {
 	// Round trip a request frame exactly as the server parses it.
 	keys := []int32{5, 9, 1}
-	req := wire.AppendUint32(nil, opRead)
-	req = wire.AppendUint32(req, 77)
-	req = wire.AppendUint32(req, uint32(len(keys)))
+	req := appendHeader(opRead, 77, uint32(len(keys)))
 	req = wire.AppendInt32s(req, keys)
 	if wire.Uint32At(req, 0) != opRead || wire.Uint32At(req, 4) != 77 {
 		t.Fatal("header fields wrong")
 	}
+	if len(req) != reqHeaderBytes+4*len(keys) {
+		t.Fatalf("frame is %d bytes, want %d", len(req), reqHeaderBytes+4*len(keys))
+	}
+	if sendNS := int64(wire.Uint64At(req, 12)); sendNS <= 0 {
+		t.Fatalf("send timestamp %d, want > 0", sendNS)
+	}
 	out := make([]int32, 3)
-	wire.Int32s(req, 12, 3, out)
+	wire.Int32s(req, reqHeaderBytes, 3, out)
 	for i := range keys {
 		if out[i] != keys[i] {
 			t.Fatal("keys corrupted")

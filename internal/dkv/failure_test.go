@@ -85,9 +85,7 @@ func TestMisroutedKeyReturnsTypedError(t *testing.T) {
 
 	// Key 2 is owned by rank 0; route it to rank 1 anyway (a client-side
 	// routing bug this rank must survive).
-	req := wire.AppendUint32(nil, opRead)
-	req = wire.AppendUint32(req, 99) // request id
-	req = wire.AppendUint32(req, 1)  // count
+	req := appendHeader(opRead, 99, 1)
 	req = wire.AppendInt32s(req, []int32{2})
 	if err := conn0.Send(1, tagRequest, req); err != nil {
 		t.Fatal(err)
@@ -106,9 +104,7 @@ func TestMisroutedKeyReturnsTypedError(t *testing.T) {
 	}
 
 	// A misrouted write must be rejected all-or-nothing as well.
-	req = wire.AppendUint32(nil, opWrite)
-	req = wire.AppendUint32(req, 100)
-	req = wire.AppendUint32(req, 2)
+	req = appendHeader(opWrite, 100, 2)
 	req = wire.AppendInt32s(req, []int32{9, 2}) // 9 owned, 2 misrouted
 	req = append(req, 8, 8, 8, 8, 9, 9, 9, 9)
 	if err := conn0.Send(1, tagRequest, req); err != nil {
@@ -138,9 +134,7 @@ func TestMisroutedKeyReturnsTypedError(t *testing.T) {
 func TestMalformedRequestReturnsError(t *testing.T) {
 	f, s0, _ := pair2(t)
 	conn0 := f.Endpoint(0)
-	req := wire.AppendUint32(nil, opRead)
-	req = wire.AppendUint32(req, 5)
-	req = wire.AppendUint32(req, 1000) // claims 1000 keys, carries none
+	req := appendHeader(opRead, 5, 1000) // claims 1000 keys, carries none
 	if err := conn0.Send(1, tagRequest, req); err != nil {
 		t.Fatal(err)
 	}

@@ -78,6 +78,13 @@ type Loop struct {
 	// instrumented transport attributes blocking-receive time to the phase
 	// whose collectives caused it.
 	PhaseHook func(name string)
+	// Tracer, when non-nil, records one span per iteration and one child
+	// span per stage (unnamed wiring stages appear as PhaseBarrier spans, so
+	// barrier wait is visible on the timeline even though it is untimed in
+	// the phase table). The stage span is left as the tracer's scope while
+	// the stage runs, so collectives and DKV waits nest under it. Nil by
+	// default: tracing-off costs one nil-check per stage, like Recorder.
+	Tracer *obs.Tracer
 }
 
 // PhaseBarrier is the label PhaseHook reports for unnamed wiring stages
@@ -94,6 +101,14 @@ func (l *Loop) RunIteration(t int) error {
 			return fmt.Errorf("injected fault: %w", err)
 		}
 	}
+	var iterID, prevScope obs.SpanID
+	var iterStart int64
+	if l.Tracer != nil {
+		l.Tracer.SetIter(t)
+		iterID = l.Tracer.NewID()
+		prevScope = l.Tracer.SetScope(iterID)
+		iterStart = l.Tracer.Now()
+	}
 	for i := range l.Stages {
 		st := &l.Stages[i]
 		if l.PhaseHook != nil {
@@ -102,6 +117,13 @@ func (l *Loop) RunIteration(t int) error {
 				name = PhaseBarrier
 			}
 			l.PhaseHook(name)
+		}
+		var stageID obs.SpanID
+		var stageStart int64
+		if l.Tracer != nil {
+			stageID = l.Tracer.NewID()
+			l.Tracer.SetScope(stageID)
+			stageStart = l.Tracer.Now()
 		}
 		timed := st.Name != "" && (l.Trace != nil || l.Recorder != nil)
 		var start time.Time
@@ -118,9 +140,29 @@ func (l *Loop) RunIteration(t int) error {
 				l.Recorder.StageDone(t, st.Name, d)
 			}
 		}
+		if l.Tracer != nil {
+			name := st.Name
+			if name == "" {
+				name = PhaseBarrier
+			}
+			l.Tracer.Emit(obs.Span{
+				ID: stageID, Parent: iterID, Name: name, Cat: obs.CatStage,
+				Track: obs.TrackEngine, Peer: obs.NoPeer, Iter: t,
+				StartNS: stageStart, DurNS: l.Tracer.Now() - stageStart,
+			})
+			l.Tracer.SetScope(iterID)
+		}
 		if err != nil {
 			return err
 		}
+	}
+	if l.Tracer != nil {
+		l.Tracer.Emit(obs.Span{
+			ID: iterID, Name: "iter", Cat: obs.CatIter,
+			Track: obs.TrackEngine, Peer: obs.NoPeer, Iter: t,
+			StartNS: iterStart, DurNS: l.Tracer.Now() - iterStart,
+		})
+		l.Tracer.SetScope(prevScope)
 	}
 	if l.Recorder != nil {
 		l.Recorder.IterDone(t)

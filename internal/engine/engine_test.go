@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -204,4 +205,73 @@ func TestPrefetcher(t *testing.T) {
 		}
 	}()
 	p.Start(4)
+}
+
+// TestLoopTracerSpans checks the loop's span shape: one iter span per
+// iteration, one stage span per stage parented under it (unnamed barrier
+// stages appear as PhaseBarrier), and the scope restored after each.
+func TestLoopTracerSpans(t *testing.T) {
+	tr := obs.NewTracer(0, 0)
+	l := &Loop{
+		Tracer: tr,
+		Stages: []Stage{
+			{Name: "a", Run: func(int) error { return nil }},
+			{Run: func(int) error { return nil }}, // unnamed barrier
+		},
+	}
+	if err := l.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Scope() != 0 {
+		t.Fatalf("scope not restored after the run: %d", tr.Scope())
+	}
+	b := tr.Bundle()
+	iters := map[int]obs.SpanID{}
+	var stages []obs.Span
+	for _, sp := range b.Spans {
+		switch sp.Cat {
+		case obs.CatIter:
+			iters[sp.Iter] = sp.ID
+		case obs.CatStage:
+			stages = append(stages, sp)
+		}
+	}
+	if len(iters) != 2 {
+		t.Fatalf("iter spans for %d iterations, want 2", len(iters))
+	}
+	if len(stages) != 4 {
+		t.Fatalf("%d stage spans, want 4 (2 stages x 2 iterations)", len(stages))
+	}
+	names := map[string]int{}
+	for _, sp := range stages {
+		if sp.Parent != iters[sp.Iter] {
+			t.Errorf("stage %q of iter %d parented under %d, want %d", sp.Name, sp.Iter, sp.Parent, iters[sp.Iter])
+		}
+		names[sp.Name]++
+	}
+	if names["a"] != 2 || names[PhaseBarrier] != 2 {
+		t.Errorf("stage span names %v, want a=2 %s=2", names, PhaseBarrier)
+	}
+}
+
+// TestLoopIterationZeroCostWhenUntraced pins the telemetry-off bargain: with
+// every hook nil, an iteration of the loop machinery allocates nothing — the
+// nil-gates are the only cost.
+func TestLoopIterationZeroCostWhenUntraced(t *testing.T) {
+	l := &Loop{
+		Stages: []Stage{
+			{Name: "a", Run: func(int) error { return nil }},
+			{Name: "b", Run: func(int) error { return nil }},
+		},
+	}
+	iter := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := l.RunIteration(iter); err != nil {
+			t.Fatal(err)
+		}
+		iter++
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced RunIteration allocates %.1f allocs/op, want 0", allocs)
+	}
 }

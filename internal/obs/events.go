@@ -36,6 +36,10 @@ const (
 	CtrNetBytesSent = "transport.bytes_sent"
 	CtrNetMsgsRecv  = "transport.msgs_recv"
 	CtrNetBytesRecv = "transport.bytes_recv"
+	// CtrNetRecvAnyIdleNS is time parked in RecvAny (the DKV serve loop
+	// between requests) — idle, not straggler wait; 1 - idle/elapsed is the
+	// serve loop's utilisation.
+	CtrNetRecvAnyIdleNS = "transport.recvany_idle_ns"
 )
 
 // Canonical gauge names the recorder maintains for the live monitor.

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -33,12 +35,14 @@ import (
 type Monitor struct {
 	addr string
 
-	mu     sync.Mutex
-	reg    *Registry
-	stream *Stream
-	ln     net.Listener
-	srv    *http.Server
-	done   chan struct{} // closed on Shutdown/Close; SSE handlers watch it
+	mu      sync.Mutex
+	reg     *Registry
+	stream  *Stream
+	ln      net.Listener
+	srv     *http.Server
+	done    chan struct{} // closed on Shutdown/Close; SSE handlers watch it
+	pprofOn bool
+	traceFn func() []TraceBundle
 }
 
 // NewMonitor creates a monitor that will listen on addr (host:port; an
@@ -46,11 +50,39 @@ type Monitor struct {
 func NewMonitor(addr string) *Monitor { return &Monitor{addr: addr} }
 
 // Attach sets the registry the endpoint serves; typically called by the
-// distributed engine with rank 0's registry.
+// distributed engine with rank 0's registry. Attaching also wires the event
+// stream's drop accounting into the registry (obs.events_dropped), so silent
+// SSE fan-out loss shows up in /metrics.
 func (m *Monitor) Attach(reg *Registry) {
+	stream := m.EventStream() // before taking m.mu: EventStream locks it too
+	if reg != nil {
+		stream.SetDropCounter(reg.Counter(CtrEventsDropped))
+	}
 	m.mu.Lock()
 	m.reg = reg
 	m.mu.Unlock()
+}
+
+// AttachTrace installs the provider behind the /trace route: a snapshot of
+// the run's span bundles, rendered as a Chrome trace-event download. Before
+// a provider is attached, /trace answers 404 like any unknown path.
+func (m *Monitor) AttachTrace(provider func() []TraceBundle) {
+	m.mu.Lock()
+	m.traceFn = provider
+	m.mu.Unlock()
+}
+
+// EnablePprof mounts net/http/pprof under /debug/pprof/ on the next Start —
+// an explicit opt-in (the -pprof flag), never ambient, because the profile
+// endpoints expose symbolised internals and cost sampling overhead. Block
+// profiling is switched on at a 100µs sampling rate so contended-mutex and
+// channel waits show up in /debug/pprof/block without measurably slowing
+// the run. Must be called before Start.
+func (m *Monitor) EnablePprof() {
+	m.mu.Lock()
+	m.pprofOn = true
+	m.mu.Unlock()
+	runtime.SetBlockProfileRate(100_000)
 }
 
 // EventStream returns the stream backing /events, creating it on first use.
@@ -74,11 +106,27 @@ func (m *Monitor) Start() (string, error) {
 	}
 	// The explicit route table 404s everything it doesn't name — including
 	// sub-paths of "/", which net/http would otherwise catch-all.
-	mux := Routes{
+	routes := Routes{
 		"/":        m.handleMetrics,
 		"/metrics": m.handleMetrics,
 		"/events":  m.handleEvents,
-	}.Mux()
+		"/trace":   m.handleTrace,
+	}
+	m.mu.Lock()
+	pprofOn := m.pprofOn
+	m.mu.Unlock()
+	if pprofOn {
+		// The trailing-slash entry gets ServeMux subtree matching, so the
+		// named profiles (/debug/pprof/heap, goroutine, block, ...) resolve
+		// through pprof.Index; the four non-profile handlers need their own
+		// exact entries. Everything else still 404s.
+		routes["/debug/pprof/"] = pprof.Index
+		routes["/debug/pprof/cmdline"] = pprof.Cmdline
+		routes["/debug/pprof/profile"] = pprof.Profile
+		routes["/debug/pprof/symbol"] = pprof.Symbol
+		routes["/debug/pprof/trace"] = pprof.Trace
+	}
+	mux := routes.Mux()
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	m.mu.Lock()
 	m.ln = ln
@@ -108,6 +156,24 @@ func (m *Monitor) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	}
 	buf = append(buf, '\n')
 	_, _ = w.Write(buf)
+}
+
+// handleTrace serves the live span timeline as a Chrome trace-event
+// download — the same bytes -trace-out writes at run end, but snapshotted
+// mid-run, so a hung or slow run can be inspected in Perfetto while it is
+// still hanging. 404 until a provider is attached, keeping the hardened
+// route discipline (the path only exists when there is something behind it).
+func (m *Monitor) handleTrace(w http.ResponseWriter, r *http.Request) {
+	m.mu.Lock()
+	provider := m.traceFn
+	m.mu.Unlock()
+	if provider == nil {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", `attachment; filename="run.trace.json"`)
+	_ = WriteChromeTrace(w, provider()) // mid-stream write errors: client gone
 }
 
 // handleEvents is the SSE endpoint: replay the buffered backlog after the

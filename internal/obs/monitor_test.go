@@ -221,3 +221,86 @@ func TestMonitorShutdownDrainsSSE(t *testing.T) {
 		t.Fatalf("Close after Shutdown: %v", err)
 	}
 }
+
+// TestMonitorTraceRoute pins the /trace contract: 404 before a provider is
+// attached (hardened route discipline), a live Chrome trace download after.
+func TestMonitorTraceRoute(t *testing.T) {
+	m, addr := startMonitor(t)
+	client := &http.Client{Timeout: 5 * time.Second}
+
+	resp, err := client.Get("http://" + addr + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/trace before AttachTrace: status %d, want 404", resp.StatusCode)
+	}
+
+	tr := NewTracer(0, 0)
+	tr.Emit(Span{ID: tr.NewID(), Name: "iter", Cat: CatIter, Peer: NoPeer, Iter: 0, StartNS: 1, DurNS: 2})
+	m.AttachTrace(func() []TraceBundle { return []TraceBundle{tr.Bundle()} })
+
+	resp, err = client.Get("http://" + addr + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/trace after AttachTrace: status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	bundles, err := ReadChromeTrace(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundles) != 1 || len(bundles[0].Spans) != 1 || bundles[0].Spans[0].Name != "iter" {
+		t.Fatalf("live trace round trip: %+v", bundles)
+	}
+}
+
+// TestMonitorPprofOptIn pins the -pprof gate: without EnablePprof the profile
+// paths are 404 like any unknown route; with it they answer, and unrelated
+// unknown paths still 404.
+func TestMonitorPprofOptIn(t *testing.T) {
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	_, addr := startMonitor(t)
+	resp, err := client.Get("http://" + addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/pprof/ without EnablePprof: status %d, want 404", resp.StatusCode)
+	}
+
+	m := NewMonitor("127.0.0.1:0")
+	m.EnablePprof()
+	paddr, err := m.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/heap", "/debug/pprof/block", "/debug/pprof/cmdline"} {
+		resp, err := client.Get("http://" + paddr + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s with EnablePprof: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+	resp, err = client.Get("http://" + paddr + "/favicon.ico")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path with pprof on: status %d, want 404", resp.StatusCode)
+	}
+}

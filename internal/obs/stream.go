@@ -25,12 +25,14 @@ type StreamEvent struct {
 // re-requests the missed range with Last-Event-ID, which replays from the
 // ring buffer as long as the events are still inside the capacity window.
 type Stream struct {
-	mu   sync.Mutex
-	cap  int
-	buf  []StreamEvent // ring, ordered oldest→newest once rotated
-	head int           // next write position in buf
-	next uint64        // id assigned to the next published event (ids start at 1)
-	subs map[*Subscriber]struct{}
+	mu      sync.Mutex
+	cap     int
+	buf     []StreamEvent // ring, ordered oldest→newest once rotated
+	head    int           // next write position in buf
+	next    uint64        // id assigned to the next published event (ids start at 1)
+	subs    map[*Subscriber]struct{}
+	dropped int64    // total fan-out drops across all subscribers, ever
+	dropCtr *Counter // optional registry mirror (canonically CtrEventsDropped)
 }
 
 // Subscriber is one /events client's queue.
@@ -86,10 +88,31 @@ func (s *Stream) Publish(data []byte) uint64 {
 		case sub.C <- ev:
 		default:
 			sub.drop() // slow client: drop, the id gap tells it to resume
+			s.dropped++
+			if s.dropCtr != nil {
+				s.dropCtr.Inc()
+			}
 		}
 	}
 	s.mu.Unlock()
 	return ev.ID
+}
+
+// Dropped returns the total number of fan-out drops across every subscriber
+// the stream has ever had — the stream-level view of silent telemetry loss
+// (per-subscriber counts die with their subscriber).
+func (s *Stream) Dropped() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// SetDropCounter mirrors future drops into a registry counter (canonically
+// CtrEventsDropped), so /metrics surfaces them next to the span drops.
+func (s *Stream) SetDropCounter(c *Counter) {
+	s.mu.Lock()
+	s.dropCtr = c
+	s.mu.Unlock()
 }
 
 // Since returns the buffered events with id > after, oldest first. An

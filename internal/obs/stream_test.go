@@ -109,6 +109,24 @@ func TestStreamSlowSubscriberDrops(t *testing.T) {
 	}
 }
 
+// TestStreamDropAccounting pins the stream-level drop total and its registry
+// mirror (obs.events_dropped): subscriber counts die with their subscriber,
+// but the stream and /metrics remember the loss.
+func TestStreamDropAccounting(t *testing.T) {
+	reg := NewRegistry()
+	s := NewStream(16)
+	s.SetDropCounter(reg.Counter(CtrEventsDropped))
+	_, _, cancel := s.SubscribeFrom(0, 2)
+	publishN(s, 0, 6)
+	cancel() // the subscriber is gone; the stream total must survive it
+	if got := s.Dropped(); got != 4 {
+		t.Fatalf("stream Dropped() = %d, want 4", got)
+	}
+	if got := reg.Counter(CtrEventsDropped).Load(); got != 4 {
+		t.Fatalf("registry %s = %d, want 4", CtrEventsDropped, got)
+	}
+}
+
 func TestStreamCancelUnsubscribes(t *testing.T) {
 	s := NewStream(8)
 	_, sub, cancel := s.SubscribeFrom(0, 4)

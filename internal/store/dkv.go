@@ -180,6 +180,10 @@ func (s *DKVStore) ReadsAreLocal() bool {
 // Stats exposes the underlying DKV traffic counters.
 func (s *DKVStore) Stats() *dkv.Stats { return s.kv.Stats() }
 
+// SetTracer forwards span emission to the underlying DKV store — client
+// response waits and the server request loop both (see dkv.Store.SetTracer).
+func (s *DKVStore) SetTracer(tr *obs.Tracer) { s.kv.SetTracer(tr) }
+
 // CacheStats returns a snapshot of the hot-row cache counters.
 func (s *DKVStore) CacheStats() CacheStats {
 	return CacheStats{

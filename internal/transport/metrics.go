@@ -30,6 +30,7 @@ type instrumentedConn struct {
 	Conn
 	msgsSent, bytesSent *obs.Counter
 	msgsRecv, bytesRecv *obs.Counter
+	recvAnyIdleNS       *obs.Counter
 	peers               []peerCounters // indexed by peer rank, self included
 	reg                 *obs.Registry
 	phase               atomic.Pointer[phaseLabel]
@@ -56,13 +57,14 @@ func Instrument(conn Conn, reg *obs.Registry) Conn {
 		return conn
 	}
 	c := &instrumentedConn{
-		Conn:      conn,
-		msgsSent:  reg.Counter(obs.CtrNetMsgsSent),
-		bytesSent: reg.Counter(obs.CtrNetBytesSent),
-		msgsRecv:  reg.Counter(obs.CtrNetMsgsRecv),
-		bytesRecv: reg.Counter(obs.CtrNetBytesRecv),
-		peers:     make([]peerCounters, conn.Size()),
-		reg:       reg,
+		Conn:          conn,
+		msgsSent:      reg.Counter(obs.CtrNetMsgsSent),
+		bytesSent:     reg.Counter(obs.CtrNetBytesSent),
+		msgsRecv:      reg.Counter(obs.CtrNetMsgsRecv),
+		bytesRecv:     reg.Counter(obs.CtrNetBytesRecv),
+		recvAnyIdleNS: reg.Counter(obs.CtrNetRecvAnyIdleNS),
+		peers:         make([]peerCounters, conn.Size()),
+		reg:           reg,
 	}
 	for p := range c.peers {
 		c.peers[p] = peerCounters{
@@ -119,8 +121,13 @@ func (c *instrumentedConn) Recv(from int, tag uint32) ([]byte, error) {
 }
 
 func (c *instrumentedConn) RecvAny(tag uint32) (int, []byte, error) {
+	start := time.Now()
 	from, payload, err := c.Conn.RecvAny(tag)
 	if err == nil {
+		// Idle time, not wait attribution: the DKV server parked in RecvAny
+		// is healthy. Tracked separately so serve-loop utilisation
+		// (1 - idle/elapsed) is computable from /metrics.
+		c.recvAnyIdleNS.Add(int64(time.Since(start)))
 		c.msgsRecv.Inc()
 		c.bytesRecv.Add(int64(len(payload)))
 		if from >= 0 && from < len(c.peers) {

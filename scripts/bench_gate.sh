@@ -1,0 +1,75 @@
+#!/usr/bin/env sh
+# Gate the latest BENCH_dist.json records against the trailing history: the
+# freshest BenchmarkDistIteration record's serial ns/op and the freshest
+# BenchmarkServeHTTP record's p99_us must each stay within
+# BENCH_GATE_THRESHOLD_PCT percent (default 25) of the median of up to 8
+# prior records — turning the append-only perf series the bench scripts grow
+# into an actual regression gate instead of a diff you have to eyeball.
+#
+# Records are only compared against priors with the SAME "cpu" string: CI
+# runners rotate across processor generations, and a 2.10GHz → 2.70GHz swap
+# moves ns/op far more than any code change. A latest record with no
+# same-cpu prior passes with a note (first sighting of that runner class
+# seeds the history rather than failing on it).
+#
+# Usage: scripts/bench_gate.sh            (after bench_dist.sh / bench_serve.sh
+#                                          have appended this run's records)
+#        BENCH_GATE_THRESHOLD_PCT=40 scripts/bench_gate.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+THRESHOLD="${BENCH_GATE_THRESHOLD_PCT:-25}"
+
+python3 - "$THRESHOLD" <<'EOF'
+import json
+import sys
+
+threshold_pct = float(sys.argv[1])
+records = json.load(open("BENCH_dist.json"))
+
+# (label, record filter, metric extractor): one gated series per benchmark
+# kind. Lower is better for both metrics.
+SERIES = [
+    (
+        "dist iteration serial ns/op",
+        lambda r: r.get("benchmark") == "BenchmarkDistIteration",
+        lambda r: r["results"]["serial"]["ns_per_op"],
+    ),
+    (
+        "serve p99_us",
+        lambda r: r.get("benchmark") == "BenchmarkServeHTTP",
+        lambda r: r["p99_us"],
+    ),
+]
+
+MAX_PRIORS = 8  # trailing window: old records age out of the baseline
+
+failed = False
+for label, match, metric in SERIES:
+    series = [r for r in records if match(r)]
+    if not series:
+        print(f"bench gate: {label}: no records, skipping")
+        continue
+    latest = series[-1]
+    value = metric(latest)
+    cpu = latest.get("cpu", "")
+    priors = [metric(r) for r in series[:-1] if r.get("cpu", "") == cpu]
+    priors = priors[-MAX_PRIORS:]
+    if not priors:
+        print(f"bench gate: {label}: {value} — no prior records on this "
+              f"runner class ({cpu!r}), seeding history (pass)")
+        continue
+    priors.sort()
+    n = len(priors)
+    median = (priors[n // 2] if n % 2
+              else (priors[n // 2 - 1] + priors[n // 2]) / 2)
+    delta_pct = 100.0 * (value - median) / median
+    verdict = "OK"
+    if delta_pct > threshold_pct:
+        verdict = f"REGRESSION (> +{threshold_pct:.0f}%)"
+        failed = True
+    print(f"bench gate: {label}: latest {value} vs median {median:g} of "
+          f"{n} same-cpu prior(s): {delta_pct:+.1f}% — {verdict}")
+
+sys.exit(1 if failed else 0)
+EOF
