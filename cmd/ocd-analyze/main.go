@@ -149,6 +149,9 @@ func digestEvents(path string, asJSON bool) error {
 	}
 	fmt.Printf("telemetry: %d events, %d ranks, %d iterations, %.2fs elapsed\n",
 		sum.Events, sum.Ranks, sum.Iterations, sum.ElapsedMS/1000)
+	if sum.StartIter > 0 {
+		fmt.Printf("resumed run: iter events start at %d (restarted from a checkpoint)\n", sum.StartIter)
+	}
 	if sum.FinalPerplexity > 0 {
 		fmt.Printf("final perplexity: %.4f\n", sum.FinalPerplexity)
 	}
@@ -195,6 +198,13 @@ func digestEvents(path string, asJSON bool) error {
 			for _, p := range sum.Stragglers {
 				fmt.Printf(" rank %d", p)
 			}
+		}
+		fmt.Println()
+	}
+	if sum.Rebalances > 0 {
+		fmt.Printf("straggler mitigation: %d rebalances; final minibatch shares:", sum.Rebalances)
+		for r, w := range sum.FinalWeights {
+			fmt.Printf(" rank%d %.2f", r, w)
 		}
 		fmt.Println()
 	}

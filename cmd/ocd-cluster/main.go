@@ -21,6 +21,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/engine"
 	"repro/internal/graph"
 	"repro/internal/mathx"
 	"repro/internal/obs"
@@ -53,6 +54,12 @@ func main() {
 		failIter  = flag.Int("fail-iter", 0, "fault injection: iteration at which -fail-rank crashes")
 		slowRank  = flag.Int("slow-rank", -1, "fault injection: rank whose collective sends are delayed by -slow-send (-1 = none); the straggler report should flag it")
 		slowSend  = flag.Duration("slow-send", time.Millisecond, "per-send delay injected at -slow-rank")
+		slowPhi   = flag.Duration("slow-phi", 0, "fault injection: per-assigned-node compute delay injected into -slow-rank's update_phi — the degraded-CPU straggler -rebalance can cure")
+		rebalance = flag.Bool("rebalance", false, "close the straggler loop: re-shard each window's minibatch away from flagged ranks (trained model stays bit-identical)")
+		rebalWin  = flag.Int("rebalance-window", 0, "straggler-mitigation window in iterations (0 = library default)")
+		ckptPath  = flag.String("checkpoint", "", "write a coordinated checkpoint of (π, Σφ, θ, iteration) to this file every -checkpoint-every iterations")
+		ckptEvery = flag.Int("checkpoint-every", 10, "checkpoint interval in iterations")
+		restart   = flag.String("restart-from", "", "resume from a -checkpoint file: ranks initialise from its state and training continues at its iteration")
 		metrics   = flag.String("metrics-out", "", "write the JSONL telemetry event stream to this file (- = stdout)")
 		monitor   = flag.String("monitor", "", "serve live metrics over HTTP on this address (e.g. :6060 or 127.0.0.1:0)")
 		pprofOn   = flag.Bool("pprof", false, "with -monitor, expose net/http/pprof under /debug/pprof/ (explicit opt-in; enables block profiling)")
@@ -64,6 +71,9 @@ func main() {
 	flag.Parse()
 	if *path == "" {
 		fatal(fmt.Errorf("-graph is required"))
+	}
+	if err := validateFaultFlags(*ranks, *failRank, *slowRank, *slowPhi); err != nil {
+		fatal(err)
 	}
 
 	g, _, err := graph.ReadSNAPFile(*path)
@@ -93,6 +103,40 @@ func main() {
 			}
 			return nil
 		}
+	}
+	if *rebalance {
+		opts.Rebalance = true
+		opts.RebalanceCfg = engine.DefaultRebalanceConfig()
+		if *rebalWin > 0 {
+			opts.RebalanceCfg.Window = *rebalWin
+		}
+	}
+	if *slowPhi > 0 {
+		// Compute-proportional straggler at the -slow-rank rank: each
+		// update_phi sleeps perNode × assigned nodes, so shrinking the rank's
+		// share genuinely shrinks its lag — unlike -slow-send, whose fixed
+		// per-send cost no re-sharding can cure.
+		perNode, target := *slowPhi, *slowRank
+		opts.ComputeDelay = func(rank, nodes int) time.Duration {
+			if rank != target {
+				return 0
+			}
+			return time.Duration(nodes) * perNode
+		}
+	}
+	opts.CheckpointPath = *ckptPath
+	opts.CheckpointEvery = *ckptEvery
+	if *restart != "" {
+		state, iter, err := core.LoadFileFor(*restart, cfg, train.NumVertices())
+		if err != nil {
+			fatal(fmt.Errorf("-restart-from: %w", err))
+		}
+		if iter >= *iters {
+			fatal(fmt.Errorf("-restart-from checkpoint is at iteration %d, at or past -iters %d", iter, *iters))
+		}
+		opts.RestartState = state
+		opts.RestartIter = iter
+		fmt.Printf("resuming from %s at iteration %d\n", *restart, iter)
 	}
 	if *metrics != "" {
 		sink, err := openSink(*metrics)
@@ -166,7 +210,11 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -transport %q (want inproc or tcp)", *transp))
 	}
-	if *slowRank >= 0 && *slowRank < len(conns) {
+	// validateFaultFlags guaranteed *slowRank < *ranks == len(conns), so a
+	// requested straggler is always actually injected — an out-of-range rank
+	// used to be silently ignored here, making the run look mysteriously
+	// healthy.
+	if *slowRank >= 0 {
 		// Delay only collective-tag sends: the signature of a rank whose
 		// compute lags (late barrier/gather contributions) without also
 		// throttling its DKV request serving.
@@ -223,12 +271,38 @@ func main() {
 		rep := res.Peers.Straggler()
 		fmt.Println(rep)
 	}
+	if *rebalance {
+		fmt.Printf("straggler mitigation: %d/%d windows rebalanced, %d rank flags\n",
+			res.Metrics.Counters[obs.CtrReshardChanges],
+			res.Metrics.Counters[obs.CtrReshardWindows],
+			res.Metrics.Counters[obs.CtrReshardFlags])
+	}
 	if *traceOut != "" {
 		fmt.Printf("trace: wrote %d rank bundles to %s (load in Perfetto, or feed to ocd-analyze -trace)\n",
 			len(res.Trace), *traceOut)
 	}
 	fmt.Printf("total wall time: %.2fs for %d iterations (%.1f ms/iteration)\n",
 		res.Elapsed.Seconds(), *iters, res.Elapsed.Seconds()*1000/float64(*iters))
+}
+
+// validateFaultFlags rejects fault-injection targets that cannot take
+// effect, instead of silently running a healthy cluster: -fail-rank and
+// -slow-rank must name a rank inside [0, ranks) (or -1 to disable), and
+// -slow-phi needs -slow-rank to say which rank's compute is degraded.
+func validateFaultFlags(ranks, failRank, slowRank int, slowPhi time.Duration) error {
+	if failRank < -1 || failRank >= ranks {
+		return fmt.Errorf("-fail-rank %d outside the cluster [0, %d) (-1 disables)", failRank, ranks)
+	}
+	if slowRank < -1 || slowRank >= ranks {
+		return fmt.Errorf("-slow-rank %d outside the cluster [0, %d) (-1 disables)", slowRank, ranks)
+	}
+	if slowPhi < 0 {
+		return fmt.Errorf("-slow-phi %v is negative", slowPhi)
+	}
+	if slowPhi > 0 && slowRank < 0 {
+		return fmt.Errorf("-slow-phi needs -slow-rank to name the degraded rank")
+	}
+	return nil
 }
 
 // openSink opens the -metrics-out destination: "-" streams to stdout (the

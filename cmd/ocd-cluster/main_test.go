@@ -1,0 +1,52 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateFaultFlags pins the fail-fast contract: a fault-injection
+// target that cannot take effect is an error at startup, never a silently
+// healthy run. The -slow-rank 5 on a 4-rank cluster case is the regression
+// this guards — it used to be swallowed by a bounds check at the conn-wrap
+// site, so the straggler drill measured nothing.
+func TestValidateFaultFlags(t *testing.T) {
+	cases := []struct {
+		name     string
+		ranks    int
+		failRank int
+		slowRank int
+		slowPhi  time.Duration
+		wantErr  string // substring; "" = must pass
+	}{
+		{"all disabled", 4, -1, -1, 0, ""},
+		{"fail-rank in range", 4, 3, -1, 0, ""},
+		{"slow-rank in range", 4, -1, 0, 0, ""},
+		{"slow-phi with slow-rank", 4, -1, 1, time.Millisecond, ""},
+		{"fail-rank == ranks", 4, 4, -1, 0, "-fail-rank 4 outside"},
+		{"fail-rank far out", 4, 99, -1, 0, "-fail-rank 99 outside"},
+		{"fail-rank below -1", 4, -2, -1, 0, "-fail-rank -2 outside"},
+		{"slow-rank == ranks", 4, -1, 4, 0, "-slow-rank 4 outside"},
+		{"slow-rank far out", 2, -1, 7, 0, "-slow-rank 7 outside"},
+		{"slow-rank below -1", 4, -1, -3, 0, "-slow-rank -3 outside"},
+		{"slow-phi without slow-rank", 4, -1, -1, time.Millisecond, "-slow-phi needs -slow-rank"},
+		{"negative slow-phi", 4, -1, 1, -time.Millisecond, "is negative"},
+		{"single rank valid", 1, 0, 0, time.Microsecond, ""},
+		{"single rank out of range", 1, -1, 1, 0, "-slow-rank 1 outside"},
+	}
+	for _, tc := range cases {
+		err := validateFaultFlags(tc.ranks, tc.failRank, tc.slowRank, tc.slowPhi)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted; want error containing %q", tc.name, tc.wantErr)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+	}
+}

@@ -117,7 +117,7 @@ func main() {
 		fatal(err)
 	}
 	if *resume != "" {
-		state, iter, err := core.LoadFile(*resume)
+		state, iter, err := core.LoadFileFor(*resume, cfg, train.NumVertices())
 		if err != nil {
 			fatal(err)
 		}

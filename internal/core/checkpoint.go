@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -17,6 +18,40 @@ const (
 	checkpointMagic   = 0x616d6d5362303031 // "ammSb001"
 	checkpointVersion = 1
 )
+
+// Typed checkpoint failures, matchable with errors.Is:
+//
+//   - ErrCheckpointTruncated: the file ends before the arrays the header
+//     promises (a crash mid-write, a partial copy). SaveFile's write-then-
+//     rename makes this impossible for its own output, so a truncated file
+//     means the bytes were damaged after the fact.
+//   - ErrCheckpointShape: the file is well-formed but its (N, K) do not
+//     match the run it is being loaded into — the wrong graph or the wrong
+//     -k, caught before any state is overwritten.
+var (
+	ErrCheckpointTruncated = errors.New("checkpoint truncated")
+	ErrCheckpointShape     = errors.New("checkpoint shape mismatch")
+)
+
+// truncated wraps an io.ReadFull failure on a checkpoint section: running
+// out of bytes is ErrCheckpointTruncated; anything else (an I/O fault)
+// passes through.
+func truncated(section string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("core: checkpoint %s: %w: %v", section, ErrCheckpointTruncated, err)
+	}
+	return fmt.Errorf("core: checkpoint %s: %w", section, err)
+}
+
+// CheckShape verifies the state matches the (n, k) a run expects; the error
+// wraps ErrCheckpointShape.
+func (s *State) CheckShape(n, k int) error {
+	if s.N != n || s.K != k {
+		return fmt.Errorf("core: %w: state has N=%d K=%d, run expects N=%d K=%d",
+			ErrCheckpointShape, s.N, s.K, n, k)
+	}
+	return nil
+}
 
 // Save writes the state to w. The iteration counter is stored so a resumed
 // sampler continues the step-size schedule where it stopped.
@@ -59,7 +94,7 @@ func Load(r io.Reader) (*State, int, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	hdr := make([]byte, 28)
 	if _, err := io.ReadFull(br, hdr); err != nil {
-		return nil, 0, fmt.Errorf("core: checkpoint header: %w", err)
+		return nil, 0, truncated("header", err)
 	}
 	if binary.LittleEndian.Uint64(hdr[0:]) != checkpointMagic {
 		return nil, 0, fmt.Errorf("core: not a checkpoint file")
@@ -84,21 +119,30 @@ func Load(r io.Reader) (*State, int, error) {
 	buf := make([]byte, 8)
 	for i := range s.Pi {
 		if _, err := io.ReadFull(br, buf[:4]); err != nil {
-			return nil, 0, fmt.Errorf("core: checkpoint π: %w", err)
+			return nil, 0, truncated("π", err)
 		}
 		s.Pi[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
 	}
 	for i := range s.PhiSum {
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, 0, fmt.Errorf("core: checkpoint Σφ: %w", err)
+			return nil, 0, truncated("Σφ", err)
 		}
 		s.PhiSum[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
 	}
 	for i := range s.Theta {
 		if _, err := io.ReadFull(br, buf); err != nil {
-			return nil, 0, fmt.Errorf("core: checkpoint θ: %w", err)
+			return nil, 0, truncated("θ", err)
 		}
 		s.Theta[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	}
+	// A well-formed checkpoint ends exactly where the header says: trailing
+	// bytes mean a damaged file (e.g. two checkpoints concatenated, or a
+	// header whose N/K undercount the arrays that follow).
+	if _, err := br.ReadByte(); err != io.EOF {
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: checkpoint trailer: %w", err)
+		}
+		return nil, 0, fmt.Errorf("core: checkpoint has trailing bytes past the N=%d K=%d arrays", n, k)
 	}
 	s.RefreshBeta()
 	return s, iteration, nil
@@ -133,16 +177,27 @@ func LoadFile(path string) (*State, int, error) {
 	return Load(f)
 }
 
+// LoadFileFor reads a checkpoint and validates its shape against the run it
+// is destined for: n vertices and cfg.K communities. A mismatch fails with
+// ErrCheckpointShape before the caller touches any state.
+func LoadFileFor(path string, cfg Config, n int) (*State, int, error) {
+	state, iter, err := LoadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := state.CheckShape(n, cfg.K); err != nil {
+		return nil, 0, fmt.Errorf("%w (loading %s)", err, path)
+	}
+	return state, iter, nil
+}
+
 // Resume rebuilds a sampler from a saved state, continuing the step-size
 // schedule at the stored iteration. The graph, held-out set and options must
 // match the original run for the chain to be meaningful (the function cannot
 // verify that; it checks only the state dimensions).
 func Resume(cfg Config, g interface{ NumVertices() int }, state *State, iteration int, s *Sampler) error {
-	if state.N != g.NumVertices() {
-		return fmt.Errorf("core: checkpoint has N=%d, graph has %d", state.N, g.NumVertices())
-	}
-	if state.K != cfg.K {
-		return fmt.Errorf("core: checkpoint has K=%d, config has %d", state.K, cfg.K)
+	if err := state.CheckShape(g.NumVertices(), cfg.K); err != nil {
+		return err
 	}
 	s.State = state
 	s.t = iteration

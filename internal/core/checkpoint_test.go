@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -55,6 +57,69 @@ func TestCheckpointRejectsGarbage(t *testing.T) {
 	truncated := buf.Bytes()[:buf.Len()/2]
 	if _, _, err := Load(bytes.NewReader(truncated)); err == nil {
 		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+// TestCheckpointTypedErrors pins the error taxonomy rank-loss recovery
+// depends on: every way a file can run short is ErrCheckpointTruncated, a
+// shape mismatch against the target run is ErrCheckpointShape, and trailing
+// bytes past the promised arrays are rejected.
+func TestCheckpointTypedErrors(t *testing.T) {
+	cfg := DefaultConfig(4, 1)
+	s, err := NewState(cfg, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf, 7); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+
+	// Truncation at every section boundary (and mid-array): header, π, Σφ, θ.
+	piEnd := 28 + 4*len(s.Pi)
+	phiEnd := piEnd + 8*len(s.PhiSum)
+	for _, cut := range []int{0, 10, 28, 28 + 4*len(s.Pi)/2, piEnd, piEnd + 4, phiEnd, len(whole) - 1} {
+		_, _, err := Load(bytes.NewReader(whole[:cut]))
+		if !errors.Is(err, ErrCheckpointTruncated) {
+			t.Fatalf("cut at %d of %d: err = %v, want ErrCheckpointTruncated", cut, len(whole), err)
+		}
+	}
+	// Garbage (wrong magic) is NOT "truncated" — it is a different failure.
+	if _, _, err := Load(strings.NewReader(strings.Repeat("x", 64))); errors.Is(err, ErrCheckpointTruncated) {
+		t.Fatal("bad magic misreported as truncation")
+	}
+
+	// Trailing bytes past the arrays the header promises.
+	if _, _, err := Load(bytes.NewReader(append(append([]byte(nil), whole...), 0xFF))); err == nil {
+		t.Fatal("checkpoint with trailing bytes accepted")
+	} else if errors.Is(err, ErrCheckpointTruncated) {
+		t.Fatalf("trailing bytes misreported as truncation: %v", err)
+	}
+
+	// Shape validation: CheckShape and LoadFileFor.
+	if err := s.CheckShape(10, 4); err != nil {
+		t.Fatalf("CheckShape on matching shape: %v", err)
+	}
+	if err := s.CheckShape(11, 4); !errors.Is(err, ErrCheckpointShape) {
+		t.Fatalf("wrong N: err = %v, want ErrCheckpointShape", err)
+	}
+	if err := s.CheckShape(10, 8); !errors.Is(err, ErrCheckpointShape) {
+		t.Fatalf("wrong K: err = %v, want ErrCheckpointShape", err)
+	}
+
+	path := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := os.WriteFile(path, whole, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if state, iter, err := LoadFileFor(path, cfg, 10); err != nil || iter != 7 || state.N != 10 {
+		t.Fatalf("LoadFileFor(matching) = N=%v iter=%d, err %v", state, iter, err)
+	}
+	if _, _, err := LoadFileFor(path, cfg, 11); !errors.Is(err, ErrCheckpointShape) {
+		t.Fatalf("LoadFileFor wrong N: err = %v, want ErrCheckpointShape", err)
+	}
+	if _, _, err := LoadFileFor(path, DefaultConfig(8, 1), 10); !errors.Is(err, ErrCheckpointShape) {
+		t.Fatalf("LoadFileFor wrong K: err = %v, want ErrCheckpointShape", err)
 	}
 }
 

@@ -2,6 +2,7 @@ package core_test
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 	"repro/internal/gen"
@@ -72,7 +73,7 @@ func (b *writerBuffer) Write(p []byte) (int, error) {
 
 func (b *writerBuffer) Read(p []byte) (int, error) {
 	if b.off >= len(b.data) {
-		return 0, fmt.Errorf("EOF")
+		return 0, io.EOF
 	}
 	n := copy(p, b.data[b.off:])
 	b.off += n

@@ -59,6 +59,12 @@ type node struct {
 	dep    *deployment
 	newPhi []float64
 
+	// straggler mitigation (Options.Rebalance)
+	rebal        *engine.Rebalancer // master only: the hysteresis state machine
+	shares       []float64          // current minibatch share weights; nil = uniform split
+	reshardEvery int                // window length in iterations, identical on all ranks
+	waitLast     map[string]int64   // per-peer recv-wait counter values at the last window edge
+
 	perp       []PerpPoint
 	start      time.Time
 	finalState *core.State // master only, set at the end
@@ -92,6 +98,27 @@ func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, h
 		nd.tracer = obs.NewTracer(nd.rank, 0)
 		nd.tracer.SetDropCounter(reg.Counter(obs.CtrSpansDropped))
 		comm.SetTracer(nd.tracer)
+	}
+	if opt.Rebalance {
+		// Every rank must agree on the window boundaries without talking:
+		// resolve the window length from the same defaulting rule the master's
+		// rebalancer applies.
+		nd.reshardEvery = opt.RebalanceCfg.Window
+		if nd.reshardEvery <= 0 {
+			nd.reshardEvery = engine.DefaultRebalanceConfig().Window
+		}
+		nd.waitLast = map[string]int64{}
+		nd.shares = make([]float64, nd.size)
+		for i := range nd.shares {
+			nd.shares[i] = 1
+		}
+		if nd.rank == 0 {
+			rb, err := engine.NewRebalancer(nd.size, opt.RebalanceCfg)
+			if err != nil {
+				return nil, err
+			}
+			nd.rebal = rb
+		}
 	}
 
 	var heldSet *graph.EdgeSet
@@ -177,7 +204,10 @@ func newNode(cfg core.Config, opt Options, comm *cluster.Comm, g *graph.Graph, h
 		nd.phi.Rec = nd.rec
 	}
 	nd.loop = nd.buildLoop()
-	if err := nd.loop.Validate([]string{"graph", "pi", "theta", "beta"}); err != nil {
+	// "shares" is initial: the reshard stage writes next window's shares at
+	// the END of an iteration, so the deploy at the top always reads a value
+	// produced before the iteration started (uniform at t=0).
+	if err := nd.loop.Validate([]string{"graph", "pi", "theta", "beta", "shares"}); err != nil {
 		return nil, err
 	}
 	return nd, nil
@@ -200,7 +230,7 @@ func (nd *node) buildLoop() *engine.Loop {
 		Stages: []engine.Stage{
 			{
 				Name:   PhaseDeployMinibatch,
-				Reads:  []string{"graph"},
+				Reads:  []string{"graph", "shares"},
 				Writes: []string{"batch"},
 				Run:    nd.deployStage,
 			},
@@ -226,6 +256,16 @@ func (nd *node) buildLoop() *engine.Loop {
 			},
 		},
 	}
+	if nd.opt.Rebalance {
+		// The reshard collective runs at window boundaries; on every other
+		// iteration the stage is a no-op on all ranks, which keeps the
+		// collective tag sequence aligned without per-iteration traffic.
+		loop.Stages = append(loop.Stages, engine.Stage{
+			Name:   PhaseReshard,
+			Writes: []string{"shares"},
+			Run:    nd.reshardStage,
+		})
+	}
 	if nd.opt.Publisher != nil {
 		// π was fenced by the barrier before update_beta_theta, so the
 		// publication after it is legal (Validate checks exactly this). At
@@ -238,6 +278,18 @@ func (nd *node) buildLoop() *engine.Loop {
 			Reads:     []string{"pi", "beta"},
 			Publishes: []string{"pi"},
 			Run:       nd.publishStage,
+		})
+	}
+	if nd.opt.CheckpointPath != "" {
+		// Master-only, like publish, and under the same consistency argument:
+		// π was fenced by the pre-θ barrier, and the master gathers peer
+		// shards while those peers are parked in the next iteration's
+		// collective receive with their DKV goroutines still serving.
+		loop.Stages = append(loop.Stages, engine.Stage{
+			Name:      PhaseCheckpoint,
+			Reads:     []string{"pi", "theta"},
+			Publishes: []string{"pi"},
+			Run:       nd.checkpointStage,
 		})
 	}
 	if nd.rec != nil { // assign through the guard: a typed-nil Recorder would defeat the nil checks
@@ -292,10 +344,22 @@ func (nd *node) run() (err error) {
 		nd.store.SetDegrees(deg)
 	}
 
-	// Populate the owned π shard from the shared deterministic init.
-	nd.store.InitOwned(func(a int, pi []float32) float64 {
-		return core.InitPiRow(nd.cfg, a, pi)
-	})
+	// Populate the owned π shard: from the restart checkpoint when resuming,
+	// from the shared deterministic init otherwise. θ follows the same rule.
+	startIter := 0
+	if st := nd.opt.RestartState; st != nil {
+		startIter = nd.opt.RestartIter
+		nd.store.InitOwned(func(a int, pi []float32) float64 {
+			copy(pi, st.PiRow(a))
+			return st.PhiSum[a]
+		})
+		copy(nd.theta, st.Theta)
+		nd.refreshBeta()
+	} else {
+		nd.store.InitOwned(func(a int, pi []float32) float64 {
+			return core.InitPiRow(nd.cfg, a, pi)
+		})
+	}
 	if err := nd.comm.Barrier(); err != nil {
 		return err
 	}
@@ -304,7 +368,7 @@ func (nd *node) run() (err error) {
 		nd.rec.RunStart(nd.size, nd.opt.Iterations)
 	}
 	totalTimer := nd.phases.Timer(PhaseTotal)
-	for t := 0; t < nd.opt.Iterations; t++ {
+	for t := startIter; t < nd.opt.Iterations; t++ {
 		if err := nd.loop.RunIteration(t); err != nil {
 			return fmt.Errorf("iteration %d: %w", t, err)
 		}
@@ -379,12 +443,109 @@ func (nd *node) deployStage(t int) error {
 // phiStage runs the shared update_phi stage (reads old π only) over this
 // rank's deployment.
 func (nd *node) phiStage(t int) error {
+	if delay := nd.opt.ComputeDelay; delay != nil {
+		if d := delay(nd.rank, len(nd.dep.nodes)); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	n := len(nd.dep.nodes) * nd.k
 	if cap(nd.newPhi) < n {
 		nd.newPhi = make([]float64, n)
 	}
 	nd.newPhi = nd.newPhi[:n]
 	return nd.phi.Run(t, nd.cfg.StepSize(t), nd.dep.nodes, nd.beta, nd.newPhi)
+}
+
+// windowWaits snapshots this rank's per-peer recv-wait counters and returns
+// the delta since the previous window edge as a dense per-peer vector in
+// milliseconds — this rank's row of the straggler matrix, restricted to the
+// window.
+func (nd *node) windowWaits() []float64 {
+	out := make([]float64, nd.size)
+	for name, v := range nd.reg.CounterValues("transport.peer.") {
+		peer, kind, ok := obs.ParsePeerCounter(name)
+		if !ok || kind != obs.PeerRecvWaitNS {
+			continue
+		}
+		if peer < nd.size {
+			out[peer] = float64(v-nd.waitLast[name]) / 1e6
+		}
+		nd.waitLast[name] = v
+	}
+	return out
+}
+
+// reshardStage is the mitigation collective. On window boundaries every rank
+// gathers its windowed per-peer recv-wait vector at the master; the master
+// folds the column sums (diagonal excluded — the same imposed-wait statistic
+// as obs.PeerMatrix), feeds the window to the rebalancer, and broadcasts the
+// resulting share weights, which the next deployments split by. Off-boundary
+// iterations are a no-op on every rank, so the collective tag sequence stays
+// aligned. The weights only decide WHO computes which minibatch chunk — the
+// trajectory is bit-identical under any weight vector.
+func (nd *node) reshardStage(t int) error {
+	if (t+1)%nd.reshardEvery != 0 {
+		return nil
+	}
+	gathered, err := nd.comm.Gather(0, wire.AppendFloat64s(nil, nd.windowWaits()))
+	if err != nil {
+		return err
+	}
+	var out []byte
+	if nd.rank == 0 {
+		imposed := make([]float64, nd.size)
+		row := make([]float64, nd.size)
+		for r := 0; r < nd.size; r++ {
+			wire.Float64s(gathered[r], 0, nd.size, row)
+			for p := 0; p < nd.size; p++ {
+				if p != r {
+					imposed[p] += row[p]
+				}
+			}
+		}
+		weights, changed := nd.rebal.ObserveWindow(imposed)
+		rep := nd.rebal.LastReport()
+		nd.reg.Counter(obs.CtrReshardWindows).Inc()
+		nd.reg.Counter(obs.CtrReshardFlags).Add(int64(len(rep.Flagged)))
+		flag := byte(0)
+		if changed {
+			flag = 1
+			nd.reg.Counter(obs.CtrReshardChanges).Inc()
+			if nd.rec != nil {
+				waitMS := make(map[int]float64, nd.size)
+				for p, w := range imposed {
+					waitMS[p] = w
+				}
+				nd.rec.RebalanceDone(t, weights, rep.Flagged, waitMS)
+			}
+		}
+		out = append([]byte{flag}, wire.AppendFloat64s(nil, weights)...)
+	}
+	out, err = nd.comm.Bcast(0, out)
+	if err != nil {
+		return err
+	}
+	wire.Float64s(out[1:], 0, nd.size, nd.shares)
+	return nil
+}
+
+// checkpointStage writes the coordinated checkpoint: master-only, at the end
+// of every CheckpointEvery-th iteration, gathering the full state through
+// the DKV read path (peers serve while fenced in the next collective). The
+// stored iteration t+1 is "iterations completed", so a restart resumes at
+// exactly the next iteration's RNG streams.
+func (nd *node) checkpointStage(t int) error {
+	if nd.rank != 0 || (t+1)%nd.opt.CheckpointEvery != 0 {
+		return nil
+	}
+	st, err := nd.collectState()
+	if err != nil {
+		return fmt.Errorf("checkpoint at %d: %w", t, err)
+	}
+	if err := st.SaveFile(nd.opt.CheckpointPath, t+1); err != nil {
+		return fmt.Errorf("checkpoint at %d: %w", t, err)
+	}
+	return nil
 }
 
 // piStage commits the staged φ rows through the DKV store (update_pi).
@@ -505,8 +666,20 @@ func (nd *node) thetaStage(t int) error {
 func (nd *node) buildDeployments(t int, batch *sampling.Batch) [][]byte {
 	parts := make([][]byte, nd.size)
 	for r := 0; r < nd.size; r++ {
-		nLo, nHi := engine.SplitEven(len(batch.Nodes), nd.size, r)
-		pLo, pHi := engine.SplitChunkAligned(len(batch.Pairs), core.ThetaChunk, nd.size, r)
+		var nLo, nHi, pLo, pHi int
+		if nd.shares != nil {
+			// Weighted re-sharding (Options.Rebalance): same contiguous
+			// rank-ordered tiling, sizes proportional to the current shares.
+			// Under uniform shares this reproduces the unweighted split
+			// exactly (SplitWeighted degenerates to SplitEven /
+			// SplitChunkAligned), so "mitigation armed, nothing flagged" is
+			// byte-identical to the unmitigated engine.
+			nLo, nHi = engine.SplitWeighted(len(batch.Nodes), 1, nd.shares, r)
+			pLo, pHi = engine.SplitWeighted(len(batch.Pairs), core.ThetaChunk, nd.shares, r)
+		} else {
+			nLo, nHi = engine.SplitEven(len(batch.Nodes), nd.size, r)
+			pLo, pHi = engine.SplitChunkAligned(len(batch.Pairs), core.ThetaChunk, nd.size, r)
+		}
 		d := &deployment{
 			iter:    t,
 			nodes:   batch.Nodes[nLo:nHi],

@@ -32,6 +32,8 @@ const (
 	PhaseUpdateBetaTheta = engine.PhaseUpdateBetaTheta
 	PhasePerplexity      = engine.PhasePerplexity
 	PhasePublish         = engine.PhasePublish
+	PhaseReshard         = engine.PhaseReshard
+	PhaseCheckpoint      = engine.PhaseCheckpoint
 	PhaseTotal           = engine.PhaseTotal
 )
 
@@ -132,6 +134,45 @@ type Options struct {
 	// exists for the failure-injection test suites and the -fail-rank /
 	// -fail-iter flags of cmd/ocd-cluster; production runs leave it nil.
 	FaultHook func(rank, iter int) error
+
+	// Rebalance closes the straggler loop: every RebalanceCfg.Window
+	// iterations the ranks gather their per-peer recv-wait deltas at the
+	// master, the engine.Rebalancer applies the straggler rule with
+	// hysteresis, and the next window's minibatch is re-sharded over the
+	// resulting weights (engine.SplitWeighted). Because φ draws are keyed by
+	// (iteration, vertex) and the θ fold is chunk-ordered, re-sharding moves
+	// work between ranks without touching the estimator: the trained
+	// trajectory is bit-identical with mitigation on or off, under any
+	// weight trajectory.
+	Rebalance    bool
+	RebalanceCfg engine.RebalanceConfig
+
+	// ComputeDelay, when non-nil, injects an artificial compute delay into
+	// every rank's update_phi, scaled by the work actually assigned (nodes =
+	// this rank's minibatch share). It models a degraded-CPU straggler — the
+	// fault the rebalancer can actually cure by moving work away, unlike
+	// -slow-rank's fixed per-send delay, whose cost is share-independent.
+	// Fault injection for tests and cmd/ocd-cluster's -slow-phi; production
+	// runs leave it nil.
+	ComputeDelay func(rank, nodes int) time.Duration
+
+	// CheckpointPath, when non-empty, makes the master write a coordinated
+	// core.State checkpoint (π, Σφ, θ, and the iteration counter) every
+	// CheckpointEvery iterations, at the phase barrier that ends the
+	// iteration: the master gathers peer shards through the DKV read path
+	// while the peers are fenced waiting on its next collective, the same
+	// consistency argument as Publisher. CheckpointEvery ≤ 0 defaults to 10.
+	CheckpointPath  string
+	CheckpointEvery int
+
+	// RestartState + RestartIter resume a run from a loaded checkpoint
+	// (core.LoadFileFor): every rank initialises its π/Σφ shard and θ from
+	// the state instead of the seed init, and iterations run from
+	// RestartIter to Iterations. All random draws are keyed by the absolute
+	// iteration number, so a resumed run is bit-identical to one that never
+	// stopped.
+	RestartState *core.State
+	RestartIter  int
 }
 
 func (o *Options) setDefaults() {
@@ -152,6 +193,9 @@ func (o *Options) setDefaults() {
 	}
 	if o.PublishEvery == 0 {
 		o.PublishEvery = 1
+	}
+	if o.CheckpointPath != "" && o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 10
 	}
 }
 
@@ -248,6 +292,16 @@ func RunOnTransport(cfg core.Config, g *graph.Graph, held *graph.HeldOut, opt Op
 	}
 	if opt.EvalEvery > 0 && held == nil {
 		return nil, fmt.Errorf("dist: EvalEvery set but no held-out set given")
+	}
+	if opt.RestartState != nil {
+		if err := opt.RestartState.CheckShape(g.NumVertices(), cfg.K); err != nil {
+			return nil, fmt.Errorf("dist: restart: %w", err)
+		}
+		if opt.RestartIter < 0 || opt.RestartIter >= opt.Iterations {
+			return nil, fmt.Errorf("dist: RestartIter %d outside [0, %d)", opt.RestartIter, opt.Iterations)
+		}
+	} else if opt.RestartIter != 0 {
+		return nil, fmt.Errorf("dist: RestartIter %d without RestartState", opt.RestartIter)
 	}
 	// The monitor's /events endpoint streams whatever sink the run writes to.
 	// A monitor-only run still deserves live events, so it gets a sink backed

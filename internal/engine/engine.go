@@ -29,6 +29,8 @@ const (
 	PhaseUpdateBetaTheta = "update_beta_theta"
 	PhasePerplexity      = "perplexity"
 	PhasePublish         = "publish_snapshot"
+	PhaseReshard         = "reshard"
+	PhaseCheckpoint      = "checkpoint"
 	PhaseTotal           = "total"
 )
 

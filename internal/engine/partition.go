@@ -1,5 +1,7 @@
 package engine
 
+import "sort"
+
 // SplitEven returns the [lo, hi) bounds of part r when splitting n items
 // into `parts` contiguous groups as evenly as possible: the first n%parts
 // parts get one extra item, and the parts tile [0, n) without gaps.
@@ -23,5 +25,87 @@ func SplitChunkAligned(n, chunk, parts, r int) (int, int) {
 	cLo, cHi := SplitEven(nChunks, parts, r)
 	lo := min(cLo*chunk, n)
 	hi := min(cHi*chunk, n)
+	return lo, hi
+}
+
+// SplitWeighted is the weighted sibling of SplitChunkAligned: it partitions
+// n items into len(weights) contiguous chunk-aligned ranges whose sizes are
+// proportional to the weights. It is the partition behind minibatch
+// re-sharding — shrinking a straggler's weight moves its chunks onto healthy
+// ranks while the global chunk order (and hence every chunk-ordered fold)
+// is preserved.
+//
+// Properties the rebalancer and its tests rely on:
+//
+//   - the ranges tile [0, n) with no gaps or overlaps, in rank order;
+//   - every boundary is a multiple of chunk (except the final n);
+//   - a part with weight 0 gets an empty range (a drained straggler does no
+//     minibatch work, though it still participates in collectives);
+//   - uniform weights reproduce SplitChunkAligned — and with chunk 1,
+//     SplitEven — exactly, so "rebalancing with nothing to rebalance" is
+//     byte-identical to the unweighted path.
+//
+// Chunks are apportioned by largest remainder: each part gets
+// ⌊nChunks·w/W⌋ chunks, and the leftover chunks go to the parts with the
+// largest fractional remainders (ties broken by lower rank, which is what
+// makes the uniform case collapse to SplitEven's "first n%parts parts get
+// one extra"). Negative weights are treated as zero; an all-zero weight
+// vector falls back to the uniform split.
+func SplitWeighted(n, chunk int, weights []float64, r int) (int, int) {
+	parts := len(weights)
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return SplitChunkAligned(n, chunk, parts, r)
+	}
+	nChunks := (n + chunk - 1) / chunk
+	counts := make([]int, parts)
+	fracs := make([]float64, parts)
+	assigned := 0
+	for i, w := range weights {
+		if w < 0 {
+			w = 0
+		}
+		ideal := float64(nChunks) * w / total
+		counts[i] = int(ideal)
+		fracs[i] = ideal - float64(counts[i])
+		assigned += counts[i]
+	}
+	// Hand the leftover chunks to the largest fractional remainders. Zero-
+	// weight parts have remainder 0 and there are always enough positive
+	// remainders to absorb the leftovers (they sum to exactly the leftover
+	// count, each strictly below 1), so a zero-weight part stays empty; the
+	// weight > 0 guard keeps that true even under float rounding.
+	order := make([]int, parts)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return fracs[order[a]] > fracs[order[b]] })
+	for assigned < nChunks {
+		progressed := false
+		for _, i := range order {
+			if assigned >= nChunks {
+				break
+			}
+			if weights[i] > 0 {
+				counts[i]++
+				assigned++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break // unreachable: total > 0 implies a positive weight exists
+		}
+	}
+	cLo := 0
+	for i := 0; i < r; i++ {
+		cLo += counts[i]
+	}
+	lo := min(cLo*chunk, n)
+	hi := min((cLo+counts[r])*chunk, n)
 	return lo, hi
 }

@@ -1,6 +1,10 @@
 package engine
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/mathx"
+)
 
 func TestSplitEven(t *testing.T) {
 	cases := []struct {
@@ -81,5 +85,125 @@ func TestSplitChunkAligned(t *testing.T) {
 		if elo != clo || ehi != chi {
 			t.Fatalf("rank %d: chunk=1 split (%d,%d) != SplitEven (%d,%d)", r, clo, chi, elo, ehi)
 		}
+	}
+}
+
+// checkWeightedTiling asserts the SplitWeighted invariants for one
+// (n, chunk, weights) configuration: the parts tile [0, n) in rank order,
+// every boundary is chunk-aligned (or n), and zero-weight parts are empty.
+func checkWeightedTiling(t *testing.T, n, chunk int, weights []float64) {
+	t.Helper()
+	prevHi := 0
+	for r := range weights {
+		lo, hi := SplitWeighted(n, chunk, weights, r)
+		if lo != prevHi {
+			t.Fatalf("n=%d chunk=%d weights=%v rank %d: lo %d != previous hi %d (gap or overlap)",
+				n, chunk, weights, r, lo, prevHi)
+		}
+		if hi < lo {
+			t.Fatalf("n=%d chunk=%d weights=%v rank %d: hi %d < lo %d", n, chunk, weights, r, hi, lo)
+		}
+		if lo%chunk != 0 && lo != n {
+			t.Fatalf("n=%d chunk=%d weights=%v rank %d: lo %d not a chunk boundary", n, chunk, weights, r, lo)
+		}
+		if hi%chunk != 0 && hi != n {
+			t.Fatalf("n=%d chunk=%d weights=%v rank %d: hi %d not a chunk boundary", n, chunk, weights, r, hi)
+		}
+		if weights[r] <= 0 && hi != lo {
+			t.Fatalf("n=%d chunk=%d weights=%v rank %d: zero-weight part got [%d,%d)", n, chunk, weights, r, lo, hi)
+		}
+		prevHi = hi
+	}
+	if prevHi != n {
+		t.Fatalf("n=%d chunk=%d weights=%v: parts tile [0,%d) but end at %d", n, chunk, weights, n, prevHi)
+	}
+}
+
+func TestSplitWeightedTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		n, chunk int
+		weights  []float64
+	}{
+		{"n=0", 0, 16, []float64{1, 1, 1}},
+		{"single part", 100, 16, []float64{1}},
+		{"zero-weight middle", 100, 16, []float64{1, 0, 1}},
+		{"zero-weight edge", 100, 16, []float64{0, 1, 1}},
+		{"drained straggler", 257, 32, []float64{1, 1, 0, 1}},
+		{"heavy skew", 1000, 64, []float64{1, 0.05, 1, 1}},
+		{"all zero falls back to uniform", 100, 16, []float64{0, 0, 0}},
+		{"negative treated as zero", 100, 16, []float64{1, -2, 1}},
+		{"n < chunk", 17, 64, []float64{1, 2}},
+		{"tiny shares", 4096, 32, []float64{1, 1e-9, 1, 1e-9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// "zero weight ⇒ empty" applies to negatives too; the helper
+			// checks weights[r] <= 0, so the all-zero fallback case needs its
+			// own check.
+			if tc.name == "all zero falls back to uniform" {
+				for r := range tc.weights {
+					wlo, whi := SplitWeighted(tc.n, tc.chunk, tc.weights, r)
+					clo, chi := SplitChunkAligned(tc.n, tc.chunk, len(tc.weights), r)
+					if wlo != clo || whi != chi {
+						t.Fatalf("rank %d: all-zero weights (%d,%d) != uniform (%d,%d)", r, wlo, whi, clo, chi)
+					}
+				}
+				return
+			}
+			checkWeightedTiling(t, tc.n, tc.chunk, tc.weights)
+		})
+	}
+}
+
+// TestSplitWeightedUniformDegeneratesToEven pins the byte-identical
+// degeneration the engine's "rebalance on, nothing flagged" path rests on:
+// uniform weights must reproduce SplitChunkAligned (and with chunk 1,
+// SplitEven) exactly, for every (n, chunk, parts, r).
+func TestSplitWeightedUniformDegeneratesToEven(t *testing.T) {
+	for _, parts := range []int{1, 2, 3, 5, 8} {
+		weights := make([]float64, parts)
+		for i := range weights {
+			weights[i] = 0.7 // any uniform positive value
+		}
+		for _, chunk := range []int{1, 16, 64} {
+			for _, n := range []int{0, 1, chunk - 1, chunk, chunk + 1, 100, 257, 1000} {
+				if n < 0 {
+					continue
+				}
+				for r := 0; r < parts; r++ {
+					wlo, whi := SplitWeighted(n, chunk, weights, r)
+					clo, chi := SplitChunkAligned(n, chunk, parts, r)
+					if wlo != clo || whi != chi {
+						t.Fatalf("n=%d chunk=%d parts=%d rank %d: weighted (%d,%d) != even (%d,%d)",
+							n, chunk, parts, r, wlo, whi, clo, chi)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSplitWeightedProperties drives the invariants with deterministic
+// random configurations: random sizes, chunk sizes, part counts, and weight
+// vectors (including zeroed entries).
+func TestSplitWeightedProperties(t *testing.T) {
+	rng := mathx.NewRNG(2024)
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(5000)
+		chunk := 1 + rng.Intn(128)
+		parts := 1 + rng.Intn(9)
+		weights := make([]float64, parts)
+		for i := range weights {
+			if rng.Float64() < 0.25 {
+				weights[i] = 0
+			} else {
+				weights[i] = rng.Float64()*4 + 1e-6
+			}
+		}
+		// An all-zero vector falls back to the uniform split (covered by the
+		// table test); the tiling invariants here assume a weighted split.
+		weights[rng.Intn(parts)] = rng.Float64()*4 + 1e-6
+		checkWeightedTiling(t, n, chunk, weights)
 	}
 }

@@ -1,0 +1,245 @@
+package engine
+
+import (
+	"math"
+	"testing"
+)
+
+// rebalCfg is the deterministic tuning the state-machine tests drive:
+// window bookkeeping is external (ObserveWindow is fed one vector per
+// window), shrink after 2 consecutive flagged windows, restore after 3
+// healthy ones, quarter steps, full drain allowed.
+func rebalCfg() RebalanceConfig {
+	return RebalanceConfig{
+		Window:      4,
+		SlowWindows: 2,
+		HealWindows: 3,
+		Step:        0.25,
+		MinShare:    0,
+	}
+}
+
+// feed drives the rebalancer with a sequence of per-window imposed-wait
+// vectors and returns rank `watch`'s weight after each window.
+func feed(t *testing.T, rb *Rebalancer, windows [][]float64, watch int) []float64 {
+	t.Helper()
+	out := make([]float64, 0, len(windows))
+	for _, w := range windows {
+		weights, _ := rb.ObserveWindow(w)
+		out = append(out, weights[watch])
+	}
+	return out
+}
+
+func approxEq(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRebalancerHysteresis(t *testing.T) {
+	// Window vectors for a 3-rank cluster: "slow" flags rank 2 (it imposes
+	// 100 ms against a ~1 ms median), "ok" flags nobody.
+	slow := []float64{1, 1, 100}
+	ok := []float64{1, 1, 1}
+
+	cases := []struct {
+		name    string
+		windows [][]float64
+		want    []float64 // rank 2's weight after each window
+	}{
+		{
+			// A transient hiccup — alternating flagged and healthy windows —
+			// never reaches the SlowWindows=2 consecutive-flag threshold, so
+			// the share must not move at all.
+			name:    "flap does not thrash",
+			windows: [][]float64{slow, ok, slow, ok, slow, ok},
+			want:    []float64{1, 1, 1, 1, 1, 1},
+		},
+		{
+			// Sustained slowness: the first flagged window arms the streak,
+			// the second shrinks, and every further flagged window shrinks by
+			// one bounded step until the share drains to MinShare=0.
+			name:    "sustained slow drains stepwise",
+			windows: [][]float64{slow, slow, slow, slow, slow, slow, slow},
+			want:    []float64{1, 0.75, 0.5, 0.25, 0, 0, 0},
+		},
+		{
+			// Recovery: after a shrink, HealWindows=3 consecutive healthy
+			// windows buy one restore step; the streak then re-arms for the
+			// next step.
+			name:    "recovery restores stepwise",
+			windows: [][]float64{slow, slow, slow, ok, ok, ok, ok, ok, ok, ok},
+			want:    []float64{1, 0.75, 0.5, 0.5, 0.5, 0.75, 0.75, 0.75, 1, 1},
+		},
+		{
+			// Backoff: a rank that re-flags right after a probe restore
+			// doubles its heal requirement, so the second restore needs 6
+			// healthy windows, not 3 — the oscillation damper.
+			name: "re-flag after restore doubles heal requirement",
+			windows: [][]float64{
+				slow, slow, // shrink to 0.75
+				ok, ok, ok, // restore to 1 (heal need 3)... weight hits 1
+				slow, slow, // shrink again to 0.75; restored since shrink → backoff to 6
+				ok, ok, ok, // only 3 healthy: not yet
+				ok, ok, ok, // 6 healthy: restore
+			},
+			want: []float64{1, 0.75, 0.75, 0.75, 1, 1, 0.75, 0.75, 0.75, 0.75, 0.75, 0.75, 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rb, err := NewRebalancer(3, rebalCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := feed(t, rb, tc.windows, 2)
+			if !approxEq(got, tc.want) {
+				t.Fatalf("rank 2 weight trajectory:\n got %v\nwant %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestRebalancerBackoffForgiven pins the reset: once a rank climbs back to
+// full share and stays healthy, its heal requirement returns to the
+// configured HealWindows (the doubled backoff is not a life sentence).
+func TestRebalancerBackoffForgiven(t *testing.T) {
+	slow := []float64{1, 100}
+	ok := []float64{1, 1}
+	rb, err := NewRebalancer(2, RebalanceConfig{
+		SlowWindows: 1, HealWindows: 1, Step: 0.5, MinShare: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink, restore (backoff doubles on the re-flag), shrink, and climb all
+	// the way back: two restores at healNeed=2.
+	seq := [][]float64{slow, ok, slow, ok, ok, ok, ok}
+	_ = feed(t, rb, seq, 1)
+	if w := rb.Weights()[1]; w != 1 {
+		t.Fatalf("rank 1 weight = %v after full recovery, want 1", w)
+	}
+	// One healthy window at full weight forgives the backoff; the next
+	// shrink+heal cycle runs at the original HealWindows=1 again.
+	for _, w := range [][]float64{ok, slow, ok, ok} {
+		rb.ObserveWindow(w)
+	}
+	if w := rb.Weights()[1]; w != 1 {
+		t.Fatalf("rank 1 weight = %v, want 1 (heal requirement should be back to 1 window)", w)
+	}
+}
+
+func TestRebalancerMinShareFloor(t *testing.T) {
+	slow := []float64{1, 1, 50}
+	rb, err := NewRebalancer(3, RebalanceConfig{
+		SlowWindows: 1, HealWindows: 2, Step: 0.4, MinShare: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		rb.ObserveWindow(slow)
+	}
+	if w := rb.Weights()[2]; w != 0.3 {
+		t.Fatalf("rank 2 weight = %v, want the MinShare floor 0.3", w)
+	}
+	// Healthy ranks never move.
+	if w := rb.Weights()[0]; w != 1 {
+		t.Fatalf("rank 0 weight = %v, want 1", w)
+	}
+}
+
+// TestRebalancerChangedFlag checks the changed return: windows that neither
+// shrink nor restore report false, so the engine can skip re-broadcasting.
+func TestRebalancerChangedFlag(t *testing.T) {
+	slow := []float64{1, 80}
+	ok := []float64{1, 1}
+	rb, err := NewRebalancer(2, rebalCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, changed := rb.ObserveWindow(slow); changed {
+		t.Fatal("first flagged window changed weights before the SlowWindows threshold")
+	}
+	if _, changed := rb.ObserveWindow(slow); !changed {
+		t.Fatal("second consecutive flagged window should shrink")
+	}
+	if _, changed := rb.ObserveWindow(ok); changed {
+		t.Fatal("healthy window below the heal threshold changed weights")
+	}
+	// Fully drained rank at MinShare: further flagged windows change nothing.
+	for i := 0; i < 10; i++ {
+		rb.ObserveWindow(slow)
+	}
+	if _, changed := rb.ObserveWindow(slow); changed {
+		t.Fatal("flagged window at the floor should not report a change")
+	}
+}
+
+func TestRebalancerReport(t *testing.T) {
+	rb, err := NewRebalancer(3, rebalCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.LastReport() != nil {
+		t.Fatal("report before any window")
+	}
+	rb.ObserveWindow([]float64{1, 1, 100})
+	rep := rb.LastReport()
+	if rep == nil || len(rep.Flagged) != 1 || rep.Flagged[0] != 2 {
+		t.Fatalf("window report = %+v, want rank 2 flagged", rep)
+	}
+}
+
+// TestRebalancerLastWorkerNeverDrains pins the active-rank restriction: once
+// every other rank is drained, the survivor is doing ALL the work — the
+// drained ranks' blocking on it reads as imposed wait, and without the
+// restriction the rule would flag the survivor for being busy, drain it too,
+// and the all-zero uniform fallback would hand the straggler its full share
+// back. The survivor must be unflaggable; the drained rank must still probe
+// back in via restore.
+func TestRebalancerLastWorkerNeverDrains(t *testing.T) {
+	rb, err := NewRebalancer(2, rebalCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain rank 1: 5 flagged windows take it 1 → 0.75 → 0.5 → 0.25 → 0.
+	for i := 0; i < 5; i++ {
+		rb.ObserveWindow([]float64{0, 100})
+	}
+	if w := rb.Weights(); w[0] != 1 || w[1] != 0 {
+		t.Fatalf("after drain: weights %v, want [1 0]", w)
+	}
+	// Rank 0 now does everything; rank 1 blocks on it every collective, so
+	// the raw wait vector pins rank 0 as the "straggler". With only one
+	// active rank the rule must not fire — in particular not on rank 0.
+	weights, changed := rb.ObserveWindow([]float64{500, 0})
+	if changed || weights[0] != 1 {
+		t.Fatalf("lone worker shrunk: weights %v (changed %v)", weights, changed)
+	}
+	if f := rb.LastReport().Flagged; len(f) != 0 {
+		t.Fatalf("lone worker flagged: %v", f)
+	}
+	// The drained rank keeps healing through those windows: HealWindows=3
+	// total healthy windows trigger its restore probe (one already counted
+	// above), after which both ranks are active and the rule arms again.
+	rb.ObserveWindow([]float64{500, 0})
+	weights, changed = rb.ObserveWindow([]float64{500, 0})
+	if !changed || weights[1] != 0.25 {
+		t.Fatalf("drained rank never probed back: weights %v (changed %v)", weights, changed)
+	}
+	// Probe came back slow: with both active again, two flagged windows
+	// re-drain it (and rank 0, busy as it is, stays untouched).
+	rb.ObserveWindow([]float64{0, 400})
+	weights, _ = rb.ObserveWindow([]float64{0, 400})
+	if weights[0] != 1 || weights[1] != 0 {
+		t.Fatalf("after failed probe: weights %v, want [1 0]", weights)
+	}
+}

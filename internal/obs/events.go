@@ -14,6 +14,7 @@ const (
 	EventRunStart   = "run_start"  // once, from rank 0, before iteration 0
 	EventIter       = "iter"       // one per iteration per rank
 	EventPerplexity = "perplexity" // one per evaluation point, from rank 0
+	EventRebalance  = "rebalance"  // from rank 0, when a window changes the minibatch shares
 	EventRunEnd     = "run_end"    // once, from rank 0, after the last iteration
 )
 
@@ -31,6 +32,13 @@ const (
 	CtrCacheMisses        = "store.cache_misses"
 	CtrCacheEvictions     = "store.cache_evictions"
 	CtrCacheInvalidations = "store.cache_invalidations"
+
+	// Straggler-mitigation counters, maintained at the master by the
+	// distributed engine's reshard stage: windows observed, windows that
+	// changed the share weights, and total rank-window straggler flags.
+	CtrReshardWindows = "engine.reshard.windows"
+	CtrReshardChanges = "engine.reshard.changes"
+	CtrReshardFlags   = "engine.reshard.flags"
 
 	CtrNetMsgsSent  = "transport.msgs_sent"
 	CtrNetBytesSent = "transport.bytes_sent"
@@ -92,6 +100,9 @@ func (d DKVCounters) IsZero() bool { return d == DKVCounters{} }
 //   - iter:       Rank, Iter (0-based), StagesMS, DKV (deltas), PeerWaitMS
 //     (deltas), ElapsedMS
 //   - perplexity: Rank, Iter (1-based eval point), Perplexity, ElapsedMS
+//   - rebalance:  Rank (= 0), Iter (the iteration whose window closed),
+//     Weights (the new share vector), Flagged (ranks the window flagged),
+//     PeerWaitMS (the window's imposed-wait vector, keyed by rank)
 //   - run_end:    Rank, Iter (= iterations run), DKV (cumulative), ElapsedMS
 type Event struct {
 	Type       string             `json:"type"`
@@ -106,14 +117,19 @@ type Event struct {
 	// recv_wait_ns counter deltas) — the event-stream form of the straggler
 	// signal. Keys are peer ranks.
 	PeerWaitMS map[int]float64 `json:"peer_wait_ms,omitempty"`
-	Perplexity float64         `json:"perplexity,omitempty"`
-	ElapsedMS  float64         `json:"elapsed_ms,omitempty"`
+	// Weights and Flagged are set on rebalance events: the minibatch share
+	// vector the next window runs with, and the ranks this window's
+	// straggler rule flagged.
+	Weights    []float64 `json:"weights,omitempty"`
+	Flagged    []int     `json:"flagged,omitempty"`
+	Perplexity float64   `json:"perplexity,omitempty"`
+	ElapsedMS  float64   `json:"elapsed_ms,omitempty"`
 }
 
 // Validate checks the schema invariants a well-formed stream satisfies.
 func (e *Event) Validate() error {
 	switch e.Type {
-	case EventRunStart, EventIter, EventPerplexity, EventRunEnd:
+	case EventRunStart, EventIter, EventPerplexity, EventRebalance, EventRunEnd:
 	default:
 		return fmt.Errorf("obs: unknown event type %q", e.Type)
 	}
@@ -138,6 +154,22 @@ func (e *Event) Validate() error {
 		if ms < 0 {
 			return fmt.Errorf("obs: %s event: peer %d has negative wait %f", e.Type, peer, ms)
 		}
+	}
+	for r, w := range e.Weights {
+		if w < 0 || w > 1 {
+			return fmt.Errorf("obs: %s event: rank %d weight %f outside [0,1]", e.Type, r, w)
+		}
+	}
+	for _, p := range e.Flagged {
+		if p < 0 {
+			return fmt.Errorf("obs: %s event flags negative rank %d", e.Type, p)
+		}
+		if len(e.Weights) > 0 && p >= len(e.Weights) {
+			return fmt.Errorf("obs: %s event flags rank %d outside the %d-rank weight vector", e.Type, p, len(e.Weights))
+		}
+	}
+	if e.Type == EventRebalance && len(e.Weights) == 0 {
+		return fmt.Errorf("obs: rebalance event at iter %d without weights", e.Iter)
 	}
 	if e.Type == EventPerplexity && e.Perplexity <= 0 {
 		return fmt.Errorf("obs: perplexity event at iter %d with non-positive value %f", e.Iter, e.Perplexity)

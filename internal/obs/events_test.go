@@ -86,6 +86,11 @@ func TestReadEventsRejectsMalformed(t *testing.T) {
 		{"negative rank", `{"type":"iter","rank":-1}`},
 		{"negative stage", `{"type":"iter","rank":0,"stages_ms":{"update_phi":-1}}`},
 		{"bad perplexity", `{"type":"perplexity","rank":0,"iter":5}`},
+		{"weight above 1", `{"type":"rebalance","rank":0,"weights":[1,1.5]}`},
+		{"negative weight", `{"type":"rebalance","rank":0,"weights":[-0.5,1]}`},
+		{"rebalance without weights", `{"type":"rebalance","rank":0,"iter":8}`},
+		{"flag outside weights", `{"type":"rebalance","rank":0,"weights":[1,0.5],"flagged":[2]}`},
+		{"negative flagged rank", `{"type":"rebalance","rank":0,"weights":[1,0.5],"flagged":[-1]}`},
 	}
 	for _, c := range cases {
 		if _, err := ReadEvents(strings.NewReader(c.line + "\n")); err == nil {
@@ -233,6 +238,45 @@ func TestSummarizeStageSkew(t *testing.T) {
 	}
 	if _, ok := s.StageSkew["draw_minibatch"]; ok {
 		t.Fatal("single-reporter stage draw_minibatch must not get a skew entry")
+	}
+}
+
+// TestSummarizeRestartStream: a run resumed from a checkpoint emits iter
+// events starting at the restart iteration, not 0 — the stream is legal and
+// the summary reports the base. Rebalance events fold into the counters.
+func TestSummarizeRestartStream(t *testing.T) {
+	events := []Event{
+		{Type: EventRunStart, Rank: 0, Ranks: 2, Iterations: 8},
+		{Type: EventIter, Rank: 0, Iter: 4},
+		{Type: EventIter, Rank: 1, Iter: 4},
+		{Type: EventRebalance, Rank: 0, Iter: 4, Weights: []float64{1, 0.75}, Flagged: []int{1}},
+		{Type: EventIter, Rank: 0, Iter: 5},
+		{Type: EventIter, Rank: 1, Iter: 5},
+		{Type: EventRebalance, Rank: 0, Iter: 5, Weights: []float64{1, 0.5}, Flagged: []int{1}},
+		{Type: EventRunEnd, Rank: 0, Iter: 6, ElapsedMS: 10},
+	}
+	s, err := Summarize(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StartIter != 4 || s.Iterations != 2 {
+		t.Fatalf("start/iterations = %d/%d, want 4/2", s.StartIter, s.Iterations)
+	}
+	if s.Rebalances != 2 {
+		t.Fatalf("Rebalances = %d, want 2", s.Rebalances)
+	}
+	if !reflect.DeepEqual(s.FinalWeights, []float64{1, 0.5}) {
+		t.Fatalf("FinalWeights = %v, want [1 0.5]", s.FinalWeights)
+	}
+
+	// Ranks whose streams start at different bases are still rejected.
+	if _, err := Summarize([]Event{
+		{Type: EventIter, Rank: 0, Iter: 4},
+		{Type: EventIter, Rank: 1, Iter: 0},
+		{Type: EventIter, Rank: 0, Iter: 5},
+		{Type: EventIter, Rank: 1, Iter: 1},
+	}); err == nil {
+		t.Fatal("Summarize accepted ranks with mismatched start iterations")
 	}
 }
 

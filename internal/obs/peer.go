@@ -174,9 +174,39 @@ const (
 	StragglerFloorMS = 1.0
 )
 
-// stragglerReport applies the flagging rule to a per-peer imposed-wait
-// vector.
+// stragglerReport applies the default flagging rule to a per-peer
+// imposed-wait vector.
 func stragglerReport(waits []float64) *PeerReport {
+	return StragglerWaits(waits, StragglerSkew, StragglerFloorMS)
+}
+
+// StragglerWaits applies the straggler flagging rule to a raw per-peer
+// imposed-wait vector (milliseconds): peer p is flagged when
+// waits[p] >= skew·denom and waits[p] >= floorMS, where denom is the
+// floor-clamped lower median of the vector. It is the single rule behind
+// PeerMatrix.Straggler, the stream-side Summarize verdict, and the
+// rebalancer's per-window flagging; skew/floorMS ≤ 0 select the defaults.
+//
+// Degenerate cluster sizes are explicit, not accidental:
+//
+//   - 1 rank: the imposed-wait vector is the single peer's column sum with
+//     the diagonal excluded, which is identically zero — below the floor, so
+//     nothing is ever flagged. There is no one to rebalance against.
+//   - 2 ranks: the "lower median excluding self" denominator degenerates to
+//     a single sample — the *faster* peer's imposed wait, which in a healthy
+//     run is arbitrarily close to zero. The floor clamp is what makes the
+//     rule usable here: the slow peer is compared against
+//     max(fastWait, floorMS), so a genuine straggler (wait ≥ skew·floor) is
+//     flagged, while sub-floor noise — microsecond scheduling jitter in a
+//     2-rank CI run — never is, even when the ratio between the two peers
+//     is huge. Both directions are pinned by TestStragglerTwoRanks.
+func StragglerWaits(waits []float64, skew, floorMS float64) *PeerReport {
+	if skew <= 0 {
+		skew = StragglerSkew
+	}
+	if floorMS <= 0 {
+		floorMS = StragglerFloorMS
+	}
 	rep := &PeerReport{ImposedWaitMS: waits}
 	if len(waits) == 0 {
 		return rep
@@ -186,12 +216,12 @@ func stragglerReport(waits []float64) *PeerReport {
 	rep.MedianMS = sorted[(len(sorted)-1)/2] // lower median: robust at 2 ranks
 	rep.MaxMS = sorted[len(sorted)-1]
 	denom := rep.MedianMS
-	if denom < StragglerFloorMS {
-		denom = StragglerFloorMS
+	if denom < floorMS {
+		denom = floorMS
 	}
 	rep.Skew = rep.MaxMS / denom
 	for p, w := range waits {
-		if w >= StragglerSkew*denom && w >= StragglerFloorMS {
+		if w >= skew*denom && w >= floorMS {
 			rep.Flagged = append(rep.Flagged, p)
 		}
 	}

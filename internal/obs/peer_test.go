@@ -96,3 +96,56 @@ func TestStragglerReport(t *testing.T) {
 		}
 	}
 }
+
+// TestStragglerTwoRanks pins the degenerate cluster sizes the rule's doc
+// comment promises: a single rank can never be flagged (its imposed wait is
+// identically zero), and at two ranks the floor-clamped single-sample
+// denominator flags a genuine straggler while never flagging sub-floor
+// noise, however extreme the ratio between the two peers.
+func TestStragglerTwoRanks(t *testing.T) {
+	cases := []struct {
+		name    string
+		waits   []float64
+		flagged []int
+	}{
+		// 1 rank: the recv-wait column sum excluding the diagonal is zero.
+		{"one rank never flags", []float64{0}, nil},
+		// 2 ranks, genuine straggler: wait clears skew·max(fast, floor).
+		{"genuine straggler flagged", []float64{0.2, 25}, []int{1}},
+		{"straggler in rank 0", []float64{40, 0.5}, []int{0}},
+		// Exactly at the threshold (skew 2 × floor 1ms = 2ms) still flags.
+		{"threshold boundary", []float64{0, 2}, []int{1}},
+		// Sub-floor noise: a 40× ratio between microsecond waits must NOT
+		// flag — this is the healthy 2-rank CI run.
+		{"sub-floor noise not flagged", []float64{0.002, 0.08}, nil},
+		{"just under the floor", []float64{0, 0.999}, nil},
+		// Both peers slow and balanced: skew against the (clamped) fast peer
+		// stays under the factor, so neither is flagged.
+		{"balanced slow pair", []float64{30, 45}, nil},
+		{"both zero", []float64{0, 0}, nil},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rep := StragglerWaits(c.waits, 0, 0) // ≤0 selects the defaults
+			if !reflect.DeepEqual(rep.Flagged, c.flagged) {
+				t.Fatalf("Flagged = %v, want %v (report %+v)", rep.Flagged, c.flagged, rep)
+			}
+		})
+	}
+
+	// The same verdicts must come out of the PeerMatrix path: build a 2-rank
+	// matrix where rank 0 waits 25ms on rank 1.
+	snaps := []Snapshot{
+		{Counters: map[string]int64{PeerCounterName(1, PeerRecvWaitNS): 25_000_000}},
+		{Counters: map[string]int64{PeerCounterName(0, PeerRecvWaitNS): 200_000}},
+	}
+	rep := NewPeerMatrix(snaps).Straggler()
+	if !reflect.DeepEqual(rep.Flagged, []int{1}) {
+		t.Fatalf("matrix straggler Flagged = %v, want [1]", rep.Flagged)
+	}
+	// And a 1-rank matrix never flags.
+	rep = NewPeerMatrix(snaps[:1]).Straggler()
+	if rep.Flagged != nil {
+		t.Fatalf("1-rank matrix flagged %v", rep.Flagged)
+	}
+}

@@ -162,6 +162,26 @@ func (r *RunRecorder) EvalDone(iter int, perplexity float64) {
 	})
 }
 
+// RebalanceDone emits a rebalance event: the straggler mitigation changed
+// the minibatch shares after the window ending at iteration iter. weights is
+// the share vector the next window runs with, flagged the ranks the window's
+// straggler rule flagged, and waitMS the window's per-rank imposed-wait
+// totals.
+func (r *RunRecorder) RebalanceDone(iter int, weights []float64, flagged []int, waitMS map[int]float64) {
+	r.mu.Lock()
+	elapsed := time.Since(r.start)
+	r.mu.Unlock()
+	r.emit(&Event{
+		Type:       EventRebalance,
+		Rank:       r.rank,
+		Iter:       iter,
+		Weights:    weights,
+		Flagged:    flagged,
+		PeerWaitMS: waitMS,
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+	})
+}
+
 // RunEnd emits the closing event with cumulative counters.
 func (r *RunRecorder) RunEnd(iterations int) {
 	r.mu.Lock()

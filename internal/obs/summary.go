@@ -42,20 +42,32 @@ type Summary struct {
 	// the stream carries no cache traffic (cache off).
 	CacheHitRate    float64 `json:"cache_hit_rate,omitempty"`
 	FinalPerplexity float64 `json:"final_perplexity,omitempty"`
-	ElapsedMS       float64 `json:"elapsed_ms"`
+	// StartIter is the first iteration in the stream — non-zero for a run
+	// resumed from a checkpoint, whose iter events pick up at the restart
+	// point rather than 0.
+	StartIter int `json:"start_iter,omitempty"`
+	// Rebalances counts the rebalance events (share-changing windows of the
+	// straggler mitigation); FinalWeights is the share vector of the last
+	// one.
+	Rebalances   int       `json:"rebalances,omitempty"`
+	FinalWeights []float64 `json:"final_weights,omitempty"`
+	ElapsedMS    float64   `json:"elapsed_ms"`
 }
 
 // Summarize folds a validated event stream into a Summary. It checks the
 // stream-level invariants the schema cannot express per-line: per-rank iter
-// events must be consecutive from 0, and every rank must report the same
-// iteration count. A stream with no iter events at all — a run that crashed
-// before finishing iteration 0, truncated to its run_start — is legal and
-// yields a zero-iteration Summary rather than an error.
+// events must be consecutive from a common base iteration (0 for a fresh
+// run; the restart point for a run resumed from a checkpoint), and every
+// rank must report the same base and iteration count. A stream with no iter
+// events at all — a run that crashed before finishing its first iteration,
+// truncated to its run_start — is legal and yields a zero-iteration Summary
+// rather than an error.
 func Summarize(events []Event) (*Summary, error) {
 	s := &Summary{StageMSPerIter: map[string]float64{}, Events: len(events)}
-	// Per-rank accumulation: stage sums and iteration counts.
+	// Per-rank accumulation: stage sums, first iteration, iteration counts.
 	type rankAcc struct {
 		stages map[string]float64
+		base   int
 		iters  int
 	}
 	acc := map[int]*rankAcc{}
@@ -68,12 +80,12 @@ func Summarize(events []Event) (*Summary, error) {
 		case EventIter:
 			a := acc[e.Rank]
 			if a == nil {
-				a = &rankAcc{stages: map[string]float64{}}
+				a = &rankAcc{stages: map[string]float64{}, base: e.Iter}
 				acc[e.Rank] = a
 			}
-			if e.Iter != a.iters {
+			if e.Iter != a.base+a.iters {
 				return nil, fmt.Errorf("obs: rank %d iter events not consecutive: got %d, want %d",
-					e.Rank, e.Iter, a.iters)
+					e.Rank, e.Iter, a.base+a.iters)
 			}
 			a.iters++
 			for name, ms := range e.StagesMS {
@@ -87,6 +99,9 @@ func Summarize(events []Event) (*Summary, error) {
 			}
 		case EventPerplexity:
 			s.FinalPerplexity = e.Perplexity
+		case EventRebalance:
+			s.Rebalances++
+			s.FinalWeights = e.Weights
 		case EventRunEnd:
 			if e.ElapsedMS > s.ElapsedMS {
 				s.ElapsedMS = e.ElapsedMS
@@ -99,12 +114,22 @@ func Summarize(events []Event) (*Summary, error) {
 	if lookups := s.DKV.CacheHits + s.DKV.CacheMisses; lookups > 0 {
 		s.CacheHitRate = float64(s.DKV.CacheHits) / float64(lookups)
 	}
-	for rank, a := range acc {
-		if s.Iterations == 0 {
+	first := true
+	for _, rank := range sortedKeys(acc) {
+		a := acc[rank]
+		if first {
 			s.Iterations = a.iters
-		} else if a.iters != s.Iterations {
-			return nil, fmt.Errorf("obs: rank %d reported %d iterations, others %d",
-				rank, a.iters, s.Iterations)
+			s.StartIter = a.base
+			first = false
+		} else {
+			if a.iters != s.Iterations {
+				return nil, fmt.Errorf("obs: rank %d reported %d iterations, others %d",
+					rank, a.iters, s.Iterations)
+			}
+			if a.base != s.StartIter {
+				return nil, fmt.Errorf("obs: rank %d iter events start at %d, others at %d",
+					rank, a.base, s.StartIter)
+			}
 		}
 		for name, total := range a.stages {
 			perIter := total / float64(a.iters)
