@@ -32,6 +32,7 @@ func main() {
 		seed       = flag.Uint64("seed", 42, "generator seed")
 		out        = flag.String("out", "graph.txt", "output edge-list path")
 		writeGT    = flag.Bool("groundtruth", false, "also write <out>.gt with the planted communities")
+		streamOut  = flag.Bool("stream-out", false, "stream edges to -out without building the graph in memory (custom planted mode only)")
 	)
 	flag.Parse()
 
@@ -41,6 +42,17 @@ func main() {
 			fmt.Printf("  %-24s N=%-8d E=%-9d communities=%-6d (%s)\n",
 				p.Name, p.N, p.Edges, p.Communities, p.Description)
 		}
+		return
+	}
+
+	if *streamOut {
+		if *preset != "" || *degCorr {
+			fatal(fmt.Errorf("-stream-out supports only custom planted mode (no -preset, no -degree-corrected)"))
+		}
+		cfg := gen.DefaultPlanted(*n, *k, *edges, *seed)
+		cfg.MeanMembership = *membership
+		cfg.Background = *background
+		streamGenerate(cfg, *out, *writeGT)
 		return
 	}
 
@@ -86,8 +98,49 @@ func main() {
 		if err := metrics.WriteCoverFile(path, cover); err != nil {
 			fatal(err)
 		}
+		overlap, err := gt.OverlapFraction(g.NumVertices())
+		if err != nil {
+			fatal(err)
+		}
 		fmt.Printf("wrote %s: %d communities (overlap fraction %.2f)\n",
-			path, gt.NumCommunities(), gt.OverlapFraction(g.NumVertices()))
+			path, gt.NumCommunities(), overlap)
+	}
+}
+
+// streamGenerate writes the planted graph edge-by-edge so peak memory is the
+// dedup set, not the CSR — the producer side of -pi-backend mmap training.
+func streamGenerate(cfg gen.PlantedConfig, out string, writeGT bool) {
+	tmp := out + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		fatal(err)
+	}
+	gt, edges, err := gen.PlantedStream(cfg, f)
+	if err != nil {
+		f.Close()
+		os.Remove(tmp)
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	if err := os.Rename(tmp, out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("streamed %s: %d vertices, %d edges\n", out, cfg.N, edges)
+
+	if writeGT {
+		path := out + ".gt"
+		cover := metrics.NewCover(cfg.N, gt.Members)
+		if err := metrics.WriteCoverFile(path, cover); err != nil {
+			fatal(err)
+		}
+		overlap, err := gt.OverlapFraction(cfg.N)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s: %d communities (overlap fraction %.2f)\n",
+			path, gt.NumCommunities(), overlap)
 	}
 }
 

@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -46,13 +48,45 @@ func main() {
 		metricsO = flag.String("metrics-out", "", "write the JSONL telemetry event stream to this file (- = stdout)")
 		traceOut = flag.String("trace-out", "", "write a Chrome trace-event file (Perfetto-loadable) of the iteration/stage spans at run end")
 		serveAt  = flag.String("serve", "", "answer membership queries over HTTP on this address while training (e.g. :7070)")
+		streamIn = flag.Bool("stream", false, "stream the edge list from disk (requires a '# Nodes: <n>' header; avoids the transient edge-list copy)")
+		piBack   = flag.String("pi-backend", "local", "π table backend: local (in-RAM) or mmap (sharded memory-mapped files)")
+		piDir    = flag.String("pi-dir", "", "directory for the mmap π shards (must not already hold a store; required with -pi-backend mmap)")
+		piShards = flag.Int("pi-shard-rows", store.DefaultShardRows, "rows per mmap shard file")
+		piHot    = flag.Int("pi-hot-rows", 0, "hot-row cache capacity in front of the mmap backend (0 = none)")
 	)
 	flag.Parse()
 	if *path == "" {
 		fatal(fmt.Errorf("-graph is required"))
 	}
+	outOfCore := *piBack == "mmap"
+	if *piBack != "local" && *piBack != "mmap" {
+		fatal(fmt.Errorf("-pi-backend must be local or mmap, got %q", *piBack))
+	}
+	if outOfCore {
+		if *piDir == "" {
+			fatal(fmt.Errorf("-pi-backend mmap requires -pi-dir"))
+		}
+		// These consumers materialise or post-process the full π table in RAM,
+		// which is exactly what the mmap backend exists to avoid. Use the
+		// checkpoint (-checkpoint) or the serving snapshot tier instead.
+		if *avgTail > 0 || *auc || *commOut != "" {
+			fatal(fmt.Errorf("-posterior-samples/-auc/-communities need the in-RAM backend; with -pi-backend mmap use -checkpoint and post-process"))
+		}
+	}
 
-	g, _, err := graph.ReadSNAPFile(*path)
+	var (
+		g   *graph.Graph
+		err error
+	)
+	if *streamIn {
+		src, serr := graph.OpenEdgeFile(*path)
+		if serr != nil {
+			fatal(serr)
+		}
+		g, err = graph.FromEdgeSource(src)
+	} else {
+		g, _, err = graph.ReadSNAPFile(*path)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -71,6 +105,36 @@ func main() {
 	sopts := core.SamplerOptions{
 		MinibatchPairs: *mb, NeighborCount: *neigh, Threads: *threads,
 		UniformNeighbors: *uniform, Stratified: *strat,
+	}
+	// -pi-backend mmap: π lives in sharded memory-mapped files under -pi-dir
+	// instead of one big in-RAM slab; an optional hot-row cache (-pi-hot-rows)
+	// keeps frequently-touched vertices decoded in memory.
+	var (
+		ms   *store.MmapStore
+		tier *store.TieredStore
+	)
+	if outOfCore {
+		mo := store.MmapOptions{ShardRows: *piShards, Threads: *threads}
+		ms, err = store.CreateMmap(*piDir, train.NumVertices(), *k, mo)
+		if err != nil {
+			fatal(err)
+		}
+		if err := ms.InitRows(core.ShellInit(cfg)); err != nil {
+			fatal(err)
+		}
+		if _, err := ms.Seal(); err != nil {
+			fatal(err)
+		}
+		sopts.Store = ms
+		if *piHot > 0 {
+			tier, err = store.NewTiered(ms, nil, *piHot, *threads, nil)
+			if err != nil {
+				fatal(err)
+			}
+			sopts.Store = tier
+		}
+		fmt.Printf("π backend: mmap in %s (%d rows/shard, hot cache %d rows)\n",
+			*piDir, *piShards, *piHot)
 	}
 	// The local sampler has no parameter-store traffic, so the recorder runs
 	// without a registry: stage durations and perplexity only.
@@ -117,14 +181,33 @@ func main() {
 		fatal(err)
 	}
 	if *resume != "" {
-		state, iter, err := core.LoadFileFor(*resume, cfg, train.NumVertices())
-		if err != nil {
-			fatal(err)
+		if sopts.Store != nil {
+			// Streamed restore: π rows go straight into the external store,
+			// only θ (and the derived β) pass through RAM.
+			theta, iter, err := core.LoadStoreFile(*resume, sopts.Store)
+			if err != nil {
+				fatal(err)
+			}
+			shell, err := core.NewStateShell(cfg, train.NumVertices())
+			if err != nil {
+				fatal(err)
+			}
+			copy(shell.Theta, theta)
+			shell.RefreshBeta()
+			if err := core.Resume(cfg, train, shell, iter, s); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("resumed from %s at iteration %d (streamed into %s)\n", *resume, iter, *piBack)
+		} else {
+			state, iter, err := core.LoadFileFor(*resume, cfg, train.NumVertices())
+			if err != nil {
+				fatal(err)
+			}
+			if err := core.Resume(cfg, train, state, iter, s); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("resumed from %s at iteration %d\n", *resume, iter)
 		}
-		if err := core.Resume(cfg, train, state, iter, s); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("resumed from %s at iteration %d\n", *resume, iter)
 	}
 
 	start := time.Now()
@@ -145,6 +228,19 @@ func main() {
 		}
 	}
 	fmt.Printf("trained %d iterations in %.2fs\n", *iters, time.Since(start).Seconds())
+	if tier != nil {
+		st := tier.Stats()
+		total := st.HotHits + st.HotMisses
+		rate := 0.0
+		if total > 0 {
+			rate = float64(st.HotHits) / float64(total)
+		}
+		fmt.Printf("π tier: hot %d/%d reads cached (%.1f%%), mmap hits %d\n",
+			st.HotHits, total, 100*rate, st.MmapHits)
+	}
+	if rss, ok := peakRSSKiB(); ok {
+		fmt.Printf("peak RSS: %.1f MiB\n", float64(rss)/1024)
+	}
 	if tracer != nil {
 		if err := writeTrace(*traceOut, tracer); err != nil {
 			fatal(err)
@@ -172,10 +268,25 @@ func main() {
 	}
 
 	if *ckptOut != "" {
-		if err := s.State.SaveFile(*ckptOut, s.Iteration()); err != nil {
+		if sopts.Store != nil {
+			err = core.SaveStoreFile(*ckptOut, sopts.Store, s.State.Theta, s.Iteration())
+		} else {
+			err = s.State.SaveFile(*ckptOut, s.Iteration())
+		}
+		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("checkpoint written to %s (iteration %d)\n", *ckptOut, s.Iteration())
+	}
+	// Seal the mmap store so the trained π generation is durable on disk and a
+	// later OpenMmap sees it; a crash before this point leaves the previous
+	// sealed generation intact.
+	if ms != nil {
+		gen, err := ms.Seal()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("sealed π store %s (generation %d)\n", *piDir, gen)
 	}
 
 	if *commOut != "" {
@@ -212,6 +323,30 @@ func writeTrace(path string, tr *obs.Tracer) error {
 		return err
 	}
 	return f.Close()
+}
+
+// peakRSSKiB reads the process high-water-mark RSS from /proc/self/status —
+// the number the memory-capped CI job asserts against.
+func peakRSSKiB() (int64, bool) {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0, false
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0, false
+		}
+		kib, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return kib, true
+	}
+	return 0, false
 }
 
 func fatal(err error) {

@@ -31,8 +31,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	overlap, err := truth.OverlapFraction(n)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("generated graph: %d vertices, %d edges, %.0f%% of people in >1 community\n",
-		g.NumVertices(), g.NumEdges(), 100*truth.OverlapFraction(n))
+		g.NumVertices(), g.NumEdges(), 100*overlap)
 
 	// 2. Hold out a test set for perplexity (Eqn 7 of the paper).
 	train, held, err := graph.Split(g, g.NumEdges()/20, mathx.NewRNG(8))

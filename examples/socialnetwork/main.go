@@ -33,8 +33,12 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("social network: %d users, %d friendships\n", g.NumVertices(), g.NumEdges())
+	overlap, err := truth.OverlapFraction(n)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("planted circles: %d, users in several circles: %.0f%%\n\n",
-		truth.NumCommunities(), 100*truth.OverlapFraction(n))
+		truth.NumCommunities(), 100*overlap)
 
 	train, held, err := graph.Split(g, g.NumEdges()/20, mathx.NewRNG(3))
 	if err != nil {

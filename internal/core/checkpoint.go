@@ -8,6 +8,8 @@ import (
 	"io"
 	"math"
 	"os"
+
+	"repro/internal/store"
 )
 
 // Checkpointing: the paper's convergence runs take hours (Figure 6 reports
@@ -189,6 +191,186 @@ func LoadFileFor(path string, cfg Config, n int) (*State, int, error) {
 		return nil, 0, fmt.Errorf("%w (loading %s)", err, path)
 	}
 	return state, iter, nil
+}
+
+// checkpointBatchRows bounds one store sweep batch of the streaming
+// checkpoint paths: 4096 rows ≈ 2 MB at K=128, small enough that saving a
+// larger-than-RAM table never holds more than one batch plus the Σφ vector
+// (8 bytes/vertex) in memory.
+const checkpointBatchRows = 4096
+
+// SaveStore writes the standard checkpoint format (identical bytes to
+// State.Save for the same model) by streaming rows out of an external π
+// backend in bounded batches — the out-of-core save path, which never
+// materialises a second full copy of the table. theta must be the 2K global
+// parameter vector.
+func SaveStore(w io.Writer, st store.PiStore, theta []float64, iteration int) error {
+	n, k := st.NumRows(), st.K()
+	if len(theta) != 2*k {
+		return fmt.Errorf("core: θ has %d values, want %d", len(theta), 2*k)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	hdr := make([]byte, 0, 28)
+	hdr = binary.LittleEndian.AppendUint64(hdr, checkpointMagic)
+	hdr = binary.LittleEndian.AppendUint32(hdr, checkpointVersion)
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(n))
+	hdr = binary.LittleEndian.AppendUint32(hdr, uint32(k))
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(iteration))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	// One sweep: π floats stream straight out; Σφ (8 bytes/vertex — tiny
+	// next to the 4K bytes/vertex of π) is kept for the second section.
+	sums := make([]float64, n)
+	var rows store.Rows
+	ids := make([]int32, 0, checkpointBatchRows)
+	buf := make([]byte, 8)
+	for base := 0; base < n; base += checkpointBatchRows {
+		hi := min(base+checkpointBatchRows, n)
+		ids = ids[:0]
+		for a := base; a < hi; a++ {
+			ids = append(ids, int32(a))
+		}
+		if err := st.ReadRows(ids, &rows); err != nil {
+			return fmt.Errorf("core: checkpoint sweep at vertex %d: %w", base, err)
+		}
+		for i := range ids {
+			for _, v := range rows.PiRow(i) {
+				binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+				if _, err := bw.Write(buf[:4]); err != nil {
+					return err
+				}
+			}
+			sums[base+i] = rows.PhiSum[i]
+		}
+	}
+	for _, v := range sums {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	for _, v := range theta {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveStoreFile writes a streamed checkpoint to path atomically
+// (write + rename), like State.SaveFile.
+func SaveStoreFile(path string, st store.PiStore, theta []float64, iteration int) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := SaveStore(f, st, theta, iteration); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadStoreFile restores a checkpoint into an external π backend by
+// streaming batched rows through the store's PiWriter — the mirror of
+// SaveStoreFile, again never holding the full table in memory. The file's
+// (N, K) must match dst's dimensions (ErrCheckpointShape otherwise); a file
+// shorter than the header promises fails with ErrCheckpointTruncated before
+// any row lands. Returns the θ vector and stored iteration; the caller
+// installs them in its State shell and calls RefreshBeta.
+func LoadStoreFile(path string, dst store.PiStore) (theta []float64, iteration int, err error) {
+	w, ok := dst.(store.PiWriter)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: π backend %T cannot restore verbatim rows", dst)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, 0, err
+	}
+
+	hdr := make([]byte, 28)
+	if _, err := io.ReadFull(f, hdr); err != nil {
+		return nil, 0, truncated("header", err)
+	}
+	if binary.LittleEndian.Uint64(hdr[0:]) != checkpointMagic {
+		return nil, 0, fmt.Errorf("core: not a checkpoint file")
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v != checkpointVersion {
+		return nil, 0, fmt.Errorf("core: checkpoint version %d unsupported", v)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[12:]))
+	k := int(binary.LittleEndian.Uint32(hdr[16:]))
+	iteration = int(binary.LittleEndian.Uint64(hdr[20:]))
+	if n != dst.NumRows() || k != dst.K() {
+		return nil, 0, fmt.Errorf("core: %w: checkpoint has N=%d K=%d, store is %d×%d (loading %s)",
+			ErrCheckpointShape, n, k, dst.NumRows(), dst.K(), path)
+	}
+	piOff := int64(28)
+	sumOff := piOff + int64(n)*int64(k)*4
+	thetaOff := sumOff + int64(n)*8
+	end := thetaOff + int64(k)*16
+	if st.Size() < end {
+		return nil, 0, fmt.Errorf("core: checkpoint arrays: %w: file has %d bytes, need %d",
+			ErrCheckpointTruncated, st.Size(), end)
+	}
+	if st.Size() > end {
+		return nil, 0, fmt.Errorf("core: checkpoint has trailing bytes past the N=%d K=%d arrays", n, k)
+	}
+
+	// Walk the π and Σφ sections in lockstep, one bounded batch at a time.
+	piR := bufio.NewReaderSize(io.NewSectionReader(f, piOff, sumOff-piOff), 1<<20)
+	sumR := bufio.NewReaderSize(io.NewSectionReader(f, sumOff, thetaOff-sumOff), 1<<18)
+	ids := make([]int32, 0, checkpointBatchRows)
+	pi := make([]float32, checkpointBatchRows*k)
+	sums := make([]float64, checkpointBatchRows)
+	piBuf := make([]byte, checkpointBatchRows*k*4)
+	sumBuf := make([]byte, checkpointBatchRows*8)
+	for base := 0; base < n; base += checkpointBatchRows {
+		hi := min(base+checkpointBatchRows, n)
+		rows := hi - base
+		ids = ids[:0]
+		for a := base; a < hi; a++ {
+			ids = append(ids, int32(a))
+		}
+		if _, err := io.ReadFull(piR, piBuf[:rows*k*4]); err != nil {
+			return nil, 0, truncated("π", err)
+		}
+		for i := 0; i < rows*k; i++ {
+			pi[i] = math.Float32frombits(binary.LittleEndian.Uint32(piBuf[i*4:]))
+		}
+		if _, err := io.ReadFull(sumR, sumBuf[:rows*8]); err != nil {
+			return nil, 0, truncated("Σφ", err)
+		}
+		for i := 0; i < rows; i++ {
+			sums[i] = math.Float64frombits(binary.LittleEndian.Uint64(sumBuf[i*8:]))
+		}
+		if err := w.WritePiRows(ids, pi[:rows*k], sums[:rows]); err != nil {
+			return nil, 0, fmt.Errorf("core: checkpoint restore at vertex %d: %w", base, err)
+		}
+	}
+
+	theta = make([]float64, 2*k)
+	thBuf := make([]byte, 2*k*8)
+	if _, err := f.ReadAt(thBuf, thetaOff); err != nil {
+		return nil, 0, truncated("θ", err)
+	}
+	for i := range theta {
+		theta[i] = math.Float64frombits(binary.LittleEndian.Uint64(thBuf[i*8:]))
+	}
+	return theta, iteration, nil
 }
 
 // Resume rebuilds a sampler from a saved state, continuing the step-size

@@ -67,6 +67,11 @@ type Sampler struct {
 	// (SamplerOptions.Publisher).
 	pub      *store.Publisher
 	pubEvery int
+
+	// ext is the external π backend (SamplerOptions.Store). When set, the
+	// State is a shell (nil Pi/PhiSum) and every π access goes through ext;
+	// an extra barrier stage runs ext.Flush once per iteration.
+	ext store.PiStore
 }
 
 // SamplerOptions configures NewSampler beyond the model Config.
@@ -108,6 +113,15 @@ type SamplerOptions struct {
 	// PublishEvery is the publication interval in iterations; 0 defaults to
 	// 1 (every iteration). Ignored when Publisher is nil.
 	PublishEvery int
+	// Store, when non-nil, is an external π backend (mmap, tiered, DKV) the
+	// sampler trains against instead of in-RAM State slabs — the out-of-core
+	// path. Its dimensions must match the graph and cfg.K, and it must
+	// already hold the initial rows (ShellInit(cfg) per vertex for a fresh
+	// run, or a checkpoint restore). All backends share the row codec and
+	// SetPhiRow arithmetic, so the trajectory is bit-identical to the
+	// in-RAM sampler's. Prefer TryStep over Step: store errors (a torn
+	// shard, a failed fault) are runtime conditions, not programming bugs.
+	Store store.PiStore
 }
 
 // NewSampler wires a sampler for a training graph and held-out set. held may
@@ -116,7 +130,17 @@ func NewSampler(cfg Config, g *graph.Graph, held *graph.HeldOut, opt SamplerOpti
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	state, err := NewState(cfg, g.NumVertices())
+	var state *State
+	var err error
+	if opt.Store != nil {
+		if opt.Store.NumRows() != g.NumVertices() || opt.Store.K() != cfg.K {
+			return nil, fmt.Errorf("core: external store is %d×%d, run needs %d×%d",
+				opt.Store.NumRows(), opt.Store.K(), g.NumVertices(), cfg.K)
+		}
+		state, err = NewStateShell(cfg, g.NumVertices())
+	} else {
+		state, err = NewState(cfg, g.NumVertices())
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -175,6 +199,7 @@ func NewSampler(cfg Config, g *graph.Graph, held *graph.HeldOut, opt SamplerOpti
 		tracer:    opt.Tracer,
 		pub:       opt.Publisher,
 		pubEvery:  max(opt.PublishEvery, 1),
+		ext:       opt.Store,
 	}
 	if held != nil {
 		s.eval = NewHeldOutEval(held, cfg.Delta, 0, held.Len())
@@ -193,9 +218,13 @@ func NewSampler(cfg Config, g *graph.Graph, held *graph.HeldOut, opt SamplerOpti
 	return s, nil
 }
 
-// pistore views the current State as a PiStore. Built per use so a Resume
-// that swaps the State can never leave a stale view behind.
-func (s *Sampler) pistore() *store.LocalStore {
+// pistore returns the π backend: the external store when one is configured,
+// otherwise a LocalStore view of the current State — built per use so a
+// Resume that swaps the State can never leave a stale view behind.
+func (s *Sampler) pistore() store.PiStore {
+	if s.ext != nil {
+		return s.ext
+	}
 	return store.NewLocal(s.State.Pi, s.State.PhiSum, s.Cfg.K, s.Threads)
 }
 
@@ -262,6 +291,17 @@ func (s *Sampler) buildLoop() *engine.Loop {
 			},
 		},
 	}
+	if s.ext != nil {
+		// External backends get the phase barrier the distributed engine
+		// provides through its collectives: one Flush per iteration, after
+		// all writes land. For an mmap tier this is also the residency-
+		// management hook (MmapOptions.AdviseEveryFlush counts barriers).
+		loop.Stages = append(loop.Stages, engine.Stage{
+			Reads:   []string{"pi"},
+			Barrier: true,
+			Run:     func(int) error { return s.ext.Flush() },
+		})
+	}
 	if s.pub != nil {
 		// The sequential loop has no collective barriers: a stage boundary at
 		// the end of the iteration IS the phase barrier (no writes can be in
@@ -285,7 +325,11 @@ func (s *Sampler) publishStage(t int) error {
 	if (t+1)%s.pubEvery != 0 {
 		return nil
 	}
-	snap, err := s.pistore().Snapshot(t+1, s.State.Beta)
+	sealer, ok := s.pistore().(store.Snapshotter)
+	if !ok {
+		return fmt.Errorf("core: π backend %T cannot seal snapshots", s.pistore())
+	}
+	snap, err := sealer.Snapshot(t+1, s.State.Beta)
 	if err != nil {
 		return err
 	}
@@ -297,13 +341,24 @@ func (s *Sampler) Iteration() int { return s.t }
 
 // Step executes one iteration of Algorithm 1: sample E_n; update φ and π for
 // every vertex in the minibatch; update θ and β from the minibatch pairs.
+// With the in-memory store a stage error is a programming bug, so Step
+// panics on it; out-of-core runs should use TryStep, where an I/O fault is
+// a runtime condition the caller can handle.
 func (s *Sampler) Step() {
-	// The in-memory store cannot fail; a stage error here is a programming
-	// bug, not a runtime condition the caller could handle.
-	if err := s.loop.RunIteration(s.t); err != nil {
+	if err := s.TryStep(); err != nil {
 		panic(fmt.Sprintf("core: iteration %d: %v", s.t, err))
 	}
+}
+
+// TryStep executes one iteration, returning any stage error (an external π
+// backend can genuinely fail: a torn shard, a disk fault, a lost peer). The
+// iteration counter advances only on success.
+func (s *Sampler) TryStep() error {
+	if err := s.loop.RunIteration(s.t); err != nil {
+		return err
+	}
 	s.t++
+	return nil
 }
 
 // Run executes n iterations.

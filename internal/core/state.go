@@ -52,6 +52,37 @@ func NewState(cfg Config, n int) (*State, error) {
 	return s, nil
 }
 
+// NewStateShell builds a State that holds only the global parameters (θ, β):
+// Pi and PhiSum stay nil because the π table lives in an external PiStore
+// (mmap, tiered, or DKV). The store must be populated separately with
+// InitPiRow per vertex — e.g. MmapStore.InitRows(ShellInit(cfg)) — which
+// yields exactly the rows NewState would have drawn, so a shell-backed run
+// is bit-identical to an in-RAM one.
+func NewStateShell(cfg Config, n int) (*State, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("core: N = %d, need at least 1", n)
+	}
+	s := &State{
+		N:     n,
+		K:     cfg.K,
+		Theta: InitTheta(cfg),
+		Beta:  make([]float64, cfg.K),
+	}
+	s.RefreshBeta()
+	return s, nil
+}
+
+// ShellInit adapts InitPiRow to the initRow callback shape the store
+// backends take (MmapStore.InitRows, DKVStore.InitOwned), closing over cfg.
+func ShellInit(cfg Config) func(a int, pi []float32) float64 {
+	return func(a int, pi []float32) float64 {
+		return InitPiRow(cfg, a, pi)
+	}
+}
+
 // InitPiRow draws vertex a's prior φ_a ~ Gamma(α, 1) row, stores the
 // normalised π_a into pi (length K) and returns Σφ_a. Both engines
 // initialise through this function, so a distributed shard holds exactly the

@@ -43,7 +43,11 @@ func TableII(generate bool) (string, error) {
 				return "", err
 			}
 			simE = g.NumEdges()
-			overlap = fmt.Sprintf("%.2f", gt.OverlapFraction(g.NumVertices()))
+			frac, err := gt.OverlapFraction(g.NumVertices())
+			if err != nil {
+				return "", err
+			}
+			overlap = fmt.Sprintf("%.2f", frac)
 			cc = fmt.Sprintf("%.3f", graph.ClusteringCoefficient(g, 2000, mathx.NewRNG(p.Seed+7)))
 		}
 		fmt.Fprintf(&b, "%-22s %12d %14d %10d | %9d %10d %7d %9s %9s\n",

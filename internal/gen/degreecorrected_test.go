@@ -67,7 +67,10 @@ func TestDegreeCorrectedStructure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sets := gt.MembershipSets(g.NumVertices())
+	sets, err := gt.MembershipSets(g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
 	intra, total := 0, 0
 	for v := 0; v < g.NumVertices(); v++ {
 		for _, w := range g.Neighbors(v) {

@@ -45,12 +45,18 @@ func TestPlantedOverlap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frac := gt.OverlapFraction(2000)
+	frac, err := gt.OverlapFraction(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if frac < 0.15 || frac > 0.75 {
 		t.Fatalf("overlap fraction = %v, want meaningful overlap", frac)
 	}
 	// Membership sets agree with member lists.
-	sets := gt.MembershipSets(2000)
+	sets, err := gt.MembershipSets(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	total := 0
 	for _, s := range sets {
 		total += len(s)
@@ -72,7 +78,10 @@ func TestPlantedCommunityStructureIsReal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sets := gt.MembershipSets(g.NumVertices())
+	sets, err := gt.MembershipSets(g.NumVertices())
+	if err != nil {
+		t.Fatal(err)
+	}
 	intra, cross := 0, 0
 	// Count shared-community edges.
 	for v := 0; v < g.NumVertices(); v++ {

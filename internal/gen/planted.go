@@ -11,12 +11,19 @@
 package gen
 
 import (
+	"bufio"
+	"errors"
 	"fmt"
+	"io"
 	"math"
 
 	"repro/internal/graph"
 	"repro/internal/mathx"
 )
+
+// ErrVertexRange reports a ground-truth membership naming a vertex outside
+// the graph's [0, N) id space — a corrupted or mismatched ground truth.
+var ErrVertexRange = errors.New("gen: ground-truth vertex out of range")
 
 // GroundTruth records the planted community structure of a generated graph:
 // for each community, the vertices that belong to it. Vertices may appear in
@@ -29,25 +36,35 @@ type GroundTruth struct {
 func (gt *GroundTruth) NumCommunities() int { return len(gt.Members) }
 
 // MembershipSets returns, per vertex, the set of communities it belongs to.
-func (gt *GroundTruth) MembershipSets(n int) []map[int]bool {
+// A membership outside [0, n) fails with ErrVertexRange naming the vertex
+// and community instead of indexing out of bounds.
+func (gt *GroundTruth) MembershipSets(n int) ([]map[int]bool, error) {
 	out := make([]map[int]bool, n)
 	for i := range out {
 		out[i] = map[int]bool{}
 	}
 	for k, members := range gt.Members {
 		for _, v := range members {
+			if v < 0 || int(v) >= n {
+				return nil, fmt.Errorf("%w: community %d lists vertex %d, graph has [0,%d)",
+					ErrVertexRange, k, v, n)
+			}
 			out[v][k] = true
 		}
 	}
-	return out
+	return out, nil
 }
 
 // OverlapFraction returns the fraction of vertices that belong to more than
-// one community.
-func (gt *GroundTruth) OverlapFraction(n int) float64 {
+// one community, rejecting out-of-range memberships like MembershipSets.
+func (gt *GroundTruth) OverlapFraction(n int) (float64, error) {
 	counts := make([]int, n)
-	for _, members := range gt.Members {
+	for k, members := range gt.Members {
 		for _, v := range members {
+			if v < 0 || int(v) >= n {
+				return 0, fmt.Errorf("%w: community %d lists vertex %d, graph has [0,%d)",
+					ErrVertexRange, k, v, n)
+			}
 			counts[v]++
 		}
 	}
@@ -58,9 +75,9 @@ func (gt *GroundTruth) OverlapFraction(n int) float64 {
 		}
 	}
 	if n == 0 {
-		return 0
+		return 0, nil
 	}
-	return float64(over) / float64(n)
+	return float64(over) / float64(n), nil
 }
 
 // PlantedConfig parameterises the overlapping planted-community generator.
@@ -104,12 +121,94 @@ func (c PlantedConfig) validate() error {
 	return nil
 }
 
+// edgeSink receives the generator's edge stream. AddEdge must implement
+// graph.Builder semantics exactly — reject self-loops, duplicates, and
+// out-of-range endpoints, reporting acceptance — because the rejection-
+// sampling loops below consume RNG draws conditioned on those return
+// values: two sinks with identical semantics see the identical edge
+// sequence for a given seed, which is what makes the streamed output
+// byte-equivalent to the in-memory graph.
+type edgeSink interface {
+	AddEdge(a, b int) bool
+}
+
 // Planted generates an undirected graph with overlapping planted communities
 // and returns it together with the ground truth. The expected edge count is
 // approximately cfg.TargetEdges; the realised count varies binomially.
 func Planted(cfg PlantedConfig) (*graph.Graph, *GroundTruth, error) {
-	if err := cfg.validate(); err != nil {
+	b := graph.NewBuilder(cfg.N)
+	gt, err := plantedEdges(cfg, b)
+	if err != nil {
 		return nil, nil, err
+	}
+	return b.Finalize(), gt, nil
+}
+
+// PlantedStream runs the same generator but emits the accepted edges to w as
+// SNAP-format lines under a `# Nodes: <n>` header instead of materialising a
+// graph — the exact input graph.OpenEdgeFile consumes. Per-edge state is one
+// deduplication set (≈11 bytes/edge); for a given cfg the emitted edge set
+// is identical to the graph Planted builds. Returns the ground truth and the
+// number of edges written.
+func PlantedStream(cfg PlantedConfig, w io.Writer) (*GroundTruth, int, error) {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := fmt.Fprintf(bw, "# planted N=%d K=%d seed=%d\n# Nodes: %d\n",
+		cfg.N, cfg.NumCommunities, cfg.Seed, cfg.N); err != nil {
+		return nil, 0, err
+	}
+	sink := &streamEdgeSink{n: cfg.N, set: graph.NewEdgeSet(cfg.TargetEdges), w: bw}
+	gt, err := plantedEdges(cfg, sink)
+	if err != nil {
+		return nil, 0, err
+	}
+	if sink.err != nil {
+		return nil, 0, sink.err
+	}
+	// Trailing summary comment: readers ignore it, humans and sanity checks
+	// get the realised edge count without rescanning.
+	if _, err := fmt.Fprintf(bw, "# Edges: %d\n", sink.count); err != nil {
+		return nil, 0, err
+	}
+	if err := bw.Flush(); err != nil {
+		return nil, 0, err
+	}
+	return gt, sink.count, nil
+}
+
+// streamEdgeSink mirrors graph.Builder's AddEdge contract while writing each
+// accepted edge straight to the output. A write failure is stashed and the
+// sink keeps deduplicating so the generator's RNG path stays well-defined;
+// PlantedStream surfaces the error at the end.
+type streamEdgeSink struct {
+	n     int
+	set   graph.EdgeSet
+	w     *bufio.Writer
+	count int
+	err   error
+}
+
+func (s *streamEdgeSink) AddEdge(a, b int) bool {
+	if a == b || a < 0 || b < 0 || a >= s.n || b >= s.n {
+		return false
+	}
+	e := graph.Edge{A: int32(a), B: int32(b)}.Canon()
+	if !s.set.Add(e) {
+		return false
+	}
+	s.count++
+	if s.err == nil {
+		if _, err := fmt.Fprintf(s.w, "%d\t%d\n", e.A, e.B); err != nil {
+			s.err = err
+		}
+	}
+	return true
+}
+
+// plantedEdges is the generator core shared by Planted and PlantedStream:
+// community assignment, per-community edge sampling, background noise.
+func plantedEdges(cfg PlantedConfig, b edgeSink) (*GroundTruth, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	rng := mathx.NewRNG(cfg.Seed)
 
@@ -159,7 +258,6 @@ func Planted(cfg PlantedConfig) (*graph.Graph, *GroundTruth, error) {
 			sizeSum += float64(len(m))
 		}
 	}
-	b := graph.NewBuilder(cfg.N)
 	for c, m := range members {
 		n := len(m)
 		if n < 2 || sizeSum == 0 {
@@ -188,14 +286,14 @@ func Planted(cfg PlantedConfig) (*graph.Graph, *GroundTruth, error) {
 		}
 	}
 
-	return b.Finalize(), &GroundTruth{Members: members}, nil
+	return &GroundTruth{Members: members}, nil
 }
 
 // sampleCommunityEdges adds each of the n·(n-1)/2 pairs inside the community
 // independently with probability p. For small p it samples the number of
 // edges binomially and picks distinct pairs by rejection, which is O(edges)
 // rather than O(pairs).
-func sampleCommunityEdges(b *graph.Builder, m []int32, p float64, rng *mathx.RNG) {
+func sampleCommunityEdges(b edgeSink, m []int32, p float64, rng *mathx.RNG) {
 	n := len(m)
 	pairs := n * (n - 1) / 2
 	if p >= 0.3 {

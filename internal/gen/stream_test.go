@@ -1,0 +1,124 @@
+package gen
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The streamed generator must be indistinguishable from the in-memory one:
+// same cfg → same ground truth and the exact same edge set, because the sink
+// replicates graph.Builder's accept/reject semantics and the rejection
+// sampling consumes RNG conditioned on those return values.
+func TestPlantedStreamMatchesPlanted(t *testing.T) {
+	cfg := DefaultPlanted(1200, 12, 9000, 17)
+	cfg.MeanMembership = 1.4
+
+	want, gtWant, err := Planted(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	gtGot, count, err := PlantedStream(cfg, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != want.NumEdges() {
+		t.Fatalf("streamed %d edges, in-memory graph has %d", count, want.NumEdges())
+	}
+	if len(gtGot.Members) != len(gtWant.Members) {
+		t.Fatalf("communities: %d vs %d", len(gtGot.Members), len(gtWant.Members))
+	}
+	for k := range gtWant.Members {
+		a, b := gtWant.Members[k], gtGot.Members[k]
+		if len(a) != len(b) {
+			t.Fatalf("community %d: %d vs %d members", k, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("community %d member %d: %d vs %d", k, i, b[i], a[i])
+			}
+		}
+	}
+
+	// Round-trip the stream through the file loader and compare adjacency.
+	path := filepath.Join(t.TempDir(), "planted.snap")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := graph.OpenEdgeFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumVertices() != cfg.N {
+		t.Fatalf("header declares %d vertices, want %d", src.NumVertices(), cfg.N)
+	}
+	got, err := graph.FromEdgeSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got.NumEdges() != want.NumEdges() {
+		t.Fatalf("edges: %d vs %d", got.NumEdges(), want.NumEdges())
+	}
+	for v := 0; v < cfg.N; v++ {
+		nw, ng := want.Neighbors(v), got.Neighbors(v)
+		if len(nw) != len(ng) {
+			t.Fatalf("vertex %d: degree %d vs %d", v, len(ng), len(nw))
+		}
+		for i := range nw {
+			if nw[i] != ng[i] {
+				t.Fatalf("vertex %d adjacency differs", v)
+			}
+		}
+	}
+}
+
+func TestPlantedStreamHeader(t *testing.T) {
+	var buf bytes.Buffer
+	if _, _, err := PlantedStream(DefaultPlanted(100, 4, 300, 3), &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(buf.String(), "\n", 3)
+	if !strings.HasPrefix(lines[0], "# planted N=100 K=4") {
+		t.Fatalf("first line %q", lines[0])
+	}
+	if lines[1] != "# Nodes: 100" {
+		t.Fatalf("second line %q", lines[1])
+	}
+	if !strings.Contains(buf.String(), "# Edges: ") {
+		t.Fatal("no trailing edge-count comment")
+	}
+}
+
+func TestPlantedStreamRejectsBadConfig(t *testing.T) {
+	var buf bytes.Buffer
+	if _, _, err := PlantedStream(PlantedConfig{N: 1}, &buf); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestGroundTruthVertexRange(t *testing.T) {
+	gt := &GroundTruth{Members: [][]int32{{0, 1, 5}}}
+	if _, err := gt.MembershipSets(4); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("MembershipSets err = %v, want ErrVertexRange", err)
+	}
+	if _, err := gt.OverlapFraction(4); !errors.Is(err, ErrVertexRange) {
+		t.Fatalf("OverlapFraction err = %v, want ErrVertexRange", err)
+	}
+	if _, err := gt.MembershipSets(6); err != nil {
+		t.Fatalf("in-range rejected: %v", err)
+	}
+	neg := &GroundTruth{Members: [][]int32{{-1}}}
+	if _, err := neg.MembershipSets(4); !errors.Is(err, ErrVertexRange) {
+		t.Fatal("negative vertex accepted")
+	}
+}

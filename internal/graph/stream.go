@@ -1,0 +1,215 @@
+package graph
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Streaming graph construction: the out-of-core loader path. ReadSNAP
+// materialises every edge twice (an []Edge plus the builder's copy) before
+// the CSR exists; at the scales the mmap π backend targets that transient
+// alone can exceed the memory cap. An EdgeSource instead streams edges from
+// disk, and FromEdgeSource builds the CSR with the edge set as the ONLY
+// per-edge memory — no []Edge, no id-remap map (dense ids are part of the
+// contract), and the adjacency fill iterates the deduplicated set rather
+// than a second file pass.
+
+// ErrVertexRange reports an edge endpoint outside the declared [0, N) dense
+// id space.
+var ErrVertexRange = errors.New("vertex id out of range")
+
+// EdgeSource is a re-iterable stream of undirected edges over a dense
+// [0, N) vertex id space. ForEach may be called multiple times and must
+// yield the same edges each time (duplicates and self-loops are permitted;
+// consumers deduplicate). fn returning an error aborts the iteration.
+type EdgeSource interface {
+	NumVertices() int
+	ForEach(fn func(Edge) error) error
+}
+
+// EdgeFile is an EdgeSource over a SNAP-style edge list on disk whose header
+// declares the vertex count (`# Nodes: <n>`, as WriteSNAP and the streaming
+// generator emit). Vertex ids must already be dense in [0, n) — unlike
+// ReadSNAP there is no remap table, which is what keeps the loader's memory
+// independent of N. Each ForEach opens and scans the file anew.
+type EdgeFile struct {
+	path string
+	n    int
+}
+
+// OpenEdgeFile validates the header of path and returns the re-iterable
+// source. The edge lines are not scanned until ForEach.
+func OpenEdgeFile(path string) (*EdgeFile, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	n, err := scanNodesHeader(f)
+	if err != nil {
+		return nil, fmt.Errorf("graph: %s: %w", path, err)
+	}
+	return &EdgeFile{path: path, n: n}, nil
+}
+
+// scanNodesHeader reads comment lines until it finds `# Nodes: <n>`; an edge
+// line (or EOF) before the directive is an error, because without N the
+// dense-id contract cannot be checked.
+func scanNodesHeader(r io.Reader) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if !strings.HasPrefix(line, "#") {
+			break
+		}
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+		if !strings.HasPrefix(rest, "Nodes:") {
+			continue
+		}
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return 0, fmt.Errorf("malformed Nodes header %q", line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 1 {
+			return 0, fmt.Errorf("malformed Nodes header %q", line)
+		}
+		return n, nil
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("no '# Nodes: <n>' header (streaming loads need the vertex count up front)")
+}
+
+// NumVertices implements EdgeSource.
+func (ef *EdgeFile) NumVertices() int { return ef.n }
+
+// ForEach implements EdgeSource: one sequential scan of the file. Self-loop
+// lines are skipped (matching ReadSNAP); an endpoint outside [0, n) fails
+// with ErrVertexRange naming the line.
+func (ef *EdgeFile) ForEach(fn func(Edge) error) error {
+	f, err := os.Open(ef.path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return fmt.Errorf("graph: %s line %d: want two fields, got %q", ef.path, lineNo, line)
+		}
+		a, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("graph: %s line %d: %v", ef.path, lineNo, err)
+		}
+		b, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("graph: %s line %d: %v", ef.path, lineNo, err)
+		}
+		if a == b {
+			continue
+		}
+		if a < 0 || b < 0 || a >= int64(ef.n) || b >= int64(ef.n) {
+			return fmt.Errorf("graph: %s line %d: edge (%d,%d): %w [0,%d)",
+				ef.path, lineNo, a, b, ErrVertexRange, ef.n)
+		}
+		if err := fn(Edge{int32(a), int32(b)}); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// SliceSource adapts an in-memory edge slice to EdgeSource; used by tests
+// and by generators that already hold their edges.
+type SliceSource struct {
+	N     int
+	Edges []Edge
+}
+
+// NumVertices implements EdgeSource.
+func (s SliceSource) NumVertices() int { return s.N }
+
+// ForEach implements EdgeSource.
+func (s SliceSource) ForEach(fn func(Edge) error) error {
+	for _, e := range s.Edges {
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FromEdgeSource builds the immutable Graph from a stream in one pass plus
+// an in-memory sweep: the source is scanned once, deduplicating into the
+// edge set while accumulating degrees, then the adjacency arrays are filled
+// by iterating the set itself. Peak memory is the finished graph plus the
+// set — no transient edge list, no remap table.
+func FromEdgeSource(src EdgeSource) (*Graph, error) {
+	n := src.NumVertices()
+	if n < 1 {
+		return nil, fmt.Errorf("graph: edge source declares %d vertices", n)
+	}
+	set := NewEdgeSet(16)
+	deg := make([]int32, n+1)
+	err := src.ForEach(func(e Edge) error {
+		if e.A == e.B {
+			return nil
+		}
+		if e.A < 0 || e.B < 0 || int(e.A) >= n || int(e.B) >= n {
+			return fmt.Errorf("graph: edge (%d,%d): %w [0,%d)", e.A, e.B, ErrVertexRange, n)
+		}
+		if set.Add(e) {
+			c := e.Canon()
+			deg[c.A+1]++
+			deg[c.B+1]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		deg[i+1] += deg[i]
+	}
+	offsets := deg
+	m := set.Len()
+	neigh := make([]int32, 2*m)
+	cursor := make([]int32, n)
+	set.Each(func(e Edge) {
+		neigh[offsets[e.A]+cursor[e.A]] = e.B
+		cursor[e.A]++
+		neigh[offsets[e.B]+cursor[e.B]] = e.A
+		cursor[e.B]++
+	})
+	for v := 0; v < n; v++ {
+		row := neigh[offsets[v]:offsets[v+1]]
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+	}
+	return &Graph{
+		n:       n,
+		offsets: offsets,
+		neigh:   neigh,
+		edges:   set,
+		m:       m,
+	}, nil
+}

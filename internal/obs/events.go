@@ -33,6 +33,16 @@ const (
 	CtrCacheEvictions     = "store.cache_evictions"
 	CtrCacheInvalidations = "store.cache_invalidations"
 
+	// Tiered π store traffic: per read, exactly one tier serves each row.
+	// hot_misses counts rows that fell past the in-RAM cache; mmap_misses
+	// counts rows that also fell past the local mmap tier (i.e. went remote).
+	CtrTierHotHits      = "store.tier.hot_hits"
+	CtrTierHotMisses    = "store.tier.hot_misses"
+	CtrTierMmapHits     = "store.tier.mmap_hits"
+	CtrTierMmapMisses   = "store.tier.mmap_misses"
+	CtrTierRemoteHits   = "store.tier.remote_hits"
+	CtrTierRemoteMisses = "store.tier.remote_misses"
+
 	// Straggler-mitigation counters, maintained at the master by the
 	// distributed engine's reshard stage: windows observed, windows that
 	// changed the share weights, and total rank-window straggler flags.

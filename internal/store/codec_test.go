@@ -1,0 +1,116 @@
+package store
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestDecodeRowShortInput pins the torn-value fix: DecodeRow must reject
+// every truncation length below RowBytes(k) with the typed ErrShortRow —
+// including the section boundaries (empty, mid-π, exactly at the π/Σφ seam,
+// and mid-Σφ) that previously sliced out of range.
+func TestDecodeRowShortInput(t *testing.T) {
+	const k = 5
+	full := make([]byte, RowBytes(k))
+	if err := EncodeRow(full, []float64{1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	pi := make([]float32, k)
+	for n := 0; n < RowBytes(k); n++ {
+		sum, err := DecodeRow(full[:n], pi)
+		if !errors.Is(err, ErrShortRow) {
+			t.Fatalf("len %d: err=%v, want ErrShortRow", n, err)
+		}
+		if sum != 0 {
+			t.Fatalf("len %d: partial Σφ=%v leaked from failed decode", n, sum)
+		}
+	}
+	// The exact length still decodes.
+	if _, err := DecodeRow(full, pi); err != nil {
+		t.Fatalf("full row rejected: %v", err)
+	}
+}
+
+// TestEncodeRowDegenerate pins the zero-sum φ fix at the codec layer: a row
+// whose mass is zero (or non-finite) must fail typed, with dst untouched.
+func TestEncodeRowDegenerate(t *testing.T) {
+	const k = 3
+	cases := map[string][]float64{
+		"zero":    {0, 0, 0},
+		"nan":     {1, math.NaN(), 1},
+		"posinf":  {1, math.Inf(1), 1},
+		"neginf":  {math.Inf(-1), 1, 1},
+		"cancels": {1, -1, 0},
+	}
+	for name, phi := range cases {
+		buf := make([]byte, RowBytes(k))
+		for i := range buf {
+			buf[i] = 0xAB
+		}
+		if err := EncodeRow(buf, phi); !errors.Is(err, ErrDegenerateRow) {
+			t.Fatalf("%s: err=%v, want ErrDegenerateRow", name, err)
+		}
+		for i, b := range buf {
+			if b != 0xAB {
+				t.Fatalf("%s: dst[%d] clobbered by failed encode", name, i)
+			}
+		}
+	}
+}
+
+// TestLocalStoreDegenerateRow pins the end-to-end behaviour on the in-RAM
+// backend: the error names the vertex, valid sibling rows in the same batch
+// still land, and the degenerate row's previous value is preserved.
+func TestLocalStoreDegenerateRow(t *testing.T) {
+	const n, k = 8, 3
+	ls := NewLocal(make([]float32, n*k), make([]float64, n), k, 1)
+	if err := ls.WriteRows([]int32{2, 5}, []float64{1, 1, 2, 3, 2, 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	err := ls.WriteRows([]int32{2, 5}, []float64{0, 0, 0, 7, 7, 7})
+	if !errors.Is(err, ErrDegenerateRow) {
+		t.Fatalf("zero-sum φ row accepted: %v", err)
+	}
+	if !strings.Contains(err.Error(), "vertex 2") {
+		t.Fatalf("error %q does not name vertex 2", err)
+	}
+
+	var rows Rows
+	if err := ls.ReadRows([]int32{2, 5}, &rows); err != nil {
+		t.Fatal(err)
+	}
+	_, oldSum := refWrite([]float64{1, 1, 2})
+	if rows.PhiSum[0] != oldSum {
+		t.Fatalf("degenerate write clobbered row 2: Σφ=%v, want %v", rows.PhiSum[0], oldSum)
+	}
+	_, newSum := refWrite([]float64{7, 7, 7})
+	if rows.PhiSum[1] != newSum {
+		t.Fatalf("valid row 5 skipped alongside degenerate row: Σφ=%v, want %v", rows.PhiSum[1], newSum)
+	}
+}
+
+// TestDKVStoreDegenerateRow pins the same contract on the distributed
+// backend, for both a locally-owned and a remote vertex.
+func TestDKVStoreDegenerateRow(t *testing.T) {
+	const n, k = 20, 3
+	twoRankStores(t, n, k, 0, func(s *DKVStore) {
+		for _, vertex := range []int32{2, 17} { // rank 0 owns 2, rank 1 owns 17
+			err := s.WriteRows([]int32{vertex}, []float64{0, 0, 0})
+			if !errors.Is(err, ErrDegenerateRow) {
+				t.Fatalf("vertex %d: zero-sum φ row accepted: %v", vertex, err)
+			}
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			// The stored row keeps its initial value.
+			var rows Rows
+			if err := s.ReadRows([]int32{vertex}, &rows); err != nil {
+				t.Fatal(err)
+			}
+			checkInitRow(t, &rows, 0, vertex, k)
+		}
+	})
+}

@@ -238,8 +238,15 @@ func (s *DKVStore) cacheLookup(id int32, dst *Rows, i int) bool {
 		s.misses.Inc()
 		return false
 	}
+	// Cached values are always full rows (inserted from validated fetches),
+	// so a decode failure here cannot happen; treat it as a miss defensively.
+	sum, err := DecodeRow(raw, dst.PiRow(i))
+	if err != nil {
+		s.misses.Inc()
+		return false
+	}
 	s.hits.Inc()
-	dst.PhiSum[i] = DecodeRow(raw, dst.PiRow(i))
+	dst.PhiSum[i] = sum
 	return true
 }
 
@@ -297,15 +304,24 @@ func (p *dkvPending) Wait() error {
 	s := p.store
 	rb := RowBytes(s.k)
 	raw := p.dst.raw
+	var errs errCollector
 	par.For(len(p.missIDs), s.threads, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			pos := i
 			if p.missPos != nil {
 				pos = p.missPos[i]
 			}
-			p.dst.PhiSum[pos] = DecodeRow(raw[i*rb:(i+1)*rb], p.dst.PiRow(pos))
+			sum, err := DecodeRow(raw[i*rb:(i+1)*rb], p.dst.PiRow(pos))
+			if err != nil {
+				errs.set(fmt.Errorf("store: key %d: %w", p.missIDs[i], err))
+				continue
+			}
+			p.dst.PhiSum[pos] = sum
 		}
 	})
+	if p.err = errs.get(); p.err != nil {
+		return p.err
+	}
 	if s.cacheCfg.Rows > 0 {
 		for i, id := range p.missIDs {
 			if !s.owned(id) {
@@ -373,11 +389,17 @@ func (s *DKVStore) WriteRows(ids []int32, phi []float64) error {
 	}
 	rb := RowBytes(s.k)
 	values := make([]byte, len(ids)*rb)
+	var errs errCollector
 	par.For(len(ids), s.threads, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			EncodeRow(values[i*rb:(i+1)*rb], phi[i*s.k:(i+1)*s.k])
+			if err := EncodeRow(values[i*rb:(i+1)*rb], phi[i*s.k:(i+1)*s.k]); err != nil {
+				errs.set(fmt.Errorf("store: vertex %d: %w", ids[i], err))
+			}
 		}
 	})
+	if err := errs.get(); err != nil {
+		return err
+	}
 	if s.cacheCfg.Rows > 0 {
 		s.mu.Lock()
 		for _, id := range ids {

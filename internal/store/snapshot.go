@@ -105,7 +105,9 @@ func (s *DKVStore) Snapshot(version int, beta []float64) (*Snapshot, error) {
 			return nil, fmt.Errorf("store: snapshot gather at key %d: %w", base, err)
 		}
 		for i, a := range keys {
-			DecodeRow(raw[i*rb:(i+1)*rb], snap.Pi[int(a)*s.k:(int(a)+1)*s.k])
+			if _, err := DecodeRow(raw[i*rb:(i+1)*rb], snap.Pi[int(a)*s.k:(int(a)+1)*s.k]); err != nil {
+				return nil, fmt.Errorf("store: snapshot gather key %d: %w", a, err)
+			}
 		}
 	}
 	snap.SealedAt = time.Now()

@@ -23,11 +23,36 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/par"
 )
+
+// Typed row-codec failures, matchable with errors.Is:
+//
+//   - ErrDegenerateRow: a φ row whose sum is zero or non-finite. Dividing by
+//     it would write NaN/±Inf π that silently poisons every later read — the
+//     store surfaces the row instead of normalising it. WriteRows on every
+//     backend wraps this with the offending vertex id.
+//   - ErrShortRow: a wire/file value shorter than RowBytes(K) — a truncated
+//     DKV response or a torn shard file. Decoding it would index past the
+//     buffer; the store returns the typed error instead of panicking.
+var (
+	ErrDegenerateRow = errors.New("degenerate phi row")
+	ErrShortRow      = errors.New("short row value")
+)
+
+// checkRowSum validates a φ row sum before it becomes a divisor; the error
+// wraps ErrDegenerateRow.
+func checkRowSum(sum float64) error {
+	if sum == 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+		return fmt.Errorf("%w: Σφ = %v", ErrDegenerateRow, sum)
+	}
+	return nil
+}
 
 // Rows is the decoded destination buffer for a batched read: n π rows of K
 // float32 entries each, plus the matching Σφ sums. Buffers are reused across
@@ -116,13 +141,49 @@ func ReadsAreLocal(ps PiStore) bool {
 // the float64 Σφ.
 func RowBytes(k int) int { return 4*k + 8 }
 
+// PiWriter is an optional PiStore capability: backends that can store
+// already-normalised (π, Σφ) rows verbatim — no SetPhiRow renormalisation —
+// implement it. It is the restore primitive behind streamed checkpoint loads
+// and initial population, where the values on disk ARE the quantised rows and
+// must land bit-identically.
+type PiWriter interface {
+	// WritePiRows stores len(ids) rows: pi is row-major len(ids)×K, phiSum
+	// one Σφ per row.
+	WritePiRows(ids []int32, pi []float32, phiSum []float64) error
+}
+
+// errCollector keeps the first error reported from a parallel loop.
+type errCollector struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errCollector) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errCollector) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
 // EncodeRow writes π (derived from phi) and Σφ into dst (RowBytes long),
 // mirroring core.State.SetPhiRow's arithmetic so all backends quantise to
-// float32 identically.
-func EncodeRow(dst []byte, phi []float64) {
+// float32 identically. A zero or non-finite Σφ is refused with
+// ErrDegenerateRow (dst is left untouched) instead of silently writing
+// NaN/±Inf π.
+func EncodeRow(dst []byte, phi []float64) error {
 	var sum float64
 	for _, v := range phi {
 		sum += v
+	}
+	if err := checkRowSum(sum); err != nil {
+		return err
 	}
 	inv := 1 / sum
 	off := 0
@@ -131,6 +192,7 @@ func EncodeRow(dst []byte, phi []float64) {
 		off += 4
 	}
 	putF64(dst[off:], sum)
+	return nil
 }
 
 // EncodeRowPi writes an already-normalised π row plus Σφ; used for initial
@@ -145,14 +207,19 @@ func EncodeRowPi(dst []byte, pi []float32, phiSum float64) {
 }
 
 // DecodeRow splits a wire value into its π row (into pi, length K) and
-// returns Σφ.
-func DecodeRow(src []byte, pi []float32) float64 {
+// returns Σφ. A buffer shorter than RowBytes(K) — a truncated DKV response or
+// a torn shard file — fails with ErrShortRow instead of indexing past src.
+func DecodeRow(src []byte, pi []float32) (float64, error) {
+	if len(src) < RowBytes(len(pi)) {
+		return 0, fmt.Errorf("%w: %d bytes, need %d for K=%d",
+			ErrShortRow, len(src), RowBytes(len(pi)), len(pi))
+	}
 	off := 0
 	for i := range pi {
 		pi[i] = getF32(src[off:])
 		off += 4
 	}
-	return getF64(src[off:])
+	return getF64(src[off:]), nil
 }
 
 func putF32(b []byte, v float32) {
@@ -246,7 +313,10 @@ func (s *LocalStore) ReadRowsAsync(ids []int32, dst *Rows) (Pending, error) {
 	return donePending{}, nil
 }
 
-// WriteRows implements PiStore with core.State.SetPhiRow's arithmetic.
+// WriteRows implements PiStore with core.State.SetPhiRow's arithmetic. A
+// degenerate row (zero or non-finite Σφ) fails with ErrDegenerateRow naming
+// the vertex; the degenerate row itself is not written, so the store never
+// holds NaN/±Inf π.
 func (s *LocalStore) WriteRows(ids []int32, phi []float64) error {
 	if len(phi) != len(ids)*s.k {
 		return fmt.Errorf("store: phi has %d values, want %d", len(phi), len(ids)*s.k)
@@ -254,12 +324,17 @@ func (s *LocalStore) WriteRows(ids []int32, phi []float64) error {
 	if err := s.checkIDs(ids); err != nil {
 		return err
 	}
+	var errs errCollector
 	par.For(len(ids), s.threads, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			row := phi[i*s.k : (i+1)*s.k]
 			var sum float64
 			for _, v := range row {
 				sum += v
+			}
+			if err := checkRowSum(sum); err != nil {
+				errs.set(fmt.Errorf("store: vertex %d: %w", ids[i], err))
+				continue
 			}
 			a := int(ids[i])
 			s.phiSum[a] = sum
@@ -270,6 +345,25 @@ func (s *LocalStore) WriteRows(ids []int32, phi []float64) error {
 			}
 		}
 	})
+	return errs.get()
+}
+
+// WritePiRows implements PiWriter: already-normalised rows are stored as is
+// (plain copies, no renormalisation) — the restore path of a streamed
+// checkpoint load.
+func (s *LocalStore) WritePiRows(ids []int32, pi []float32, phiSum []float64) error {
+	if len(pi) != len(ids)*s.k || len(phiSum) != len(ids) {
+		return fmt.Errorf("store: pi/phiSum have %d/%d values, want %d/%d",
+			len(pi), len(phiSum), len(ids)*s.k, len(ids))
+	}
+	if err := s.checkIDs(ids); err != nil {
+		return err
+	}
+	for i, id := range ids {
+		a := int(id)
+		copy(s.pi[a*s.k:(a+1)*s.k], pi[i*s.k:(i+1)*s.k])
+		s.phiSum[a] = phiSum[i]
+	}
 	return nil
 }
 
@@ -283,4 +377,5 @@ func (s *LocalStore) ReadsAreLocal() bool { return true }
 var (
 	_ PiStore     = (*LocalStore)(nil)
 	_ LocalReader = (*LocalStore)(nil)
+	_ PiWriter    = (*LocalStore)(nil)
 )

@@ -11,9 +11,14 @@ func TestRowCodecRoundTrip(t *testing.T) {
 	const k = 7
 	phi := []float64{0.5, 1.25, 3, 0.125, 2, 0.75, 1}
 	buf := make([]byte, RowBytes(k))
-	EncodeRow(buf, phi)
+	if err := EncodeRow(buf, phi); err != nil {
+		t.Fatal(err)
+	}
 	pi := make([]float32, k)
-	sum := DecodeRow(buf, pi)
+	sum, err := DecodeRow(buf, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
 	var wantSum float64
 	for _, v := range phi {
 		wantSum += v
@@ -35,7 +40,11 @@ func TestEncodeRowPiRoundTrip(t *testing.T) {
 	buf := make([]byte, RowBytes(k))
 	EncodeRowPi(buf, pi, 42.5)
 	got := make([]float32, k)
-	if sum := DecodeRow(buf, got); sum != 42.5 {
+	sum, err := DecodeRow(buf, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum != 42.5 {
 		t.Fatalf("Σφ = %v, want 42.5", sum)
 	}
 	for i := range pi {

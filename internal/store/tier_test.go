@@ -1,0 +1,316 @@
+package store
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// tierFixture: an mmap base of baseN rows plus (optionally) a LocalStore
+// remote of remoteN rows, both initialised with the deterministic row
+// pattern checkInitRow expects in GLOBAL id space.
+func tierFixture(t *testing.T, baseN, remoteN, k, hotRows int, reg *obs.Registry) *TieredStore {
+	t.Helper()
+	base, err := CreateMmap(t.TempDir(), baseN, k, MmapOptions{ShardRows: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { base.Close() })
+	if err := base.InitRows(func(a int, pi []float32) float64 {
+		for j := range pi {
+			pi[j] = float32(a*10 + j)
+		}
+		return float64(a)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := base.Seal(); err != nil {
+		t.Fatal(err)
+	}
+	var remote PiStore
+	if remoteN > 0 {
+		ls := NewLocal(make([]float32, remoteN*k), make([]float64, remoteN), k, 1)
+		for a := 0; a < remoteN; a++ {
+			global := baseN + a
+			pi := make([]float32, k)
+			for j := range pi {
+				pi[j] = float32(global*10 + j)
+			}
+			if err := ls.WritePiRows([]int32{int32(a)}, pi, []float64{float64(global)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		remote = ls
+	}
+	tier, err := NewTiered(base, remote, hotRows, 1, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tier
+}
+
+func TestTieredStoreSingleNode(t *testing.T) {
+	const n, k = 64, 3
+	tier := tierFixture(t, n, 0, k, 8, nil)
+	if tier.NumRows() != n || tier.K() != k {
+		t.Fatalf("dims %d×%d, want %d×%d", tier.NumRows(), tier.K(), n, k)
+	}
+	if !ReadsAreLocal(tier) {
+		t.Fatal("remote-less tier over mmap must report local reads")
+	}
+
+	ids := []int32{3, 17, 42}
+	var rows Rows
+	if err := tier.ReadRows(ids, &rows); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range ids {
+		checkInitRow(t, &rows, i, a, k)
+	}
+
+	// Writes take SetPhiRow arithmetic and invalidate the hot entry.
+	phi := []float64{1, 2, 5}
+	if err := tier.WriteRows([]int32{17}, phi); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.ReadRows([]int32{17}, &rows); err != nil {
+		t.Fatal(err)
+	}
+	wantPi, wantSum := refWrite(phi)
+	if math.Float64bits(rows.PhiSum[0]) != math.Float64bits(wantSum) ||
+		math.Float32bits(rows.PiRow(0)[0]) != math.Float32bits(wantPi[0]) {
+		t.Fatalf("written row: Σφ=%v π0=%v, want %v/%v", rows.PhiSum[0], rows.PiRow(0)[0], wantSum, wantPi[0])
+	}
+
+	// Out-of-range keys fail typed with no remote to absorb them.
+	if err := tier.ReadRows([]int32{int32(n)}, &rows); err == nil {
+		t.Fatal("out-of-range key accepted")
+	}
+}
+
+func TestTieredStoreHotTier(t *testing.T) {
+	const n, k = 64, 3
+	reg := obs.NewRegistry()
+	tier := tierFixture(t, n, 0, k, 8, reg)
+	ids := []int32{5, 6, 7}
+
+	// admit2: sighting 1 fills the doorkeeper, sighting 2 caches, 3 hits.
+	var rows Rows
+	for pass := 0; pass < 3; pass++ {
+		if err := tier.ReadRows(ids, &rows); err != nil {
+			t.Fatal(err)
+		}
+		for i, a := range ids {
+			checkInitRow(t, &rows, i, a, k)
+		}
+	}
+	st := tier.Stats()
+	if st.HotHits != int64(len(ids)) {
+		t.Fatalf("hot hits = %d, want %d (admit-on-second-sighting)", st.HotHits, len(ids))
+	}
+	if st.HotMisses != 2*int64(len(ids)) {
+		t.Fatalf("hot misses = %d, want %d", st.HotMisses, 2*len(ids))
+	}
+	if st.MmapHits != 2*int64(len(ids)) || st.MmapMisses != 0 || st.RemoteHits != 0 {
+		t.Fatalf("tier routing counters off: %+v", st)
+	}
+	// The counters live in the run registry under the canonical names.
+	if got := reg.Counter(obs.CtrTierHotHits).Load(); got != st.HotHits {
+		t.Fatalf("registry counter %q = %d, want %d", obs.CtrTierHotHits, got, st.HotHits)
+	}
+
+	// Cached rows are bit-identical to a fresh decode from the base tier.
+	var direct Rows
+	if err := tier.base.ReadRows(ids, &direct); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if math.Float64bits(direct.PhiSum[i]) != math.Float64bits(rows.PhiSum[i]) {
+			t.Fatalf("cached row %d not bit-identical", ids[i])
+		}
+		for j := 0; j < k; j++ {
+			if math.Float32bits(direct.PiRow(i)[j]) != math.Float32bits(rows.PiRow(i)[j]) {
+				t.Fatalf("cached row %d π[%d] not bit-identical", ids[i], j)
+			}
+		}
+	}
+
+	// A write drops exactly its key; the next read refetches and sees the
+	// new value (synchronous invalidation).
+	if err := tier.WriteRows([]int32{6}, []float64{1, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.ReadRows([]int32{6}, &rows); err != nil {
+		t.Fatal(err)
+	}
+	_, wantSum := refWrite([]float64{1, 1, 2})
+	if rows.PhiSum[0] != wantSum {
+		t.Fatalf("stale hot row after write: Σφ=%v, want %v", rows.PhiSum[0], wantSum)
+	}
+
+	// The hot tier survives the phase barrier: unwritten keys still hit.
+	if err := tier.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := tier.Stats().HotHits
+	if err := tier.ReadRows([]int32{5, 7}, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if got := tier.Stats().HotHits - before; got != 2 {
+		t.Fatalf("post-Flush hot hits = %d, want 2 (cache must survive the barrier)", got)
+	}
+}
+
+func TestTieredStoreRemoteRouting(t *testing.T) {
+	const baseN, remoteN, k = 32, 16, 3
+	tier := tierFixture(t, baseN, remoteN, k, 0, nil)
+	if tier.NumRows() != baseN+remoteN {
+		t.Fatalf("NumRows = %d, want %d", tier.NumRows(), baseN+remoteN)
+	}
+	if ReadsAreLocal(tier) {
+		t.Fatal("tier with a remote backing store must not report local reads")
+	}
+
+	// A batch straddling the boundary: rows land in original positions.
+	ids := []int32{40, 2, 31, 32, 47}
+	var rows Rows
+	if err := tier.ReadRows(ids, &rows); err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range ids {
+		checkInitRow(t, &rows, i, a, k)
+	}
+	st := tier.Stats()
+	if st.MmapHits != 2 || st.MmapMisses != 3 || st.RemoteHits != 3 {
+		t.Fatalf("routing counters: %+v, want mmap 2 hit / 3 miss, remote 3 hit", st)
+	}
+
+	// Writes route by the same split and read back through the tiers.
+	phi := []float64{2, 3, 5, 7, 11, 13}
+	if err := tier.WriteRows([]int32{10, 44}, phi); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tier.ReadRows([]int32{10, 44}, &rows); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		_, wantSum := refWrite(phi[i*k : (i+1)*k])
+		if rows.PhiSum[i] != wantSum {
+			t.Fatalf("row %d: Σφ=%v, want %v", i, rows.PhiSum[i], wantSum)
+		}
+	}
+
+	// Snapshot gathers both tiers into one global slab.
+	snap, err := tier.Snapshot(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.N != baseN+remoteN {
+		t.Fatalf("snapshot N = %d", snap.N)
+	}
+	if snap.PiRow(40)[0] != 400 || snap.PiRow(2)[2] != 22 {
+		t.Fatalf("snapshot rows wrong: row40=%v row2=%v", snap.PiRow(40), snap.PiRow(2))
+	}
+}
+
+// TestTieredStoreConcurrentStress drives readers, writers, and flushers at
+// the tier concurrently (disjoint key ranges, as the phase discipline
+// guarantees) — the -race harness for the tier's locking.
+func TestTieredStoreConcurrentStress(t *testing.T) {
+	const n, k = 256, 3
+	tier := tierFixture(t, n, 0, k, 32, nil)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Readers sweep the lower half of the table.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int32) {
+			defer wg.Done()
+			var rows Rows
+			ids := make([]int32, 8)
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for j := range ids {
+					ids[j] = (seed*31 + int32(iter*8+j)) % (n / 2)
+				}
+				if err := tier.ReadRows(ids, &rows); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int32(r))
+	}
+	// Writers churn the upper half.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int32) {
+			defer wg.Done()
+			phi := []float64{1, 2, 3}
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := n/2 + (seed*17+int32(iter))%(n/2)
+				phi[0] = float64(iter%7 + 1)
+				if err := tier.WriteRows([]int32{id}, phi); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(int32(w))
+	}
+	// A flusher fires barriers throughout.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			if err := tier.Flush(); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		close(stop)
+	}()
+	wg.Wait()
+
+	// Steady state must still read exactly.
+	var rows Rows
+	if err := tier.ReadRows([]int32{1}, &rows); err != nil {
+		t.Fatal(err)
+	}
+	checkInitRow(t, &rows, 0, 1, k)
+}
+
+func TestTieredStoreWritePiRows(t *testing.T) {
+	const baseN, remoteN, k = 32, 16, 3
+	tier := tierFixture(t, baseN, remoteN, k, 4, nil)
+	pi := []float32{0.2, 0.3, 0.5, 0.1, 0.8, 0.1}
+	if err := tier.WritePiRows([]int32{5, 40}, pi, []float64{7.5, 9.25}); err != nil {
+		t.Fatal(err)
+	}
+	var rows Rows
+	if err := tier.ReadRows([]int32{5, 40}, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if rows.PhiSum[0] != 7.5 || rows.PiRow(0)[2] != 0.5 {
+		t.Fatalf("base tier verbatim row mangled: Σφ=%v π=%v", rows.PhiSum[0], rows.PiRow(0))
+	}
+	if rows.PhiSum[1] != 9.25 || rows.PiRow(1)[1] != 0.8 {
+		t.Fatalf("remote tier verbatim row mangled: Σφ=%v π=%v", rows.PhiSum[1], rows.PiRow(1))
+	}
+}

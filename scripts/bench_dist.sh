@@ -47,6 +47,35 @@ go run ./cmd/ocd-cluster -graph "$tmp/bench.txt" -ranks 2 -threads 2 -k 8 \
 	-metrics-out "$tmp/events.jsonl" >/dev/null
 go run ./cmd/ocd-analyze -events "$tmp/events.jsonl" -events-json > "$tmp/summary.json"
 
+# Out-of-core cells: stream a graph to disk, train with the sharded-mmap π
+# backend at two hot-row-cache sizes, and land the tier hit rates plus peak
+# RSS in the record — cache-efficiency regressions in the tiered store show
+# up as a hit-rate drop in the series, capacity regressions as an RSS jump.
+go run ./cmd/ocd-gen -stream-out -n 20000 -k 16 -edges 120000 -seed 7 \
+	-out "$tmp/mmap.txt" >/dev/null
+{
+	printf '    "pi_mmap": [\n'
+	first=1
+	for hot in 512 4096; do
+		go run ./cmd/ocd-train -graph "$tmp/mmap.txt" -stream -k 16 -iters 30 \
+			-eval 0 -threads 2 -pi-backend mmap -pi-dir "$tmp/pi-$hot" \
+			-pi-hot-rows "$hot" > "$tmp/mmap-$hot.log"
+		[ "$first" = 1 ] || printf ',\n'
+		first=0
+		awk -v hot="$hot" '
+			/tier:/     { split($4, a, "/"); hits = a[1] + 0; reads = a[2] + 0; mh = $10 + 0 }
+			/peak RSS:/ { rss = $3 + 0 }
+			END {
+				rate = 0; if (reads > 0) rate = hits / reads
+				printf "      {\"hot_rows\": %s, \"hot_hits\": %d, \"reads\": %d, " \
+					"\"hot_hit_rate\": %.4f, \"mmap_hits\": %d, \"peak_rss_mib\": %.1f}", \
+					hot, hits, reads, rate, mh, rss
+			}
+		' "$tmp/mmap-$hot.log"
+	done
+	printf '\n    ],\n'
+} > "$tmp/mmap.json"
+
 # num KEY DEFAULT: first numeric value of "KEY" in summary.json, or DEFAULT
 # when the field is absent (cache_hit_rate and peer_skew are omitempty).
 num() {
@@ -123,6 +152,7 @@ echo "$sweep" | awk '
 		}
 	'
 	cat "$tmp/sweep.json"
+	cat "$tmp/mmap.json"
 	printf '    "telemetry":\n'
 	sed 's/^/    /' "$tmp/summary.json"
 	printf '  }\n'
